@@ -1,0 +1,32 @@
+"""Benchmark harness for the design-choice ablations (DESIGN.md §7).
+
+* frequency-ranked pruning (the paper's operator) must beat the
+  data-blind pruner: blind pruning keeps the wrong cases, so the
+  ignored sets swallow the hot states and SWIFT degenerates toward TD;
+* the literal re-run-everything ``run_bu`` (refresh-existing) must cost
+  more bottom-up work than the incremental default while agreeing on
+  the client verdict.
+"""
+
+import pytest
+
+from repro.experiments.ablations import VARIANTS, _run_variant
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {}
+
+
+@pytest.mark.parametrize("variant", VARIANTS)
+def test_ablation_variant(once, results, variant):
+    row = once(_run_variant, variant)
+    results[variant] = row
+    if len(results) == len(VARIANTS):
+        default = results["default"]
+        blind = results["blind-ranking"]
+        refresh = results["refresh-existing"]
+        # Frequency ranking is what makes pruning effective.
+        assert default.td_summaries < blind.td_summaries
+        # Literal Algorithm 1 re-analysis costs extra work.
+        assert refresh.work >= default.work

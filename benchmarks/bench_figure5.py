@@ -1,0 +1,30 @@
+"""Benchmark harness for Figure 5 — per-method summary distributions.
+
+The figure's visual claim, checked numerically: SWIFT keeps the number
+of top-down summaries close to the trigger threshold ``k`` for most
+methods, while TD's per-method counts climb one to two orders of
+magnitude higher.
+"""
+
+import pytest
+
+from repro.experiments.figure5 import BENCHMARKS, run_one
+
+
+@pytest.mark.parametrize("name", BENCHMARKS)
+def test_figure5_series(once, name):
+    series = once(run_one, name)
+    assert series.td_counts and series.swift_counts
+    td_max = max(series.td_counts)
+    swift_max = max(series.swift_counts)
+    # TD's worst method needs a multiple of SWIFT's summaries (the gap
+    # widens with benchmark size: ~2.5x on toba-s, >10x on antlr).
+    assert td_max >= 2 * swift_max, (
+        f"{name}: td_max={td_max}, swift_max={swift_max}"
+    )
+    # SWIFT keeps most methods near the threshold: strictly fewer
+    # methods above k than TD, and a lower total.
+    td_above = sum(1 for c in series.td_counts if c > series.k)
+    swift_above = sum(1 for c in series.swift_counts if c > series.k)
+    assert swift_above < td_above
+    assert sum(series.swift_counts) < sum(series.td_counts)

@@ -1,0 +1,56 @@
+"""Scalability study (ours): analysis work vs. program size.
+
+The asymptotic claim behind Table 2: the conventional top-down
+analysis' work grows superlinearly with the number of call sites
+flooding a shared helper, while SWIFT's grows roughly linearly (each
+flood state costs one summary instantiation instead of one body
+re-analysis).  This harness measures both on the ``hub_flood``
+micro-workload at geometric sizes and asserts the work *ratio* widens.
+"""
+
+import pytest
+
+from repro.alias import points_to_oracle
+from repro.bench.workloads import hub_flood
+from repro.framework.swift import SwiftEngine
+from repro.framework.topdown import TopDownEngine
+from repro.typestate.full import (
+    FullTypestateBU,
+    FullTypestateTD,
+    full_bootstrap_state,
+)
+from repro.typestate.properties import FILE_PROPERTY
+
+SIZES = [16, 64, 256]
+
+
+def _work_pair(size):
+    program = hub_flood(size)
+    oracle = points_to_oracle(program)
+    variables = program.variables()
+    td_analysis = FullTypestateTD(FILE_PROPERTY, oracle, variables=variables)
+    bu_analysis = FullTypestateBU(FILE_PROPERTY, oracle, variables=variables)
+    init = full_bootstrap_state(FILE_PROPERTY)
+    td = TopDownEngine(program, td_analysis).run([init])
+    swift = SwiftEngine(program, td_analysis, bu_analysis, k=5, theta=1).run([init])
+    assert swift.exit_states() == td.exit_states()
+    return td.metrics.total_work, swift.metrics.total_work
+
+
+@pytest.fixture(scope="module")
+def curve():
+    return {}
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_scalability_point(once, curve, size):
+    td_work, swift_work = once(_work_pair, size)
+    curve[size] = (td_work, swift_work)
+    assert td_work > 0 and swift_work > 0
+    if len(curve) == len(SIZES):
+        ratios = [curve[s][0] / curve[s][1] for s in SIZES]
+        # SWIFT's advantage must widen monotonically with scale...
+        assert ratios == sorted(ratios), f"ratios did not grow: {ratios}"
+        # ... and be decisive at the largest size (measured ~2x here;
+        # the Table 2 suite reaches 6x+ before TD fails outright).
+        assert ratios[-1] > 1.8, f"largest ratio too small: {ratios}"

@@ -1,0 +1,33 @@
+"""Benchmark harness for Table 1 — benchmark characteristics.
+
+Regenerates all twelve rows and checks the structural shape the paper's
+Table 1 exhibits: jpat-p/elevator are the smallest programs, avrora has
+the most application methods, and every benchmark's total (app +
+library) strictly exceeds its application-only numbers.
+"""
+
+from repro.bench import load_suite
+from repro.callgraph import compute_stats
+from repro.experiments import table1
+
+
+def test_table1_rows(once):
+    stats = once(table1.run)
+    assert len(stats) == 12
+    by_name = {s.name: s for s in stats}
+    # Application methods: avrora is the largest, the two smallest are
+    # jpat-p and elevator (paper Table 1 ordering).
+    largest = max(stats, key=lambda s: s.methods_app)
+    assert largest.name == "avrora"
+    smallest_two = sorted(stats, key=lambda s: s.methods_app)[:2]
+    assert {s.name for s in smallest_two} == {"jpat-p", "elevator"}
+    for s in stats:
+        assert s.methods_total > s.methods_app
+        assert s.classes_total > s.classes_app
+        assert s.loc_total > s.loc_app > 0
+        assert s.code_kb_total > s.code_kb_app > 0
+
+
+def test_table1_renders(once):
+    text = once(lambda: table1.render(table1.run()))
+    assert "avrora" in text and "sablecc-j" in text

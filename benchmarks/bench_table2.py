@@ -1,0 +1,51 @@
+"""Benchmark harness for Table 2 — SWIFT vs TD vs BU.
+
+The paper's headline result.  Shape assertions:
+
+* SWIFT finishes on every benchmark it is raced on;
+* the conventional top-down analysis exceeds the budget ("timeout") on
+  the largest benchmark (avrora) but finishes on the mid-size ones;
+* the conventional bottom-up analysis finishes only on the smallest
+  benchmarks (jpat-p, elevator) and times out from toba-s on;
+* SWIFT avoids the majority of both kinds of summaries, with the
+  top-down drop growing with benchmark size.
+
+By default a representative five-benchmark subset runs (small + mid +
+largest); set ``REPRO_FULL=1`` for all twelve rows as in the paper.
+"""
+
+import pytest
+
+from benchmarks.conftest import full_suite_enabled
+from repro.bench import benchmark_names, load_benchmark
+from repro.experiments.table2 import run_one
+
+SUBSET = ["jpat-p", "elevator", "toba-s", "antlr", "avrora"]
+
+
+def _names():
+    return benchmark_names() if full_suite_enabled() else SUBSET
+
+
+@pytest.mark.parametrize("name", _names())
+def test_table2_row(once, name):
+    row = once(run_one, load_benchmark(name))
+    # SWIFT always finishes.
+    assert not row.swift.timed_out, f"SWIFT timed out on {name}"
+    # BU finishes only on the two smallest benchmarks.
+    if name in ("jpat-p", "elevator"):
+        assert not row.bu.timed_out
+        assert row.swift.bu_summaries < row.bu.bu_summaries
+    else:
+        assert row.bu.timed_out, f"BU unexpectedly finished {name}"
+    # TD times out on the three largest.
+    if name in ("avrora", "rhino-a", "sablecc-j"):
+        assert row.td.timed_out, f"TD unexpectedly finished {name}"
+    else:
+        assert not row.td.timed_out, f"TD timed out on {name}"
+        assert row.swift.error_sites == row.td.error_sites
+        if name not in ("jpat-p", "elevator"):
+            # Mid-size and up: SWIFT needs well under half of TD's
+            # summaries and less total work.
+            assert row.swift.td_summaries < 0.5 * row.td.td_summaries
+            assert row.swift.work < row.td.work

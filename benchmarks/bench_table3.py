@@ -1,0 +1,33 @@
+"""Benchmark harness for Table 3 — the k sweep on avrora.
+
+Shape: the number of top-down summaries grows steeply as k rises toward
+500 (degenerating to the pure top-down analysis), while moderate k
+keeps it near the minimum — the upper arm of the paper's U-shaped
+curve.  (The paper's k=2 misprediction penalty is marginal in our
+suite; EXPERIMENTS.md discusses the deviation.)
+"""
+
+import pytest
+
+from repro.experiments.table3 import run_one
+
+K_SUBSET = [2, 5, 50, 500]
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return {}
+
+
+@pytest.mark.parametrize("k", K_SUBSET)
+def test_table3_point(once, sweep, k):
+    row = once(run_one, k)
+    sweep[k] = row
+    assert row.td_summaries > 0
+    if len(sweep) == len(K_SUBSET):
+        # Upper arm: summaries grow from k=5 to k=50 to k=500.
+        assert sweep[5].td_summaries < sweep[50].td_summaries < sweep[500].td_summaries
+        # Work grows likewise toward the TD degenerate end.
+        assert sweep[5].work < sweep[500].work
+        # Large k triggers the bottom-up analysis on fewer procedures.
+        assert sweep[500].bu_triggers < sweep[5].bu_triggers

@@ -1,0 +1,29 @@
+"""Shared benchmark configuration.
+
+Every harness uses ``benchmark.pedantic(..., rounds=1, iterations=1)``:
+the workloads are whole-program analyses taking seconds, and the
+engines' deterministic work counters (asserted alongside the timings)
+are the reproducible signal; repeated timing rounds would only add
+minutes of wall clock.
+
+Set ``REPRO_FULL=1`` to run the full 12-benchmark Table 2 race instead
+of the representative subset.
+"""
+
+import os
+
+import pytest
+
+
+def full_suite_enabled() -> bool:
+    return os.environ.get("REPRO_FULL", "") == "1"
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a callable exactly once under the benchmark timer."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,56 @@
+"""Tour of one suite benchmark: TD vs BU vs SWIFT head to head.
+
+Loads a mid-size benchmark from the Table 1 suite and races the three
+engines on the full type-state analysis, printing a one-benchmark
+version of the paper's Table 2 (times, summary counts, drops).
+
+Run:  python examples/benchmark_tour.py [benchmark-name]
+"""
+
+import sys
+import time
+
+from repro.bench import benchmark_names, load_benchmark
+from repro.callgraph import compute_stats
+from repro.framework.metrics import Budget
+from repro.typestate.client import run_typestate
+from repro.typestate.properties import FILE_PROPERTY
+
+
+def race(name: str) -> None:
+    benchmark = load_benchmark(name)
+    stats = compute_stats(benchmark)
+    print(
+        f"benchmark {name}: {stats.methods_total} methods "
+        f"({stats.methods_app} app), {stats.loc_total} LOC"
+    )
+    rows = []
+    for engine in ("td", "bu", "swift"):
+        budget = Budget(max_work=400_000)
+        started = time.perf_counter()
+        report = run_typestate(
+            benchmark.program,
+            FILE_PROPERTY,
+            engine=engine,
+            domain="full",
+            k=5,
+            theta=1,
+            budget=budget,
+        )
+        elapsed = time.perf_counter() - started
+        label = "timeout" if report.timed_out else f"{elapsed:.2f}s"
+        rows.append((engine, label, report.td_summaries, report.bu_summaries))
+    print(f"{'engine':8} {'time':>9} {'#td-summaries':>14} {'#bu-summaries':>14}")
+    for engine, label, td_sum, bu_sum in rows:
+        print(f"{engine:8} {label:>9} {td_sum:14d} {bu_sum:14d}")
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "hedc"
+    if name not in benchmark_names():
+        raise SystemExit(f"unknown benchmark {name!r}; choose from {benchmark_names()}")
+    race(name)
+
+
+if __name__ == "__main__":
+    main()

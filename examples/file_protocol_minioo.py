@@ -1,0 +1,83 @@
+"""Verify a file protocol in MiniOO source code.
+
+Shows the whole pipeline the paper's system implies: an object-oriented
+surface program with inheritance and virtual dispatch is compiled to
+the command IR (parameters lowered to argument registers, dispatch
+resolved by 0-CFA into non-deterministic choice), then the full
+type-state analysis — must/must-not sets, access paths, may-alias
+reasoning — checks the File protocol, with SWIFT combining the
+top-down and bottom-up engines.
+
+Run:  python examples/file_protocol_minioo.py
+"""
+
+from repro.frontend import compile_minioo
+from repro.typestate.client import run_typestate
+from repro.typestate.properties import FILE_PROPERTY
+
+GOOD = """
+class Writer {
+  field log;
+  method flush(f) {
+    f.#open();
+    f.#write();
+    f.#close();
+  }
+}
+class SafeWriter extends Writer {
+  method flush(f) {
+    f.#open();
+    if (*) { f.#write(); } else { f.#read(); }
+    f.#close();
+  }
+}
+main {
+  w = new Writer();
+  s = new SafeWriter();
+  file = new Writer();          // stands in for the tracked resource
+  if (*) { h = w; } else { h = s; }
+  while (*) {
+    h.flush(file);
+  }
+}
+"""
+
+BAD = """
+class Closer {
+  method shutdown(f) {
+    f.#close();
+  }
+}
+main {
+  c = new Closer();
+  file = new Closer();
+  file.#open();
+  c.shutdown(file);
+  c.shutdown(file);             // double close!
+}
+"""
+
+
+def verify(label, source):
+    program = compile_minioo(source)
+    report = run_typestate(
+        program, FILE_PROPERTY, engine="swift", domain="full", k=2, theta=2
+    )
+    verdict = "OK" if not report.errors else "PROTOCOL VIOLATION"
+    print(f"[{label}] {verdict}")
+    for point, site in sorted(report.errors, key=str):
+        print(f"    object from {site} may be in the error state at {point}")
+    print(
+        f"    ({len(program)} procedures, "
+        f"{report.td_summaries} top-down summaries, "
+        f"{report.bu_summaries} bottom-up summaries)"
+    )
+
+
+def main():
+    verify("good", GOOD)
+    verify("bad", BAD)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Quickstart: verify a file-handling protocol with SWIFT.
+
+Builds the paper's running example (Figure 1) with the program builder,
+runs the hybrid analysis, and shows what the engine computed: the
+verification verdict, the top-down summaries it needed, and the
+bottom-up summaries it generalized.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.ir.builder import ProgramBuilder
+from repro.typestate.client import run_typestate
+from repro.typestate.properties import FILE_PROPERTY
+
+
+def build_program():
+    """Three files opened and closed through a shared helper (Fig. 1)."""
+    b = ProgramBuilder()
+    with b.proc("main") as p:
+        p.new("v1", "h1").assign("f", "v1").call("foo")
+        p.new("v2", "h2").assign("f", "v2").call("foo")
+        p.new("v3", "h3").assign("f", "v3").call("foo")
+    with b.proc("foo") as p:
+        p.invoke("f", "open").invoke("f", "close")
+    return b.build()
+
+
+def main():
+    program = build_program()
+    print("Program under analysis:")
+    from repro.ir.printer import format_program
+
+    print(format_program(program))
+
+    # SWIFT with the paper's overview thresholds: trigger the bottom-up
+    # analysis after k=2 incoming states, keep theta=2 cases.
+    report = run_typestate(
+        program, FILE_PROPERTY, engine="swift", domain="full", k=2, theta=2
+    )
+    print(f"Property:            {report.property_name}")
+    print(f"Protocol violations: {len(report.errors)}")
+    print(f"Top-down summaries:  {report.td_summaries}")
+    print(f"Bottom-up summaries: {report.bu_summaries}")
+    print()
+
+    swift_result = report.result
+    print("Bottom-up summaries computed for foo (the paper's B1/B2 &co.):")
+    for relation in swift_result.bu["foo"].relations:
+        print(f"  {relation}")
+    print()
+
+    # Compare against the conventional top-down analysis: identical
+    # verdicts, fewer summaries.
+    td_report = run_typestate(program, FILE_PROPERTY, engine="td", domain="full")
+    print(f"TD summaries (conventional): {td_report.td_summaries}")
+    print(f"Same verdict as TD:          {td_report.error_sites == report.error_sites}")
+
+
+if __name__ == "__main__":
+    main()

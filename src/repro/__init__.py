@@ -1,0 +1,36 @@
+"""SWIFT: hybrid top-down and bottom-up interprocedural analysis.
+
+Reproduction of Zhang, Mangal, Naik, Yang — PLDI 2014.
+
+Top-level convenience re-exports; see the subpackages for the full API:
+
+* :mod:`repro.ir` — the command IR;
+* :mod:`repro.frontend` — the MiniOO surface language;
+* :mod:`repro.framework` — the SWIFT engines (the paper's contribution);
+* :mod:`repro.typestate` — the type-state analysis instantiations;
+* :mod:`repro.killgen` — kill/gen analyses and synthesis;
+* :mod:`repro.alias`, :mod:`repro.callgraph` — pointer/call-graph
+  substrates;
+* :mod:`repro.bench`, :mod:`repro.experiments` — the evaluation.
+"""
+
+__version__ = "1.0.0"
+
+from repro.framework import (
+    BottomUpEngine,
+    Budget,
+    SwiftEngine,
+    TopDownEngine,
+)
+from repro.ir import Program
+from repro.typestate import run_typestate
+
+__all__ = [
+    "BottomUpEngine",
+    "Budget",
+    "Program",
+    "SwiftEngine",
+    "TopDownEngine",
+    "__version__",
+    "run_typestate",
+]

@@ -1,0 +1,13 @@
+"""May-alias substrate: flow-insensitive points-to analysis over the IR.
+
+The full type-state analysis consults a may-alias oracle for receivers
+in neither the must nor the must-not set (Section 2, summaries B3/B4).
+The paper obtains this from a 0-CFA-style whole-program pointer
+analysis; this package provides the equivalent: an Andersen-style,
+flow- and context-insensitive, field-sensitive points-to analysis whose
+results back a :class:`repro.typestate.full.oracle.PointsToOracle`.
+"""
+
+from repro.alias.andersen import AndersenPointsTo, PointsToResult, points_to_oracle
+
+__all__ = ["AndersenPointsTo", "PointsToResult", "points_to_oracle"]

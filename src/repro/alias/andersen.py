@@ -1,0 +1,131 @@
+"""Andersen-style inclusion-based points-to analysis.
+
+Operates directly on the command IR (variables are program-global, as
+in the paper's formal language, so no parameter plumbing is needed):
+
+* ``v = new h``   adds ``h`` to ``pts(v)``;
+* ``v = w``       adds the constraint ``pts(w) ⊆ pts(v)``;
+* ``v = w.f``     adds ``pts(o.f) ⊆ pts(v)`` for every ``o ∈ pts(w)``;
+* ``v.f = w``     adds ``pts(w) ⊆ pts(o.f)`` for every ``o ∈ pts(v)``;
+* calls and tracked method invocations have no pointer effect.
+
+Abstract objects are allocation sites; the analysis is field-sensitive
+(one points-to set per ``(site, field)`` pair) and solved with a
+standard difference-free worklist over subset-constraint edges.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from typing import Deque, Dict, FrozenSet, Iterable, List, Set, Tuple
+
+from repro.ir.commands import Assign, FieldLoad, FieldStore, New
+from repro.ir.program import Program
+from repro.typestate.full.oracle import PointsToOracle
+
+# A points-to graph node is either a variable or a (site, field) pair.
+Node = Tuple[str, ...]  # ("var", v) or ("field", site, f)
+
+
+def _var(v: str) -> Node:
+    return ("var", v)
+
+
+def _field(site: str, f: str) -> Node:
+    return ("field", site, f)
+
+
+class PointsToResult:
+    """Solved points-to sets."""
+
+    def __init__(self, sets: Dict[Node, FrozenSet[str]]) -> None:
+        self._sets = sets
+
+    def of_var(self, var: str) -> FrozenSet[str]:
+        return self._sets.get(_var(var), frozenset())
+
+    def of_field(self, site: str, fieldname: str) -> FrozenSet[str]:
+        return self._sets.get(_field(site, fieldname), frozenset())
+
+    def may_alias_vars(self, v: str, w: str) -> bool:
+        """May two variables point to a common site?"""
+        return bool(self.of_var(v) & self.of_var(w))
+
+    def var_map(self) -> Dict[str, FrozenSet[str]]:
+        return {
+            node[1]: sites
+            for node, sites in self._sets.items()
+            if node[0] == "var"
+        }
+
+
+class AndersenPointsTo:
+    """Constraint generation + worklist solving."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+
+    def solve(self) -> PointsToResult:
+        pts: Dict[Node, Set[str]] = defaultdict(set)
+        succs: Dict[Node, Set[Node]] = defaultdict(set)  # subset edges src ⊆ dst
+        loads: List[Tuple[str, str, str]] = []  # (lhs, base, field)
+        stores: List[Tuple[str, str, str]] = []  # (base, field, rhs)
+        worklist: Deque[Node] = deque()
+
+        def add_site(node: Node, site: str) -> None:
+            if site not in pts[node]:
+                pts[node].add(site)
+                worklist.append(node)
+
+        def add_edge(src: Node, dst: Node) -> None:
+            if dst not in succs[src]:
+                succs[src].add(dst)
+                if pts[src]:
+                    before = len(pts[dst])
+                    pts[dst] |= pts[src]
+                    if len(pts[dst]) != before:
+                        worklist.append(dst)
+
+        for prim in self.program.primitives():
+            if isinstance(prim, New):
+                add_site(_var(prim.lhs), prim.site)
+            elif isinstance(prim, Assign):
+                add_edge(_var(prim.rhs), _var(prim.lhs))
+            elif isinstance(prim, FieldLoad):
+                loads.append((prim.lhs, prim.base, prim.fieldname))
+            elif isinstance(prim, FieldStore):
+                stores.append((prim.base, prim.fieldname, prim.rhs))
+
+        # Complex (load/store) constraints are re-instantiated whenever a
+        # base variable's set grows; simplest sound strategy: iterate to
+        # a fixpoint over rounds of edge materialization.
+        changed = True
+        while changed:
+            changed = False
+            for lhs, base, f in loads:
+                for site in list(pts[_var(base)]):
+                    node = _field(site, f)
+                    if _var(lhs) not in succs[node]:
+                        add_edge(node, _var(lhs))
+                        changed = True
+            for base, f, rhs in stores:
+                for site in list(pts[_var(base)]):
+                    node = _field(site, f)
+                    if node not in succs[_var(rhs)]:
+                        add_edge(_var(rhs), node)
+                        changed = True
+            while worklist:
+                node = worklist.popleft()
+                for dst in succs[node]:
+                    before = len(pts[dst])
+                    pts[dst] |= pts[node]
+                    if len(pts[dst]) != before:
+                        worklist.append(dst)
+                        changed = True
+        return PointsToResult({node: frozenset(s) for node, s in pts.items()})
+
+
+def points_to_oracle(program: Program) -> PointsToOracle:
+    """Convenience: solve points-to and wrap it as a may-alias oracle."""
+    result = AndersenPointsTo(program).solve()
+    return PointsToOracle(result.var_map())

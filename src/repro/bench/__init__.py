@@ -1,0 +1,33 @@
+"""Benchmark substrate: synthetic program generator and the 12-program suite.
+
+The paper evaluates on 12 real Java programs (Ashes/DaCapo, 60-250
+KLOC).  Those artifacts — and a JVM bytecode frontend — are outside
+this reproduction's reach, so per the substitution policy in DESIGN.md
+we generate synthetic programs whose *summary traffic* has the same
+drivers:
+
+* **hub helpers** called from many application methods under distinct
+  aliasing contexts — this is what makes top-down summaries
+  context-specific and non-reusable (Section 2.1);
+* **branchy library methods** whose relational transfer functions
+  case-split repeatedly — this is what makes conventional bottom-up
+  analysis explode (Section 2.2);
+* a shared synthetic library so "application" vs "total" statistics
+  (Table 1) are meaningful.
+
+Scales are roughly 1/10th of the paper's method counts so the suite
+runs in minutes under CPython.
+"""
+
+from repro.bench.generator import BenchmarkConfig, GeneratedBenchmark, generate
+from repro.bench.suite import SUITE_CONFIGS, benchmark_names, load_benchmark, load_suite
+
+__all__ = [
+    "BenchmarkConfig",
+    "GeneratedBenchmark",
+    "SUITE_CONFIGS",
+    "benchmark_names",
+    "generate",
+    "load_benchmark",
+    "load_suite",
+]

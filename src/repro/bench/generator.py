@@ -1,0 +1,272 @@
+"""Synthetic benchmark generator.
+
+A generated program mimics the structure that drives the paper's
+evaluation numbers:
+
+* a small pool of *tracked resource objects* (file-like, one allocation
+  site each) is created once by ``app_init`` — real programs track few
+  allocation sites of a property's class, while thousands of methods
+  shuffle those objects around;
+* ``main`` calls every *entry* method; each entry drives a group of
+  *worker* methods (application code).  A worker grabs one resource,
+  binds it to the shared argument register ``arg0`` under one of
+  several *aliasing styles*, and calls into the library.  Every live
+  abstract object flows through every worker, so the number of incoming
+  abstract states per method greatly exceeds SWIFT's trigger threshold
+  — the top-down analysis re-analyzes each body once per object while
+  SWIFT's dominating-case summaries absorb the flood;
+* the library consists of *wrapper chains* funnelling into *hub*
+  helpers, plus *branchy* methods whose relational transfer functions
+  case-split repeatedly on pooled globals that never alias a tracked
+  object — cheap no-ops top-down, an exponential case explosion for the
+  conventional bottom-up analysis (Section 2.2);
+* inert *padding* methods bring the 0-CFA-reachable method count up to
+  the target scale.
+
+Variable names come from a small shared pool (argument registers and
+scratch locals), so individual abstract states stay small and the
+incoming states of library methods converge to a handful of patterns —
+the regime in which the paper's theta=1 pruning shines.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.ir.builder import BlockBuilder, ProgramBuilder
+from repro.ir.program import Program
+
+#: Aliasing styles a worker can use to pass its object to the library.
+#: Each produces a different incoming must/must-not pattern at the hub.
+_N_STYLES = 6
+
+
+@dataclass(frozen=True)
+class BenchmarkConfig:
+    """Scale and personality knobs of one synthetic benchmark."""
+
+    name: str
+    seed: int
+    n_entries: int  # entry methods called from main
+    workers_per_entry: int  # workers per entry (app scale)
+    n_resources: int  # tracked resource objects allocated by app_init
+    n_hubs: int  # shared hub helpers
+    wrapper_depth: int  # wrapper chain length above each hub
+    n_branchy: int  # branchy library methods
+    branch_len: int  # choices per branchy body (case-split chain)
+    n_padding: int  # inert library methods (reachable, cheap)
+    alias_styles: int = 4  # how many of the aliasing styles are used
+    loop_every: int = 7  # every n-th worker wraps its call in a loop
+    app_classes: int = 10  # metadata: application classes
+    lib_classes: int = 12  # metadata: library classes
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.alias_styles <= _N_STYLES:
+            raise ValueError(f"alias_styles must be in 1..{_N_STYLES}")
+        if self.n_resources < 1:
+            raise ValueError("need at least one resource object")
+
+
+@dataclass
+class GeneratedBenchmark:
+    """A generated program plus the metadata Table 1 reports on."""
+
+    config: BenchmarkConfig
+    program: Program
+    app_procs: frozenset
+    lib_procs: frozenset
+    class_of: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return self.config.name
+
+    def resource_sites(self) -> frozenset:
+        return frozenset(
+            f"res_site{i}" for i in range(self.config.n_resources)
+        )
+
+
+def generate(config: BenchmarkConfig) -> GeneratedBenchmark:
+    """Generate the benchmark deterministically from its config."""
+    rng = random.Random(config.seed)
+    b = ProgramBuilder()
+    app_procs: List[str] = []
+    lib_procs: List[str] = []
+
+    # -- library: hubs ----------------------------------------------------------------
+    hub_names = [f"lib_hub{i}" for i in range(config.n_hubs)]
+    branchy_names = [f"lib_branchy{i}" for i in range(config.n_branchy)]
+    for i, hub in enumerate(hub_names):
+        with b.proc(hub) as p:
+            p.invoke("arg0", "open")
+            if rng.random() < 0.5:
+                # read and write have the same type-state effect, so the
+                # dominating cases of the two branches coincide and a
+                # theta=1 pruned summary still covers them.
+                with p.choose() as c:
+                    with c.branch() as t:
+                        t.invoke("arg0", "read")
+                    with c.branch() as e:
+                        e.invoke("arg0", "write")
+            else:
+                p.invoke("arg0", "read")
+            # Deeper hubs consult a branchy helper, putting the
+            # case-splitting code on every run_bu frontier.
+            if branchy_names and i % 2 == 0:
+                p.call(branchy_names[i % len(branchy_names)])
+            p.invoke("arg0", "close")
+        lib_procs.append(hub)
+
+    # -- library: branchy methods (bottom-up case explosion) -----------------------------
+    # The pooled globals g0..gB never alias a tracked object, so every
+    # case here is a cheap no-op top-down — but the bottom-up analysis
+    # must case-split on each one's unknown status (must / must-not /
+    # neither), reasoning about incoming states unreachable from main.
+    # This is the Section 2.2 phenomenon that blows up the conventional
+    # BU approach; SWIFT's pruning keeps only the case the top-down
+    # analysis actually observes.
+    for i, name in enumerate(branchy_names):
+        with b.proc(name) as p:
+            pool = max(2, config.branch_len)
+            for j in range(config.branch_len):
+                g = f"g{(i + j) % pool}"
+                with p.choose() as c:
+                    with c.branch() as t:
+                        t.invoke(g, "read")
+                    with c.branch() as e:
+                        e.invoke(g, "write")
+        lib_procs.append(name)
+
+    # -- library: wrapper chains ------------------------------------------------------------
+    wrapper_of_hub: Dict[str, str] = {}
+    for i, hub in enumerate(hub_names):
+        below = hub
+        for d in range(config.wrapper_depth):
+            name = f"lib_wrap{i}_{d}"
+            with b.proc(name) as p:
+                if d % 2 == 0:
+                    p.assign(f"tmp{d % 3}", "arg0")
+                p.call(below)
+                if d % 3 == 2:
+                    p.assign(f"tmp{(d + 1) % 3}", "arg0")
+            lib_procs.append(name)
+            below = name
+        wrapper_of_hub[hub] = below
+
+    # -- library: padding (keeps 0-CFA-reachable method counts on target) ---------------------
+    padding_names = [f"lib_misc{i}" for i in range(config.n_padding)]
+    for i, name in enumerate(padding_names):
+        with b.proc(name) as p:
+            p.assign(f"tmp{i % 3}", f"tmp{(i + 1) % 3}")
+            if i + 1 < config.n_padding and i % 4 == 0:
+                p.call(padding_names[i + 1])
+    lib_procs.extend(padding_names)
+    if padding_names:
+        # Padding methods with i % 4 == 1 are called by their
+        # predecessor; the initializer calls the rest so all are
+        # 0-CFA-reachable.
+        with b.proc("lib_misc_init") as p:
+            for i, name in enumerate(padding_names):
+                if i % 4 != 1:
+                    p.call(name)
+        lib_procs.append("lib_misc_init")
+
+    # -- application: resource pool -----------------------------------------------------------
+    with b.proc("app_init") as p:
+        for i in range(config.n_resources):
+            p.new(f"r{i}", f"res_site{i}")
+        p.new("box0", "box_site0")
+        p.new("box1", "box_site1")
+    app_procs.append("app_init")
+
+    # -- application: workers -------------------------------------------------------------------
+    entry_names = [f"app_entry{i}" for i in range(config.n_entries)]
+    worker_names: List[str] = []
+    index = 0
+    for e in range(config.n_entries):
+        group: List[str] = []
+        for w in range(config.workers_per_entry):
+            worker = f"app_worker{e}_{w}"
+            resource = f"r{index % config.n_resources}"
+            style = rng.randrange(config.alias_styles)
+            # Round-robin over hubs so every wrapper chain is reachable
+            # regardless of scale (styles stay randomized).
+            target = wrapper_of_hub[hub_names[index % len(hub_names)]]
+            with b.proc(worker) as p:
+                _emit_worker(p, config, resource, style, target, index)
+            group.append(worker)
+            worker_names.append(worker)
+            index += 1
+        with b.proc(entry_names[e]) as p:
+            for worker in group:
+                p.call(worker)
+            if e == 0 and padding_names:
+                p.call("lib_misc_init")
+        app_procs.append(entry_names[e])
+    app_procs.extend(worker_names)
+
+    # -- main -------------------------------------------------------------------------------------
+    with b.proc("main") as p:
+        p.call("app_init")
+        for entry in entry_names:
+            p.call(entry)
+    app_procs.append("main")
+
+    program = b.build(
+        validate=True,
+        name=config.name,
+        suite="swift-repro",
+        app=tuple(sorted(app_procs)),
+    )
+    class_of = _assign_classes(config, app_procs, lib_procs)
+    return GeneratedBenchmark(
+        config, program, frozenset(app_procs), frozenset(lib_procs), class_of
+    )
+
+
+def _emit_worker(
+    p: BlockBuilder,
+    config: BenchmarkConfig,
+    resource: str,
+    style: int,
+    target: str,
+    index: int,
+) -> None:
+    """One application worker: bind a pool resource to ``arg0`` in one
+    of the aliasing styles, then call into the library."""
+    if style == 0:
+        p.assign("arg0", resource)
+    elif style == 1:
+        p.assign("tmp0", resource).assign("arg0", "tmp0")
+    elif style == 2:
+        p.assign("arg0", resource).assign("tmp1", "arg0")
+    elif style == 3:
+        # Stash through the heap: the box path is invalidated downstream
+        # but arg0 keeps the must-alias.
+        p.store("box0", "val", resource).assign("arg0", resource)
+    elif style == 4:
+        p.assign("arg0", resource).store(resource, "self", "arg0")
+    else:
+        p.store("box1", "val", resource).load("arg0", "box1", "val")
+    if index % config.loop_every == 0:
+        with p.loop() as body:
+            body.call(target)
+            body.invoke("arg0", "open")
+            body.invoke("arg0", "close")
+    else:
+        p.call(target)
+
+
+def _assign_classes(
+    config: BenchmarkConfig, app_procs: List[str], lib_procs: List[str]
+) -> Dict[str, str]:
+    """Deterministically bucket methods into classes (metadata only)."""
+    class_of: Dict[str, str] = {}
+    for i, name in enumerate(sorted(app_procs)):
+        class_of[name] = f"{config.name}.App{i % max(1, config.app_classes)}"
+    for i, name in enumerate(sorted(lib_procs)):
+        class_of[name] = f"lib.Lib{i % max(1, config.lib_classes)}"
+    return class_of

@@ -1,0 +1,103 @@
+"""The 12-benchmark suite (Table 1), scaled to ~1/10 of the paper.
+
+Scales are chosen so the relative ordering of the paper's Table 1 is
+preserved (jpat-p/elevator tiny; avrora/sablecc-j the largest) and so
+the Table 2 dynamics reproduce under the experiment budgets:
+
+* the conventional bottom-up analysis finishes only on jpat-p and
+  elevator (short branchy chains), and explodes elsewhere;
+* the conventional top-down analysis times out on the three largest
+  benchmarks (avrora, rhino-a, sablecc-j);
+* SWIFT finishes everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.bench.generator import BenchmarkConfig, GeneratedBenchmark, generate
+
+#: Configs in the paper's Table 1 order.
+SUITE_CONFIGS: List[BenchmarkConfig] = [
+    BenchmarkConfig(
+        name="jpat-p", n_resources=6, seed=101, n_entries=1, workers_per_entry=2,
+        n_hubs=2, wrapper_depth=2, n_branchy=1, branch_len=2, n_padding=58,
+        alias_styles=2, app_classes=5, lib_classes=12,
+    ),
+    BenchmarkConfig(
+        name="elevator", n_resources=8, seed=102, n_entries=1, workers_per_entry=3,
+        n_hubs=2, wrapper_depth=2, n_branchy=2, branch_len=2, n_padding=76,
+        alias_styles=2, app_classes=5, lib_classes=12,
+    ),
+    BenchmarkConfig(
+        name="toba-s", n_resources=12, seed=103, n_entries=3, workers_per_entry=4,
+        n_hubs=3, wrapper_depth=3, n_branchy=2, branch_len=4, n_padding=38,
+        alias_styles=4, app_classes=25, lib_classes=12,
+    ),
+    BenchmarkConfig(
+        name="javasrc-p", n_resources=16, seed=104, n_entries=5, workers_per_entry=8,
+        n_hubs=3, wrapper_depth=3, n_branchy=2, branch_len=5, n_padding=12,
+        alias_styles=4, app_classes=49, lib_classes=12,
+    ),
+    BenchmarkConfig(
+        name="hedc", n_resources=16, seed=105, n_entries=4, workers_per_entry=5,
+        n_hubs=4, wrapper_depth=4, n_branchy=3, branch_len=5, n_padding=150,
+        alias_styles=5, app_classes=44, lib_classes=14,
+    ),
+    BenchmarkConfig(
+        name="antlr", n_resources=24, seed=106, n_entries=8, workers_per_entry=13,
+        n_hubs=5, wrapper_depth=4, n_branchy=3, branch_len=6, n_padding=85,
+        alias_styles=5, app_classes=111, lib_classes=14,
+    ),
+    BenchmarkConfig(
+        name="luindex", n_resources=36, seed=107, n_entries=12, workers_per_entry=14,
+        n_hubs=5, wrapper_depth=5, n_branchy=4, branch_len=6, n_padding=190,
+        alias_styles=5, app_classes=206, lib_classes=16,
+    ),
+    BenchmarkConfig(
+        name="lusearch", n_resources=36, seed=108, n_entries=12, workers_per_entry=14,
+        n_hubs=5, wrapper_depth=5, n_branchy=4, branch_len=6, n_padding=205,
+        alias_styles=6, app_classes=219, lib_classes=16,
+    ),
+    BenchmarkConfig(
+        name="kawa-c", n_resources=32, seed=109, n_entries=10, workers_per_entry=12,
+        n_hubs=5, wrapper_depth=5, n_branchy=4, branch_len=6, n_padding=195,
+        alias_styles=5, app_classes=151, lib_classes=16,
+    ),
+    BenchmarkConfig(
+        name="avrora", n_resources=64, seed=110, n_entries=20, workers_per_entry=20,
+        n_hubs=6, wrapper_depth=5, n_branchy=4, branch_len=6, n_padding=130,
+        alias_styles=6, app_classes=400, lib_classes=18,
+    ),
+    BenchmarkConfig(
+        name="rhino-a", n_resources=56, seed=111, n_entries=14, workers_per_entry=14,
+        n_hubs=4, wrapper_depth=6, n_branchy=4, branch_len=6, n_padding=110,
+        alias_styles=6, app_classes=66, lib_classes=16,
+    ),
+    BenchmarkConfig(
+        name="sablecc-j", n_resources=60, seed=112, n_entries=16, workers_per_entry=16,
+        n_hubs=6, wrapper_depth=6, n_branchy=5, branch_len=6, n_padding=260,
+        alias_styles=6, app_classes=294, lib_classes=18,
+    ),
+]
+
+_BY_NAME: Dict[str, BenchmarkConfig] = {c.name: c for c in SUITE_CONFIGS}
+_CACHE: Dict[str, GeneratedBenchmark] = {}
+
+
+def benchmark_names() -> List[str]:
+    return [c.name for c in SUITE_CONFIGS]
+
+
+def load_benchmark(name: str) -> GeneratedBenchmark:
+    """Generate (and cache) one benchmark by name."""
+    if name not in _BY_NAME:
+        raise KeyError(f"unknown benchmark {name!r}; see benchmark_names()")
+    if name not in _CACHE:
+        _CACHE[name] = generate(_BY_NAME[name])
+    return _CACHE[name]
+
+
+def load_suite() -> List[GeneratedBenchmark]:
+    """Generate the whole suite (cached)."""
+    return [load_benchmark(name) for name in benchmark_names()]

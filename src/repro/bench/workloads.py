@@ -1,0 +1,118 @@
+"""Targeted micro-workloads.
+
+The Table 1 suite exercises the mixed regime of real programs; these
+generators isolate single stress axes, for unit-style performance tests
+and the scalability study:
+
+* :func:`hub_flood` — one library helper called from ``n`` sites with
+  distinct objects: pure summary-reuse stress (the Figure 1 pattern at
+  scale);
+* :func:`deep_chain` — a call chain of depth ``n``: summary
+  *composition* stress;
+* :func:`wide_dispatch` — one call site dispatching over ``n`` targets:
+  join-width stress;
+* :func:`case_bomb` — a chain of ``n`` branching invokes on unaliased
+  globals: the bottom-up case explosion in isolation (3ⁿ relations
+  unpruned, 1 pruned);
+* :func:`scalability_series` — ``hub_flood`` at geometric sizes, for
+  plotting analysis work against program size.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from repro.ir.builder import ProgramBuilder
+from repro.ir.program import Program
+
+
+def hub_flood(n_callers: int, n_resources: int = None) -> Program:
+    """``n_callers`` workers drive distinct resources through one hub."""
+    n_resources = n_resources if n_resources is not None else max(2, n_callers // 4)
+    b = ProgramBuilder()
+    with b.proc("init") as p:
+        for i in range(n_resources):
+            p.new(f"r{i}", f"site{i}")
+    with b.proc("hub") as p:
+        # A realistic helper body (a dozen points): enough work per
+        # re-analysis that summary instantiation amortizes.
+        p.invoke("arg0", "open")
+        for j in range(4):
+            p.assign(f"tmp{j % 3}", "arg0")
+            p.invoke("arg0", "read" if j % 2 == 0 else "write")
+        p.invoke("arg0", "close")
+    for i in range(n_callers):
+        with b.proc(f"caller{i}") as p:
+            p.assign("arg0", f"r{i % n_resources}")
+            p.call("hub")
+    with b.proc("main") as p:
+        p.call("init")
+        for i in range(n_callers):
+            p.call(f"caller{i}")
+    return b.build()
+
+
+def deep_chain(depth: int) -> Program:
+    """A linear call chain: main -> level0 -> ... -> level{depth-1}."""
+    if depth < 1:
+        raise ValueError("depth must be positive")
+    b = ProgramBuilder()
+    with b.proc("main") as p:
+        p.new("v", "h0").assign("arg0", "v")
+        p.call("level0")
+    for d in range(depth):
+        with b.proc(f"level{d}") as p:
+            p.assign(f"tmp{d % 3}", "arg0")
+            if d + 1 < depth:
+                p.call(f"level{d + 1}")
+            else:
+                p.invoke("arg0", "open").invoke("arg0", "close")
+    return b.build()
+
+
+def wide_dispatch(width: int) -> Program:
+    """One virtual-call-style choice over ``width`` targets."""
+    if width < 2:
+        raise ValueError("width must be at least 2")
+    b = ProgramBuilder()
+    for i in range(width):
+        with b.proc(f"impl{i}") as p:
+            p.invoke("arg0", "open")
+            p.invoke("arg0", "read" if i % 2 == 0 else "write")
+            p.invoke("arg0", "close")
+    with b.proc("main") as p:
+        p.new("v", "h0").assign("arg0", "v")
+        with p.choose() as c:
+            for i in range(width):
+                with c.branch() as alt:
+                    alt.call(f"impl{i}")
+    return b.build()
+
+
+def case_bomb(length: int) -> Program:
+    """``length`` sequential two-way invoke choices on unaliased
+    globals: 3^length bottom-up cases without pruning."""
+    if length < 1:
+        raise ValueError("length must be positive")
+    b = ProgramBuilder()
+    with b.proc("bomb") as p:
+        for j in range(length):
+            g = f"g{j}"
+            with p.choose() as c:
+                with c.branch() as t:
+                    t.invoke(g, "read")
+                with c.branch() as e:
+                    e.invoke(g, "write")
+    with b.proc("main") as p:
+        p.new("v", "h0").assign("f", "v")
+        p.call("bomb")
+        p.invoke("f", "open").invoke("f", "close")
+    return b.build()
+
+
+def scalability_series(
+    sizes: List[int] = (8, 16, 32, 64, 128),
+) -> Iterator[Tuple[int, Program]]:
+    """``hub_flood`` instances at geometric caller counts."""
+    for size in sizes:
+        yield size, hub_flood(size)

@@ -1,0 +1,178 @@
+"""Command-line interface.
+
+::
+
+    repro-swift verify prog.mini --property File --engine swift
+    repro-swift verify prog.ir --all-properties
+    repro-swift dump-ir prog.mini
+    repro-swift dot prog.mini --proc main
+    repro-swift bench hedc
+    repro-swift experiments table1 table3
+
+Files ending in ``.mini`` are treated as MiniOO source and compiled;
+anything else is parsed as textual IR (the ``proc name { ... }`` format
+of :mod:`repro.ir.parser`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional
+
+from repro.ir.parser import parse_program
+from repro.ir.printer import format_program
+from repro.ir.program import Program
+from repro.typestate.properties import all_properties, property_by_name
+
+
+def load_program(path: str) -> Program:
+    """Load a program from MiniOO source or textual IR."""
+    text = Path(path).read_text()
+    if path.endswith(".mini"):
+        from repro.frontend import compile_minioo
+
+        return compile_minioo(text)
+    return parse_program(text)
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    from repro.framework.metrics import Budget
+    from repro.typestate.client import run_typestate
+    from repro.typestate.multi import run_multi_property
+
+    program = load_program(args.file)
+    budget = Budget(max_work=args.budget) if args.budget else None
+    if args.all_properties:
+        report = run_multi_property(
+            program,
+            engine=args.engine,
+            k=args.k,
+            theta=args.theta,
+            budget_work=args.budget,
+            domain=args.domain,
+        )
+        for line in report.summary_lines():
+            print(line)
+        return 1 if report.total_errors else 0
+    prop = property_by_name(args.property)
+    report = run_typestate(
+        program,
+        prop,
+        engine=args.engine,
+        k=args.k,
+        theta=args.theta,
+        budget=budget,
+        domain=args.domain,
+    )
+    if report.timed_out:
+        print(f"{prop.name}: analysis exceeded its budget")
+        return 2
+    if not report.errors:
+        print(f"{prop.name}: ok ({report.td_summaries} top-down summaries)")
+        return 0
+    print(f"{prop.name}: {len(report.errors)} possible protocol violation(s)")
+    for point, site in sorted(report.errors, key=str):
+        print(f"  object from {site} may be in the error state at {point}")
+    return 1
+
+
+def cmd_dump_ir(args: argparse.Namespace) -> int:
+    print(format_program(load_program(args.file)))
+    return 0
+
+
+def cmd_dot(args: argparse.Namespace) -> int:
+    from repro.callgraph import build_call_graph
+    from repro.ir.cfg import ControlFlowGraphs
+    from repro.ir.dot import call_graph_to_dot, cfg_to_dot
+
+    program = load_program(args.file)
+    if args.proc:
+        cfgs = ControlFlowGraphs(program)
+        print(cfg_to_dot(cfgs[args.proc]))
+    else:
+        print(call_graph_to_dot(build_call_graph(program)))
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import benchmark_names, load_benchmark
+    from repro.experiments.harness import run_engine
+
+    if args.name not in benchmark_names():
+        print(f"unknown benchmark {args.name!r}; choose from {benchmark_names()}")
+        return 2
+    benchmark = load_benchmark(args.name)
+    for engine in ("td", "bu", "swift"):
+        run = run_engine(benchmark, engine, k=args.k, theta=args.theta)
+        print(
+            f"{engine:6} {run.time_label:>9}  "
+            f"td-summaries={run.td_summaries}  bu-summaries={run.bu_summaries}"
+        )
+    return 0
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments import __main__ as runner
+
+    sys.argv = ["repro.experiments"] + args.names
+    runner.main()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-swift",
+        description="Hybrid top-down/bottom-up interprocedural analysis (PLDI'14 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    verify = sub.add_parser("verify", help="verify a type-state property")
+    verify.add_argument("file")
+    verify.add_argument("--property", default="File")
+    verify.add_argument("--all-properties", action="store_true")
+    verify.add_argument("--engine", choices=["td", "bu", "swift"], default="swift")
+    verify.add_argument("--domain", choices=["simple", "full"], default="full")
+    verify.add_argument("--k", type=int, default=5)
+    verify.add_argument("--theta", type=int, default=1)
+    verify.add_argument("--budget", type=int, default=None, help="work budget")
+    verify.set_defaults(fn=cmd_verify)
+
+    dump = sub.add_parser("dump-ir", help="compile/parse and print the IR")
+    dump.add_argument("file")
+    dump.set_defaults(fn=cmd_dump_ir)
+
+    dot = sub.add_parser("dot", help="emit graphviz for the call graph or one CFG")
+    dot.add_argument("file")
+    dot.add_argument("--proc", default=None)
+    dot.set_defaults(fn=cmd_dot)
+
+    bench = sub.add_parser("bench", help="race the engines on a suite benchmark")
+    bench.add_argument("name")
+    bench.add_argument("--k", type=int, default=5)
+    bench.add_argument("--theta", type=int, default=1)
+    bench.set_defaults(fn=cmd_bench)
+
+    experiments = sub.add_parser("experiments", help="regenerate tables/figures")
+    experiments.add_argument("names", nargs="*")
+    experiments.set_defaults(fn=cmd_experiments)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe: exit quietly.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

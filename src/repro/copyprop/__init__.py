@@ -1,0 +1,38 @@
+"""Copy propagation of allocation sites — a third SWIFT instantiation.
+
+Facts are ``(variable, site)`` pairs meaning "the variable definitely
+holds the object it was last assigned from allocation site ``site``,
+propagated only through direct copies".  Unlike the kill/gen class
+(Section 5.2), the transfer of ``v = w`` *renames* facts —
+``(w, s) ↦ (v, s)`` — which fixed kill/gen sets cannot express; and
+unlike the type-state analysis, the bottom-up relations here never
+case-split: every command's relational transfer is a single
+*substitution* relation.  Together the three families exercise the
+whole spectrum the SWIFT framework must support:
+
+============  ==================  =======================
+family        rtrans case-splits  transfer style
+============  ==================  =======================
+kill/gen      never               fixed kill/gen sets
+copy-prop     never               variable substitution
+type-state    exponentially       guarded transformers
+============  ==================  =======================
+"""
+
+from repro.copyprop.analysis import (
+    LAMBDA,
+    CopyPropBU,
+    CopyPropTD,
+    FactPredicate,
+    SubstRelation,
+    copyprop_pair,
+)
+
+__all__ = [
+    "CopyPropBU",
+    "CopyPropTD",
+    "FactPredicate",
+    "LAMBDA",
+    "SubstRelation",
+    "copyprop_pair",
+]

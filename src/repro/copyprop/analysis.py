@@ -1,0 +1,268 @@
+"""Top-down and bottom-up copy propagation.
+
+IFDS-style encoding, like :mod:`repro.killgen`: abstract states are
+single facts ``(var, site)`` plus the seed :data:`LAMBDA`.
+
+Top-down transfer::
+
+    trans(v = new h)(Λ)      = {Λ, (v, h)}
+    trans(v = new h)((x, s)) = {} if x == v else {(x, s)}
+    trans(v = w)((w, s))     = {(w, s), (v, s)}        (v ≠ w)
+    trans(v = w)((v, s))     = {}                      (v ≠ w)
+    trans(v = w.f)((v, s))   = {}                      (heap reads kill)
+    everything else          = identity
+
+Bottom-up, a single relation shape — the *substitution relation*
+``SubstRelation(sources, gens)``:
+
+* ``sources`` maps an output variable to the input variable its fact is
+  copied from (``None`` = the variable was overwritten from the heap or
+  an allocation; absent = the variable keeps its own input fact);
+* ``gens`` are facts produced along the way (from allocations),
+  emitted from the seed ``Λ``.
+
+Substitutions compose by map composition, so ``rcomp`` is exact and
+``rtrans`` never splits cases — each procedure's summary is exactly one
+relation, the "best case" end of the framework's spectrum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Optional, Tuple, Union
+
+from repro.framework.interfaces import BottomUpAnalysis, TopDownAnalysis
+from repro.ir.commands import Assign, FieldLoad, FieldStore, Invoke, New, Prim, Skip
+from repro.ir.program import Program
+from repro.killgen.analysis import LAMBDA  # the shared seed singleton
+
+Fact = Tuple[str, str]  # (variable, site)
+State = Union[type(LAMBDA), Fact]
+
+
+@dataclass(frozen=True)
+class FactPredicate:
+    """An extensional predicate over states.
+
+    ``include_lambda`` admits the seed; ``roots`` admits every fact
+    ``(x, s)`` with ``x ∈ roots`` (site-insensitive: the analyses only
+    ever constrain the variable component); ``facts`` admits listed
+    facts exactly.
+    """
+
+    include_lambda: bool
+    roots: FrozenSet[str]
+    facts: FrozenSet[Fact]
+
+    __slots__ = ("include_lambda", "roots", "facts")
+
+    def satisfied_by(self, sigma: State) -> bool:
+        if sigma is LAMBDA:
+            return self.include_lambda
+        return sigma[0] in self.roots or sigma in self.facts
+
+    def entails(self, other: "FactPredicate") -> bool:
+        if self.include_lambda and not other.include_lambda:
+            return False
+        if not self.roots <= other.roots:
+            return False
+        return all(
+            f in other.facts or f[0] in other.roots
+            for f in self.facts
+        )
+
+    def __str__(self) -> str:
+        parts = []
+        if self.include_lambda:
+            parts.append("Λ")
+        parts.extend(sorted(self.roots))
+        parts.extend(f"{v}@{s}" for v, s in sorted(self.facts))
+        return "{" + ",".join(parts) + "}"
+
+
+class SubstRelation:
+    """The substitution relation (see module docstring)."""
+
+    __slots__ = ("sources", "gens", "_hash")
+
+    def __init__(
+        self,
+        sources: Dict[str, Optional[str]],
+        gens: FrozenSet[Fact],
+    ) -> None:
+        # Canonical form: identity entries are dropped.
+        self.sources: Tuple[Tuple[str, Optional[str]], ...] = tuple(
+            sorted((v, src) for v, src in sources.items() if src != v)
+        )
+        self.gens = frozenset(gens)
+        self._hash = hash((self.sources, self.gens))
+
+    # -- semantics helpers ---------------------------------------------------------
+    def source_of(self, var: str) -> Optional[str]:
+        for v, src in self.sources:
+            if v == var:
+                return src
+        return var
+
+    def source_map(self) -> Dict[str, Optional[str]]:
+        return dict(self.sources)
+
+    def copied_to(self, var: str) -> FrozenSet[str]:
+        """Output variables whose fact comes from input variable ``var``."""
+        out = {v for v, src in self.sources if src == var}
+        if self.source_of(var) == var:
+            out.add(var)
+        return frozenset(out)
+
+    # -- value semantics --------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SubstRelation):
+            return NotImplemented
+        return self.sources == other.sources and self.gens == other.gens
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        subst = ", ".join(
+            f"{v}<-{src if src is not None else '⊥'}" for v, src in self.sources
+        )
+        gens = ", ".join(f"{v}@{s}" for v, s in sorted(self.gens))
+        return f"SubstRelation([{subst}], gens=[{gens}])"
+
+
+class CopyPropTD(TopDownAnalysis):
+    """Top-down copy propagation."""
+
+    def transfer(self, cmd: Prim, sigma: State) -> FrozenSet[State]:
+        if isinstance(cmd, New):
+            if sigma is LAMBDA:
+                return frozenset({LAMBDA, (cmd.lhs, cmd.site)})
+            return frozenset() if sigma[0] == cmd.lhs else frozenset({sigma})
+        if isinstance(cmd, Assign):
+            if cmd.lhs == cmd.rhs or sigma is LAMBDA:
+                return frozenset({sigma})
+            var, site = sigma
+            if var == cmd.rhs:
+                return frozenset({sigma, (cmd.lhs, site)})
+            if var == cmd.lhs:
+                return frozenset()
+            return frozenset({sigma})
+        if isinstance(cmd, FieldLoad):
+            if sigma is LAMBDA or sigma[0] != cmd.lhs:
+                return frozenset({sigma})
+            return frozenset()
+        if isinstance(cmd, (FieldStore, Invoke, Skip)):
+            return frozenset({sigma})
+        raise TypeError(f"unsupported primitive command {cmd!r}")
+
+
+class CopyPropBU(BottomUpAnalysis):
+    """Bottom-up copy propagation over substitution relations.
+
+    ``universe`` (program variables) bounds the enumeration needed by
+    the pre-image operator; pass ``program.variables()``.
+    """
+
+    def __init__(self, universe: Iterable[str] = ()) -> None:
+        self.universe = frozenset(universe)
+        self._identity = SubstRelation({}, frozenset())
+
+    # -- core operators --------------------------------------------------------------
+    def identity(self) -> SubstRelation:
+        return self._identity
+
+    def rtransfer(self, cmd: Prim, r: SubstRelation) -> FrozenSet[SubstRelation]:
+        if isinstance(cmd, New):
+            sources = r.source_map()
+            sources[cmd.lhs] = None
+            gens = frozenset(f for f in r.gens if f[0] != cmd.lhs) | {
+                (cmd.lhs, cmd.site)
+            }
+            return frozenset({SubstRelation(sources, gens)})
+        if isinstance(cmd, Assign):
+            if cmd.lhs == cmd.rhs:
+                return frozenset({r})
+            sources = r.source_map()
+            sources[cmd.lhs] = r.source_of(cmd.rhs)
+            gens = frozenset(f for f in r.gens if f[0] != cmd.lhs) | {
+                (cmd.lhs, s) for (w, s) in r.gens if w == cmd.rhs
+            }
+            return frozenset({SubstRelation(sources, gens)})
+        if isinstance(cmd, FieldLoad):
+            sources = r.source_map()
+            sources[cmd.lhs] = None
+            gens = frozenset(f for f in r.gens if f[0] != cmd.lhs)
+            return frozenset({SubstRelation(sources, gens)})
+        if isinstance(cmd, (FieldStore, Invoke, Skip)):
+            return frozenset({r})
+        raise TypeError(f"unsupported primitive command {cmd!r}")
+
+    def rcompose(self, r1: SubstRelation, r2: SubstRelation) -> FrozenSet[SubstRelation]:
+        # source12(z): input var feeding z — through r2 back to r1.
+        sources: Dict[str, Optional[str]] = {}
+        vars_touched = {v for v, _ in r1.sources} | {v for v, _ in r2.sources}
+        for z in vars_touched:
+            mid = r2.source_of(z)
+            sources[z] = None if mid is None else r1.source_of(mid)
+        gens = set(r2.gens)
+        for z in self.universe | {v for v, _ in r2.sources} | {w for w, _ in r1.gens}:
+            mid = r2.source_of(z)
+            if mid is not None:
+                gens.update((z, s) for (w, s) in r1.gens if w == mid)
+        return frozenset({SubstRelation(sources, gens)})
+
+    # -- instantiation -----------------------------------------------------------------
+    def apply(self, r: SubstRelation, sigma: State) -> FrozenSet[State]:
+        if sigma is LAMBDA:
+            return frozenset({LAMBDA}) | frozenset(r.gens)
+        var, site = sigma
+        return frozenset((z, site) for z in r.copied_to(var))
+
+    def in_domain(self, r: SubstRelation, sigma: State) -> bool:
+        return bool(self.apply(r, sigma))
+
+    # -- predicates ------------------------------------------------------------------------
+    def domain_predicate(self, r: SubstRelation) -> FactPredicate:
+        # Λ is always in the domain; a fact (x, s) is iff some output
+        # variable copies from x.
+        roots = frozenset(
+            x
+            for x in self.universe | {src for _, src in r.sources if src}
+            if r.copied_to(x)
+        )
+        return FactPredicate(True, roots, frozenset())
+
+    def pred_satisfied(self, p: FactPredicate, sigma: State) -> bool:
+        return p.satisfied_by(sigma)
+
+    def pred_entails(self, p: FactPredicate, q: FactPredicate) -> bool:
+        return p.entails(q)
+
+    def pre_image(self, r: SubstRelation, p: FactPredicate) -> FrozenSet[FactPredicate]:
+        include_lambda = p.include_lambda or any(
+            p.satisfied_by(g) for g in r.gens
+        )
+        roots = set()
+        facts = set()
+        candidates = self.universe | {src for _, src in r.sources if src} | {
+            f[0] for f in p.facts
+        }
+        for x in candidates:
+            copies = r.copied_to(x)
+            if any(z in p.roots for z in copies):
+                roots.add(x)
+            else:
+                for (z, s) in p.facts:
+                    if z in copies:
+                        facts.add((x, s))
+        if not include_lambda and not roots and not facts:
+            return frozenset()
+        return frozenset(
+            {FactPredicate(include_lambda, frozenset(roots), frozenset(facts))}
+        )
+
+
+def copyprop_pair(program: Program) -> Tuple[CopyPropTD, CopyPropBU]:
+    """A matched (top-down, bottom-up) copy-propagation pair."""
+    return CopyPropTD(), CopyPropBU(program.variables())

@@ -1,0 +1,28 @@
+"""Regenerate every exhibit: ``python -m repro.experiments``."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import ablations, figure5, table1, table2, table3, table4
+
+
+def main() -> None:
+    wanted = set(sys.argv[1:])
+    exhibits = [
+        ("table1", table1),
+        ("table2", table2),
+        ("figure5", figure5),
+        ("table3", table3),
+        ("table4", table4),
+        ("ablations", ablations),
+    ]
+    for name, module in exhibits:
+        if wanted and name not in wanted:
+            continue
+        print(f"\n{'=' * 78}\n{name}\n{'=' * 78}")
+        module.main()
+
+
+if __name__ == "__main__":
+    main()

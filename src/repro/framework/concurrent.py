@@ -1,0 +1,139 @@
+"""Asynchronous SWIFT — the parallelization sketched in Section 7.
+
+    "A possible way to parallelize our hybrid approach is to modify it
+    such that whenever a bottom-up summary is to be computed, it spawns
+    a new thread to do this bottom-up analysis, and itself continues
+    the top-down analysis."
+
+:class:`ConcurrentSwiftEngine` implements exactly that: a trigger
+submits the ``run_bu`` job to a background worker and the top-down
+analysis keeps tabulating; completed summaries are installed at the
+next call-handling step.  The equivalence guarantee is unaffected —
+summaries are only ever *applied* once fully computed, and any call
+handled before they land simply took the top-down path, which is the
+result SWIFT is equivalent to anyway.  What changes is performance
+determinism: how many calls benefit from a summary now depends on
+thread timing, so the engine's summary counts may vary from run to run
+(under CPython's GIL the benefit is architectural rather than
+wall-clock; the design is what the paper's future-work paragraph
+describes).
+
+The ranking data (the incoming-state multisets ``M``) is snapshotted at
+submission time so the worker never races the tabulation loop.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Dict, List, Optional, Tuple
+
+from repro.framework.bottomup import BottomUpEngine
+from repro.framework.metrics import Metrics
+from repro.framework.pruning import FrequencyPruner
+from repro.framework.swift import SwiftEngine
+from repro.ir.cfg import CFGEdge
+
+
+class ConcurrentSwiftEngine(SwiftEngine):
+    """SWIFT with run_bu on a background thread pool."""
+
+    def __init__(self, *args, max_workers: int = 1, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._max_workers = max_workers
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._in_flight: List[Tuple[frozenset, Future]] = []
+        self._pending_procs: set = set()
+
+    # -- lifecycle ---------------------------------------------------------------------
+    def run(self, initial_states):
+        self._executor = ThreadPoolExecutor(
+            max_workers=self._max_workers, thread_name_prefix="swift-bu"
+        )
+        try:
+            return super().run(initial_states)
+        finally:
+            # Whatever is still in flight cannot help anymore (the
+            # workset is empty) — wait for it so resources are released,
+            # then fold the workers' metrics in.
+            for _, future in self._in_flight:
+                future.cancel()
+            self._executor.shutdown(wait=True)
+            for targets, future in self._in_flight:
+                self._harvest(targets, future, install=False)
+            self._in_flight.clear()
+            self._executor = None
+
+    # -- trigger handling ------------------------------------------------------------------
+    def _handle_call(self, edge: CFGEdge, entry_sigma, sigma) -> None:
+        self._drain_completed()
+        super()._handle_call(edge, entry_sigma, sigma)
+
+    def _run_bu(self, root: str) -> None:
+        """Submit the bottom-up job instead of running it inline."""
+        reachable = self.program.reachable_from(root)
+        if self.postpone_unseen and any(
+            not self._entry_counts.get(proc) for proc in reachable
+        ):
+            return
+        if reachable & self._pending_procs:
+            # Another in-flight job owns part of this subgraph.  The
+            # fixpoint must be closed over every procedure without a
+            # finished summary, so wait — the trigger re-fires on later
+            # calls once the other job has landed.
+            return
+        targets = frozenset(proc for proc in reachable if proc not in self.bu)
+        if not targets:
+            return
+        self._pending_procs |= targets
+        # Snapshot the ranking data: the worker must not observe the
+        # tabulation loop mutating the counters.
+        incoming_snapshot: Dict[str, Counter] = {
+            proc: Counter(self._entry_counts.get(proc, Counter()))
+            for proc in reachable
+        }
+        bu_snapshot = dict(self.bu)
+        worker_metrics = Metrics()
+        pruner = FrequencyPruner(
+            self.bu_analysis,
+            self.theta,
+            incoming=incoming_snapshot,
+            metrics=worker_metrics,
+        )
+        engine = BottomUpEngine(
+            self.program,
+            self.bu_analysis,
+            pruner=pruner,
+            budget=self.budget,
+            metrics=worker_metrics,
+        )
+        self.metrics.bu_triggers += 1
+        future = self._executor.submit(engine.analyze, targets, external=bu_snapshot)
+        self._in_flight.append((targets, future))
+
+    # -- installing finished summaries --------------------------------------------------------
+    def _drain_completed(self) -> None:
+        still_running = []
+        for targets, future in self._in_flight:
+            if future.done():
+                self._harvest(targets, future, install=True)
+            else:
+                still_running.append((targets, future))
+        self._in_flight = still_running
+
+    def _harvest(self, targets: frozenset, future: Future, install: bool) -> None:
+        self._pending_procs -= targets
+        if future.cancelled():
+            return
+        exc = future.exception()
+        if exc is not None:
+            raise exc
+        result = future.result()
+        self.metrics.merge(result.metrics)
+        if not install:
+            return
+        if result.timed_out:
+            self._bu_disabled.update(targets)
+            return
+        self.bu.update(result.summaries)
+        self._apply_cache.clear()

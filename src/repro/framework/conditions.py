@@ -1,0 +1,127 @@
+"""Executable checkers for the SWIFT framework conditions (Figure 4).
+
+The conditions relate the two analyses SWIFT combines:
+
+* **C1** — ``trans`` and ``rtrans`` are equally precise: for every
+  command ``c``, relation ``r`` and states ``σ, σ'``::
+
+      (∃r' ∈ rtrans(c)(r): (σ,σ') ∈ γ(r'))
+          ⇔ (∃σ0: (σ,σ0) ∈ γ(r) ∧ σ' ∈ trans(c)(σ0))
+
+* **C2** — ``rcomp`` models relation composition exactly::
+
+      (σ,σ') ∈ γ†(rcomp(r1,r2)) ⇔ ∃σ0: (σ,σ0) ∈ γ(r1) ∧ (σ0,σ') ∈ γ(r2)
+
+* **C3** — ``wp`` computes weakest preconditions.  This library
+  exposes the *existential, domain-restricted* pre-image
+  (:meth:`repro.framework.interfaces.BottomUpAnalysis.pre_image`), which
+  for the deterministic relations used here determines ``wp`` via
+  ``σ ∈ wp(r, Σ) ⇔ σ ∉ dom(r) ∨ σ ∈ pre_image(r, Σ)``; the checker
+  verifies the pre-image against that specification.
+
+Each checker enumerates the given sample universe of states, so it is
+*exhaustive* on small universes (used by unit tests) and *randomized*
+on large ones (used by hypothesis property tests).  Checkers return a
+list of counterexample descriptions (empty = condition holds on the
+samples).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Set, Tuple
+
+from repro.framework.interfaces import BottomUpAnalysis, TopDownAnalysis
+from repro.ir.commands import Prim
+
+
+def _gamma_pairs(bu: BottomUpAnalysis, r, states: Sequence) -> Set[Tuple]:
+    out: Set[Tuple] = set()
+    for sigma in states:
+        for sigma_prime in bu.apply(r, sigma):
+            out.add((sigma, sigma_prime))
+    return out
+
+
+def check_c1(
+    td: TopDownAnalysis,
+    bu: BottomUpAnalysis,
+    commands: Iterable[Prim],
+    relations: Iterable,
+    states: Sequence,
+) -> List[str]:
+    """Check condition C1 on the given samples."""
+    problems: List[str] = []
+    for cmd in commands:
+        for r in relations:
+            lhs: Set[Tuple] = set()
+            for r_prime in bu.rtransfer(cmd, r):
+                lhs |= _gamma_pairs(bu, r_prime, states)
+            rhs: Set[Tuple] = set()
+            for sigma in states:
+                for sigma0 in bu.apply(r, sigma):
+                    for sigma_prime in td.transfer(cmd, sigma0):
+                        rhs.add((sigma, sigma_prime))
+            if lhs != rhs:
+                missing = rhs - lhs
+                extra = lhs - rhs
+                problems.append(
+                    f"C1 violated for cmd={cmd}, r={r}: "
+                    f"missing={sorted(map(str, missing))[:3]}, "
+                    f"extra={sorted(map(str, extra))[:3]}"
+                )
+    return problems
+
+
+def check_c2(
+    bu: BottomUpAnalysis,
+    relation_pairs: Iterable[Tuple],
+    states: Sequence,
+) -> List[str]:
+    """Check condition C2 on the given samples."""
+    problems: List[str] = []
+    for r1, r2 in relation_pairs:
+        lhs: Set[Tuple] = set()
+        for rc in bu.rcompose(r1, r2):
+            lhs |= _gamma_pairs(bu, rc, states)
+        rhs: Set[Tuple] = set()
+        for sigma in states:
+            for sigma0 in bu.apply(r1, sigma):
+                for sigma_prime in bu.apply(r2, sigma0):
+                    rhs.add((sigma, sigma_prime))
+        if lhs != rhs:
+            problems.append(
+                f"C2 violated for r1={r1}, r2={r2}: "
+                f"missing={sorted(map(str, rhs - lhs))[:3]}, "
+                f"extra={sorted(map(str, lhs - rhs))[:3]}"
+            )
+    return problems
+
+
+def check_c3(
+    bu: BottomUpAnalysis,
+    relations: Iterable,
+    predicates: Iterable,
+    states: Sequence,
+) -> List[str]:
+    """Check the pre-image operator (and hence C3) on the given samples.
+
+    For each relation ``r`` and predicate ``p``, the union of
+    ``pre_image(r, p)`` must hold exactly for those sample states whose
+    (unique) image under ``r`` satisfies ``p``.
+    """
+    problems: List[str] = []
+    for r in relations:
+        for p in predicates:
+            pre = bu.pre_image(r, p)
+            for sigma in states:
+                claimed = any(bu.pred_satisfied(q, sigma) for q in pre)
+                actual = any(
+                    bu.pred_satisfied(p, sigma_prime)
+                    for sigma_prime in bu.apply(r, sigma)
+                )
+                if claimed != actual:
+                    problems.append(
+                        f"C3/pre-image violated for r={r}, p={p}, sigma={sigma}: "
+                        f"claimed={claimed}, actual={actual}"
+                    )
+    return problems

@@ -1,0 +1,105 @@
+"""Reference denotational semantics ``[[C]] : 2^S -> 2^S`` (Section 3.1).
+
+This interpreter evaluates structured commands directly::
+
+    [[c]](Sigma)       = trans(c)†(Sigma)
+    [[C1 + C2]](Sigma) = [[C1]](Sigma) ∪ [[C2]](Sigma)
+    [[C1 ; C2]](Sigma) = [[C2]]([[C1]](Sigma))
+    [[C*]](Sigma)      = lfix (λΣ'. Sigma ∪ [[C]](Σ'))
+
+extended to procedure calls by memoized recursive descent with a
+fixpoint loop for recursion (call strings collapse to the incoming
+state set, which is exact for this semantics because ``[[.]]`` is a
+join-morphism in ``Sigma``).
+
+The interpreter is the *oracle* for the test suite: the tabulating
+top-down engine, the bottom-up engine (via the coincidence theorem) and
+SWIFT must all agree with it.  It is deliberately simple rather than
+fast.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Optional, Tuple
+
+from repro.framework.interfaces import TopDownAnalysis
+from repro.framework.metrics import Budget, Metrics
+from repro.ir.commands import Call, Choice, Command, Prim, Seq, Star
+from repro.ir.program import Program
+
+
+class DenotationalInterpreter:
+    """Evaluate the abstract semantics of commands and whole programs."""
+
+    def __init__(
+        self,
+        program: Program,
+        analysis: TopDownAnalysis,
+        budget: Optional[Budget] = None,
+    ) -> None:
+        self.program = program
+        self.analysis = analysis
+        self.metrics = Metrics()
+        self.budget = budget
+        # Procedure summary cache: (proc, incoming frozenset) -> outgoing frozenset.
+        self._cache: Dict[Tuple[str, FrozenSet], FrozenSet] = {}
+        # In-progress entries for recursion: current approximation.
+        self._in_progress: Dict[Tuple[str, FrozenSet], FrozenSet] = {}
+
+    # -- public API -------------------------------------------------------------------
+    def run(self, initial_states: Iterable) -> FrozenSet:
+        """``[[Gamma(main)]](Sigma_I)``."""
+        return self.eval_proc(self.program.main, frozenset(initial_states))
+
+    def eval_proc(self, proc: str, states: FrozenSet) -> FrozenSet:
+        """Evaluate a procedure body on an incoming state set.
+
+        Recursive procedures are handled by iterating the body from the
+        current approximation until the result stabilizes.
+        """
+        key = (proc, states)
+        if key in self._cache:
+            return self._cache[key]
+        if key in self._in_progress:
+            return self._in_progress[key]
+        self._in_progress[key] = frozenset()
+        body = self.program[proc]
+        while True:
+            result = self.eval(body, states)
+            if result == self._in_progress[key]:
+                break
+            self._in_progress[key] = result
+        del self._in_progress[key]
+        # Results computed while an enclosing fixpoint is still unstable
+        # may be based on stale approximations; only memoize at top level.
+        if not self._in_progress:
+            self._cache[key] = result
+        return result
+
+    def eval(self, cmd: Command, states: FrozenSet) -> FrozenSet:
+        """``[[cmd]](states)``."""
+        if self.budget is not None:
+            self.budget.check(self.metrics)
+        if isinstance(cmd, Prim):
+            self.metrics.transfers += len(states)
+            return self.analysis.transfer_set(cmd, states)
+        if isinstance(cmd, Seq):
+            for part in cmd.parts:
+                states = self.eval(part, states)
+            return states
+        if isinstance(cmd, Choice):
+            out = set()
+            for alt in cmd.alternatives:
+                out.update(self.eval(alt, states))
+            return frozenset(out)
+        if isinstance(cmd, Star):
+            # lfix (λΣ'. states ∪ [[body]](Σ'))
+            accumulated = frozenset(states)
+            while True:
+                new = accumulated | self.eval(cmd.body, accumulated)
+                if new == accumulated:
+                    return accumulated
+                accumulated = new
+        if isinstance(cmd, Call):
+            return self.eval_proc(cmd.proc, states)
+        raise TypeError(f"unknown command node {cmd!r}")

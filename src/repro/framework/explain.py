@@ -1,0 +1,111 @@
+"""Diagnostics: explain what SWIFT did and why.
+
+Production analysis frameworks live or die by their debuggability.
+:class:`SummaryExplorer` answers the questions one actually asks when
+tuning k and theta on a new analysis:
+
+* which procedures accumulated the most incoming abstract states?
+* which have bottom-up summaries, how many cases were kept, and what
+  fraction of their incoming states the summaries cover?
+* for one procedure: the retained cases, the ignored-set size, and a
+  sample of incoming states that fell back to the top-down analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from repro.framework.swift import SwiftResult
+
+
+class SummaryExplorer:
+    """Read-only diagnostics over a :class:`SwiftResult`."""
+
+    def __init__(self, result: SwiftResult) -> None:
+        self.result = result
+
+    # -- program-wide views -----------------------------------------------------------
+    def hottest_procedures(self, limit: int = 10) -> List[Tuple[str, int]]:
+        """Procedures by number of distinct incoming abstract states."""
+        counts = [
+            (proc, len(counter))
+            for proc, counter in self.result.entry_counts.items()
+        ]
+        counts.sort(key=lambda pair: (-pair[1], pair[0]))
+        return counts[:limit]
+
+    def summarized_procedures(self) -> List[str]:
+        return sorted(self.result.bu)
+
+    def coverage(self, proc: str) -> Optional[float]:
+        """Fraction of ``proc``'s observed incoming states its bottom-up
+        summary covers (``None`` when it has no summary)."""
+        summary = self.result.bu.get(proc)
+        if summary is None:
+            return None
+        counter = self.result.entry_counts.get(proc)
+        if not counter:
+            return 1.0
+        total = sum(counter.values())
+        covered = sum(
+            n for sigma, n in counter.items() if sigma not in summary.ignored
+        )
+        return covered / total
+
+    # -- per-procedure drill-down -----------------------------------------------------------
+    def fallback_states(self, proc: str, limit: int = 5) -> List:
+        """Incoming states of ``proc`` that its summary ignores (the
+        ones SWIFT re-analyzes top-down)."""
+        summary = self.result.bu.get(proc)
+        counter = self.result.entry_counts.get(proc)
+        if summary is None or not counter:
+            return []
+        ignored = [
+            sigma for sigma in counter if sigma in summary.ignored
+        ]
+        ignored.sort(key=str)
+        return ignored[:limit]
+
+    def explain(self, proc: str) -> str:
+        """A human-readable account of SWIFT's treatment of ``proc``."""
+        lines = [f"procedure {proc}:"]
+        counter = self.result.entry_counts.get(proc)
+        n_contexts = len(counter) if counter else 0
+        occurrences = sum(counter.values()) if counter else 0
+        lines.append(
+            f"  incoming abstract states: {n_contexts} distinct"
+            f" ({occurrences} occurrences)"
+        )
+        summary = self.result.bu.get(proc)
+        if summary is None:
+            lines.append("  no bottom-up summary (trigger threshold never exceeded)")
+            return "\n".join(lines)
+        lines.append(
+            f"  bottom-up summary: {summary.case_count()} case(s),"
+            f" {len(summary.ignored)} ignored-set predicate(s)"
+        )
+        cov = self.coverage(proc)
+        lines.append(f"  summary covers {cov:.0%} of observed incoming states")
+        for relation in sorted(summary.relations, key=str):
+            lines.append(f"    case: {relation}")
+        fallbacks = self.fallback_states(proc)
+        if fallbacks:
+            lines.append("  states falling back to the top-down analysis:")
+            for sigma in fallbacks:
+                lines.append(f"    {sigma}")
+        return "\n".join(lines)
+
+    def report(self, limit: int = 10) -> str:
+        """Program-wide summary: the hottest procedures and how well
+        their summaries absorb the traffic."""
+        lines = ["SWIFT summary report", "====================="]
+        lines.append(
+            f"bottom-up summaries: {len(self.result.bu)} procedures,"
+            f" {self.result.total_bu_relations()} cases total"
+        )
+        lines.append(f"hottest procedures (by distinct incoming states):")
+        for proc, count in self.hottest_procedures(limit):
+            cov = self.coverage(proc)
+            cov_text = "no summary" if cov is None else f"{cov:.0%} covered"
+            lines.append(f"  {proc}: {count} contexts ({cov_text})")
+        return "\n".join(lines)

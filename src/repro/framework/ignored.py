@@ -1,0 +1,139 @@
+"""Symbolic representation of the ignored-state sets ``Sigma``.
+
+The pruned bottom-up semantics (Section 3.4) operates on pairs
+``(R, Sigma)`` where ``Sigma`` is the set of incoming abstract states
+the analysis has decided to ignore.  ``Sigma`` is built from the
+domains of pruned abstract relations, so it is naturally a *union of
+domain predicates*; representing it extensionally would be infeasible
+for realistic state spaces.
+
+:class:`IgnoredStates` stores ``Sigma`` as a frozenset of predicates
+(normalized by syntactic entailment) and supports the three operations
+the engines need:
+
+* membership of an abstract state (the ``sigma not in Sigma'`` check of
+  Algorithm 1, line 12);
+* union (the join of the pruned domain);
+* conservative coverage of a predicate (used by ``excl`` to drop
+  relations whose entire domain is ignored).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, FrozenSet, Generic, Iterable, Iterator, TypeVar
+
+S = TypeVar("S")
+P = TypeVar("P")
+
+
+class IgnoredStates(Generic[S, P]):
+    """An upward-growing union of state predicates.
+
+    Parameters
+    ----------
+    satisfied:
+        ``satisfied(p, sigma)`` — does ``sigma`` satisfy predicate ``p``?
+    entails:
+        ``entails(p, q)`` — does ``p ==> q`` hold?  May be conservative
+        (answering ``False``); that only costs normalization, never
+        soundness.
+    preds:
+        Initial predicates.
+    """
+
+    __slots__ = ("_satisfied", "_entails", "_preds")
+
+    def __init__(
+        self,
+        satisfied: Callable[[P, S], bool],
+        entails: Callable[[P, P], bool],
+        preds: Iterable[P] = (),
+    ) -> None:
+        self._satisfied = satisfied
+        self._entails = entails
+        self._preds: FrozenSet[P] = self._normalize(preds)
+
+    def _normalize(self, preds: Iterable[P]) -> FrozenSet[P]:
+        """Drop predicates subsumed by a weaker predicate in the set."""
+        kept: list = []
+        for p in dict.fromkeys(preds):
+            self._insert(kept, p)
+        return frozenset(kept)
+
+    def _insert(self, kept: list, p: P) -> None:
+        """Incremental normalization step: insert ``p`` into a list of
+        mutually non-redundant predicates."""
+        survivors = []
+        for q in kept:
+            if self._entails(p, q):
+                # p is at least as strong as some kept q: redundant.
+                return
+            if not self._entails(q, p):
+                survivors.append(q)
+        if len(survivors) != len(kept):
+            kept[:] = survivors
+        kept.append(p)
+
+    # -- queries --------------------------------------------------------------------
+    def __contains__(self, sigma: S) -> bool:
+        return any(self._satisfied(p, sigma) for p in self._preds)
+
+    def covers(self, pred: P) -> bool:
+        """Conservatively: does ``pred ==> Sigma`` hold?
+
+        Checks entailment against each stored predicate individually,
+        so it can miss coverage by a genuine union — which only means a
+        redundant relation survives ``excl``, never an unsound drop.
+        """
+        return any(self._entails(pred, q) for q in self._preds)
+
+    @property
+    def predicates(self) -> FrozenSet[P]:
+        return self._preds
+
+    def is_empty(self) -> bool:
+        return not self._preds
+
+    def __iter__(self) -> Iterator[P]:
+        return iter(self._preds)
+
+    def __len__(self) -> int:
+        return len(self._preds)
+
+    # -- construction -----------------------------------------------------------------
+    def union(self, preds: Iterable[P]) -> "IgnoredStates[S, P]":
+        new_preds = [p for p in preds if p not in self._preds]
+        if not new_preds:
+            return self
+        # The existing set is already normalized: insert incrementally.
+        kept = list(self._preds)
+        for p in dict.fromkeys(new_preds):
+            self._insert(kept, p)
+        out = IgnoredStates(self._satisfied, self._entails, ())
+        out._preds = frozenset(kept)
+        return out
+
+    def union_sets(self, *others: "IgnoredStates[S, P]") -> "IgnoredStates[S, P]":
+        preds: list = []
+        for other in others:
+            preds.extend(other._preds)
+        return self.union(preds)
+
+    def spawn(self, preds: Iterable[P] = ()) -> "IgnoredStates[S, P]":
+        """A new (empty unless seeded) set sharing our callbacks."""
+        return IgnoredStates(self._satisfied, self._entails, preds)
+
+    # -- equality (for fixpoint detection) ---------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IgnoredStates):
+            return NotImplemented
+        return self._preds == other._preds
+
+    def __hash__(self) -> int:
+        return hash(self._preds)
+
+    def __repr__(self) -> str:
+        if not self._preds:
+            return "Sigma{}"
+        inner = ", ".join(sorted(str(p) for p in self._preds))
+        return f"Sigma{{{inner}}}"

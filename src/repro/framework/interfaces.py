@@ -1,0 +1,121 @@
+"""Analysis signatures accepted by the SWIFT framework.
+
+A *top-down analysis* ``A = (S, trans)`` (Section 3.1) supplies a
+finite set ``S`` of abstract states together with transfer functions
+``trans(c) : S -> 2^S`` for primitive commands.  In this library an
+abstract state may be any hashable value; the class only has to
+implement :meth:`TopDownAnalysis.transfer`.
+
+A *bottom-up analysis* ``B = (R, id#, gamma, rtrans, rcomp)``
+(Section 3.2) supplies a finite set ``R`` of *abstract relations* over
+``S`` — again arbitrary hashable values — plus:
+
+* ``identity`` — the relation ``id#`` with ``gamma(id#) = {(s, s)}``;
+* ``rtransfer`` — relational transfer functions
+  ``rtrans(c) : R -> 2^R``;
+* ``rcompose`` — the composition operator ``rcomp : R x R -> 2^R``;
+* ``apply``/``in_domain`` — evaluation of ``gamma(r)`` at a single
+  state, which is how summaries are *instantiated*;
+* predicate machinery (``domain_predicate``, ``pred_satisfied``,
+  ``pred_entails``, ``pre_image``) used to represent the ignored-state
+  sets ``Sigma`` of the pruned semantics (Section 3.4) symbolically.
+
+The ``wp`` operator required by condition C3 appears here as
+:meth:`BottomUpAnalysis.pre_image`: because every abstract relation in
+the analyses of this library is a partial *function* on abstract
+states, the existential pre-image (needed to propagate ``Sigma``
+backwards through calls, Section 3.5) coincides with
+``dom(r) /\\ wp(r, .)``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import FrozenSet, Generic, Hashable, Iterable, Iterator, Tuple, TypeVar
+
+from repro.ir.commands import Prim
+
+S = TypeVar("S", bound=Hashable)  # abstract states
+R = TypeVar("R", bound=Hashable)  # abstract relations
+P = TypeVar("P", bound=Hashable)  # predicates over abstract states
+
+
+class TopDownAnalysis(ABC, Generic[S]):
+    """The top-down analysis signature ``A = (S, trans)``."""
+
+    @abstractmethod
+    def transfer(self, cmd: Prim, sigma: S) -> FrozenSet[S]:
+        """``trans(c)(sigma)`` — the post-states of ``cmd`` from ``sigma``."""
+
+    def transfer_set(self, cmd: Prim, states: Iterable[S]) -> FrozenSet[S]:
+        """The lifted transfer ``trans(c)† : 2^S -> 2^S``."""
+        out = set()
+        for sigma in states:
+            out.update(self.transfer(cmd, sigma))
+        return frozenset(out)
+
+
+class BottomUpAnalysis(ABC, Generic[S, R, P]):
+    """The bottom-up analysis signature ``B = (R, id#, gamma, rtrans, rcomp)``."""
+
+    # -- core operators (Section 3.2) ---------------------------------------------
+    @abstractmethod
+    def identity(self) -> R:
+        """The identity abstract relation ``id#``."""
+
+    @abstractmethod
+    def rtransfer(self, cmd: Prim, r: R) -> FrozenSet[R]:
+        """``rtrans(c)(r)`` — extend the past state change ``r`` by ``cmd``."""
+
+    @abstractmethod
+    def rcompose(self, r1: R, r2: R) -> FrozenSet[R]:
+        """``rcomp(r1, r2)`` — compose two abstract relations."""
+
+    # -- summary instantiation ------------------------------------------------------
+    @abstractmethod
+    def apply(self, r: R, sigma: S) -> FrozenSet[S]:
+        """``{sigma' | (sigma, sigma') in gamma(r)}``.
+
+        Empty when ``sigma`` is outside ``dom(r)``.  This is how the
+        top-down side of SWIFT instantiates a bottom-up summary.
+        """
+
+    def in_domain(self, r: R, sigma: S) -> bool:
+        """``sigma in dom(r)``.  Default: probe :meth:`apply`."""
+        return bool(self.apply(r, sigma))
+
+    # -- predicate machinery for Sigma (Sections 3.4-3.5) ---------------------------
+    @abstractmethod
+    def domain_predicate(self, r: R) -> P:
+        """A predicate denoting ``dom(r)`` exactly."""
+
+    @abstractmethod
+    def pred_satisfied(self, p: P, sigma: S) -> bool:
+        """``sigma |= p``."""
+
+    def pred_entails(self, p: P, q: P) -> bool:
+        """``p ==> q``; may conservatively answer ``False``."""
+        return p == q
+
+    @abstractmethod
+    def pre_image(self, r: R, p: P) -> FrozenSet[P]:
+        """Predicates whose union denotes
+        ``{sigma | exists sigma': (sigma, sigma') in gamma(r) and sigma' |= p}``.
+
+        For the (deterministic) relations used in this library this is
+        ``dom(r) /\\ wp(r, p)`` — the paper's ``wp`` operator of
+        condition C3, restricted to the domain.  An empty result means
+        the pre-image is empty.
+        """
+
+    # -- optional: enumeration for testing on small universes -----------------------
+    def gamma(self, r: R, states: Iterable[S]) -> Iterator[Tuple[S, S]]:
+        """Enumerate ``gamma(r)`` restricted to the given input states.
+
+        Only used by tests and the condition checkers
+        (:mod:`repro.framework.conditions`); the default implementation
+        probes :meth:`apply`.
+        """
+        for sigma in states:
+            for sigma_prime in self.apply(r, sigma):
+                yield (sigma, sigma_prime)

@@ -1,0 +1,100 @@
+"""Work counters and budgets.
+
+The paper's evaluation reports wall-clock times on HotSpot and declares
+a run failed when it exceeds 24 hours or 16 GB (Table 2, "timeout").
+This reproduction runs on CPython over much smaller programs, so in
+addition to wall-clock timing the engines maintain deterministic *work
+counters* (transfer-function applications, relations created, summary
+instantiations).  A :class:`Budget` bounds those counters so that the
+paper's timeout rows reproduce deterministically and quickly.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class BudgetExceededError(RuntimeError):
+    """Raised by an engine when its work budget is exhausted.
+
+    The experiment harness treats this as the paper's "timeout" outcome.
+    """
+
+    def __init__(self, what: str, spent: int, limit: int) -> None:
+        super().__init__(f"budget exceeded: {what} = {spent} > {limit}")
+        self.what = what
+        self.spent = spent
+        self.limit = limit
+
+
+@dataclass
+class Metrics:
+    """Deterministic work counters shared by all engines."""
+
+    transfers: int = 0  # trans(c) applications (top-down work)
+    rtransfers: int = 0  # rtrans(c) applications (bottom-up work)
+    compositions: int = 0  # rcomp applications
+    relations_created: int = 0  # abstract relations materialized
+    propagations: int = 0  # path edges propagated by tabulation
+    summary_instantiations: int = 0  # bottom-up summaries applied at calls
+    td_summary_reuses: int = 0  # tabulation cache hits at calls
+    bu_triggers: int = 0  # run_bu invocations (SWIFT only)
+    pruned_relations: int = 0  # relations dropped by prune
+
+    def merge(self, other: "Metrics") -> None:
+        self.transfers += other.transfers
+        self.rtransfers += other.rtransfers
+        self.compositions += other.compositions
+        self.relations_created += other.relations_created
+        self.propagations += other.propagations
+        self.summary_instantiations += other.summary_instantiations
+        self.td_summary_reuses += other.td_summary_reuses
+        self.bu_triggers += other.bu_triggers
+        self.pruned_relations += other.pruned_relations
+
+    @property
+    def total_work(self) -> int:
+        """A single scalar proxy for analysis cost."""
+        return (
+            self.transfers
+            + self.rtransfers
+            + self.compositions
+            + self.propagations
+            + self.summary_instantiations
+        )
+
+
+@dataclass
+class Budget:
+    """Limits on the work an engine may perform.
+
+    ``None`` disables a limit.  ``check`` raises
+    :class:`BudgetExceededError` once any limit is crossed.
+    """
+
+    max_work: Optional[int] = None
+    max_relations: Optional[int] = None
+    max_seconds: Optional[float] = None
+    _started_at: float = field(default_factory=time.monotonic, repr=False)
+
+    def restart_clock(self) -> None:
+        self._started_at = time.monotonic()
+
+    def check(self, metrics: Metrics) -> None:
+        if self.max_work is not None and metrics.total_work > self.max_work:
+            raise BudgetExceededError("total_work", metrics.total_work, self.max_work)
+        if (
+            self.max_relations is not None
+            and metrics.relations_created > self.max_relations
+        ):
+            raise BudgetExceededError(
+                "relations_created", metrics.relations_created, self.max_relations
+            )
+        if self.max_seconds is not None:
+            elapsed = time.monotonic() - self._started_at
+            if elapsed > self.max_seconds:
+                raise BudgetExceededError(
+                    "seconds", int(elapsed), int(self.max_seconds)
+                )

@@ -1,0 +1,137 @@
+"""The pruning operator of Section 3.4.
+
+A pruning operator is a function ``f(R, Sigma) = (R', Sigma')`` with
+
+* ``Sigma ⊆ Sigma'`` and
+* ``R' = excl(R, Sigma')`` where
+  ``excl(R, Sigma) = {r in R | dom(r) ⊄ Sigma}``.
+
+SWIFT constructs its operator (:class:`FrequencyPruner`) by ranking
+abstract relations against the multiset ``M`` of incoming abstract
+states that the *top-down* analysis has observed for the procedure, and
+keeping only the top ``theta`` relations::
+
+    rank(r)   = Σ_{σ in dom(r)} (# of copies of σ in M)
+    prune(R, Sigma) = let R' = best_theta(R) in
+                      let Sigma' = Sigma ∪ ⋃{dom(r) | r in R \\ R'} in
+                      (excl(R', Sigma'), Sigma')
+
+:class:`NoPruner` keeps every case — running the bottom-up engine with
+it yields the conventional ``BU`` baseline of the evaluation.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable, Dict, FrozenSet, Generic, Mapping, Optional, Tuple, TypeVar
+
+from repro.framework.ignored import IgnoredStates
+from repro.framework.interfaces import BottomUpAnalysis
+from repro.framework.metrics import Metrics
+
+R = TypeVar("R")
+
+
+class PruneOperator:
+    """Base class: a per-procedure pruning operator (Section 3.5 allows
+    the operator to be parametrized by the procedure name)."""
+
+    def prune(
+        self, proc: str, relations: FrozenSet, ignored: IgnoredStates
+    ) -> Tuple[FrozenSet, IgnoredStates]:
+        raise NotImplementedError
+
+
+def excl(
+    analysis: BottomUpAnalysis, relations: FrozenSet, ignored: IgnoredStates
+) -> FrozenSet:
+    """``excl(R, Sigma) = {r | dom(r) ⊄ Sigma}``.
+
+    Coverage is checked conservatively (see
+    :meth:`IgnoredStates.covers`), so at worst a redundant relation is
+    kept — never an applicable one dropped.
+    """
+    if ignored.is_empty():
+        return relations
+    return frozenset(
+        r for r in relations if not ignored.covers(analysis.domain_predicate(r))
+    )
+
+
+def clean(
+    analysis: BottomUpAnalysis, relations: FrozenSet, ignored: IgnoredStates
+) -> Tuple[FrozenSet, IgnoredStates]:
+    """``clean(R, Sigma) = (excl(R, Sigma), Sigma)``."""
+    return excl(analysis, relations, ignored), ignored
+
+
+class NoPruner(PruneOperator):
+    """Keep every case (``theta = ∞``): the conventional bottom-up analysis."""
+
+    def __init__(self, analysis: BottomUpAnalysis) -> None:
+        self.analysis = analysis
+
+    def prune(
+        self, proc: str, relations: FrozenSet, ignored: IgnoredStates
+    ) -> Tuple[FrozenSet, IgnoredStates]:
+        return clean(self.analysis, relations, ignored)
+
+
+class FrequencyPruner(PruneOperator):
+    """The paper's frequency-ranked pruner.
+
+    Parameters
+    ----------
+    analysis:
+        The bottom-up analysis (for domain predicates and membership).
+    theta:
+        Maximum number of cases to keep per pruning step.
+    incoming:
+        ``proc -> Counter of incoming abstract states`` — the multiset
+        ``M`` collected by the top-down analysis.  May be updated in
+        place by the caller between runs.
+    metrics:
+        Optional counters; ``pruned_relations`` is incremented per drop.
+    """
+
+    def __init__(
+        self,
+        analysis: BottomUpAnalysis,
+        theta: int,
+        incoming: Optional[Mapping[str, Counter]] = None,
+        metrics: Optional[Metrics] = None,
+    ) -> None:
+        if theta < 1:
+            raise ValueError("theta must be at least 1")
+        self.analysis = analysis
+        self.theta = theta
+        self.incoming: Mapping[str, Counter] = incoming if incoming is not None else {}
+        self.metrics = metrics
+
+    def rank(self, proc: str, r) -> int:
+        """``Σ_{σ in dom(r)} count_M(σ)`` for this procedure's ``M``."""
+        counts = self.incoming.get(proc)
+        if not counts:
+            return 0
+        return sum(
+            n for sigma, n in counts.items() if self.analysis.in_domain(r, sigma)
+        )
+
+    def prune(
+        self, proc: str, relations: FrozenSet, ignored: IgnoredStates
+    ) -> Tuple[FrozenSet, IgnoredStates]:
+        if len(relations) <= self.theta:
+            return clean(self.analysis, relations, ignored)
+        # best_theta: rank each relation against M; deterministic
+        # tie-break on the relation's string form.
+        ranked = sorted(
+            relations, key=lambda r: (-self.rank(proc, r), str(r))
+        )
+        kept = frozenset(ranked[: self.theta])
+        dropped = [r for r in ranked[self.theta :]]
+        if self.metrics is not None:
+            self.metrics.pruned_relations += len(dropped)
+        widened = ignored.union(
+            self.analysis.domain_predicate(r) for r in dropped
+        )
+        return excl(self.analysis, kept, widened), widened

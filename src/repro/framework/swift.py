@@ -1,0 +1,207 @@
+"""The SWIFT hybrid engine — Algorithm 1 of the paper.
+
+SWIFT runs the tabulation-based top-down analysis, but at every call
+edge it first consults the table ``bu`` of bottom-up summaries:
+
+* if the callee ``g`` has a bottom-up summary ``(R0, Σ0)`` and the
+  current abstract state ``σ`` is not in the ignored set ``Σ0``
+  (line 12), the summary is *instantiated* —
+  ``Σ_out = {σ' | (σ, σ') ∈ γ†(R0)}`` — and the callee body is never
+  re-analyzed (lines 13–14);
+* otherwise the call is handled by ordinary tabulation (line 16), and
+  afterwards SWIFT checks the trigger (line 17): once the number of
+  distinct incoming abstract states of ``g`` recorded by the top-down
+  analysis exceeds the threshold ``k`` and ``g`` has no bottom-up
+  summary yet, it runs the pruned bottom-up analysis over every
+  procedure reachable from ``g`` (``run_bu``, line 18), ranking cases
+  against the incoming-state multisets observed so far and keeping at
+  most ``theta`` cases per pruning step.
+
+The implementation also reproduces the two heuristics discussed at the
+end of Section 4: ``run_bu`` is postponed while some reachable
+procedure has no recorded incoming abstract state (``postpone_unseen``),
+and the ranking data is the whole-program incoming multiset of each
+procedure (not the per-context one).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple
+
+from repro.framework.bottomup import BottomUpEngine, ProcedureSummary
+from repro.framework.interfaces import BottomUpAnalysis, TopDownAnalysis
+from repro.framework.metrics import Budget, Metrics
+from repro.framework.pruning import FrequencyPruner
+from repro.framework.topdown import TopDownEngine, TopDownResult
+from repro.ir.cfg import CFGEdge, ControlFlowGraphs
+from repro.ir.program import Program
+
+#: Sentinel distinguishing "not cached" from a cached None (fallback).
+_CACHE_MISS = object()
+
+
+class SwiftResult(TopDownResult):
+    """Result of a SWIFT run: the top-down tables plus the ``bu`` map."""
+
+    def __init__(
+        self,
+        base: TopDownResult,
+        bu: Dict[str, ProcedureSummary],
+    ) -> None:
+        super().__init__(
+            base.program,
+            base.cfgs,
+            base.td,
+            base.entry_counts,
+            base.metrics,
+            timed_out=base.timed_out,
+        )
+        self.bu = bu
+
+    def total_bu_relations(self) -> int:
+        """Total number of bottom-up summaries (Table 2 statistic)."""
+        return sum(s.case_count() for s in self.bu.values())
+
+    def bu_procs(self) -> FrozenSet[str]:
+        return frozenset(self.bu)
+
+
+class SwiftEngine(TopDownEngine):
+    """Algorithm 1: hybrid top-down / bottom-up analysis.
+
+    Parameters
+    ----------
+    program, td_analysis:
+        The program and the top-down analysis ``A`` it is analyzed with.
+    bu_analysis:
+        The bottom-up analysis ``B``; must satisfy conditions C1–C3
+        w.r.t. ``td_analysis`` (see :mod:`repro.framework.conditions`).
+    k:
+        Trigger threshold: the bottom-up analysis of ``g`` starts once
+        the top-down analysis has seen more than ``k`` distinct incoming
+        abstract states for ``g``.
+    theta:
+        Maximum number of cases the pruned bottom-up analysis keeps.
+    budget:
+        A single budget bounding the combined top-down + bottom-up work.
+    postpone_unseen:
+        Postpone ``run_bu`` while some procedure reachable from the
+        trigger has no recorded incoming state (Section 4).
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        td_analysis: TopDownAnalysis,
+        bu_analysis: BottomUpAnalysis,
+        k: int = 5,
+        theta: int = 1,
+        budget: Optional[Budget] = None,
+        postpone_unseen: bool = True,
+        refresh_existing: bool = False,
+        pruner_factory=None,
+        cfgs: Optional[ControlFlowGraphs] = None,
+        order: str = "lifo",
+    ) -> None:
+        super().__init__(program, td_analysis, budget=budget, cfgs=cfgs, order=order)
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        self.bu_analysis = bu_analysis
+        self.k = k
+        self.theta = theta
+        self.postpone_unseen = postpone_unseen
+        # Algorithm 1's run_bu recomputes every procedure reachable from
+        # the trigger; by default we keep summaries computed by earlier
+        # triggers (they stay sound — only their ranking data was
+        # older).  Set refresh_existing=True for the literal behaviour.
+        self.refresh_existing = refresh_existing
+        # Hook for ablations: how run_bu builds its pruning operator.
+        # Signature: (analysis, theta, incoming, metrics) -> PruneOperator.
+        self.pruner_factory = pruner_factory or FrequencyPruner
+        self.bu: Dict[str, ProcedureSummary] = {}
+        self._bu_disabled: Set[str] = set()
+        # Instantiation cache: (callee, sigma) -> outputs, or None when
+        # sigma is in the summary's ignored set (top-down fallback).
+        # Entries are only valid for the summary they were computed
+        # against, so the cache is cleared whenever bu is updated.
+        self._apply_cache: Dict[Tuple[str, object], Optional[FrozenSet]] = {}
+
+    # -- Algorithm 1, lines 9-20 -----------------------------------------------------
+    def _handle_call(self, edge: CFGEdge, entry_sigma, sigma) -> None:
+        callee = edge.label.proc
+        summary = self.bu.get(callee)
+        if summary is not None:
+            key = (callee, sigma)
+            outputs = self._apply_cache.get(key, _CACHE_MISS)
+            if outputs is _CACHE_MISS:
+                if sigma in summary.ignored:
+                    outputs = None
+                else:
+                    # Lines 12-14: instantiate the bottom-up summary.
+                    collected = set()
+                    for r in summary.relations:
+                        self.metrics.summary_instantiations += 1
+                        collected.update(self.bu_analysis.apply(r, sigma))
+                    outputs = frozenset(collected)
+                self._apply_cache[key] = outputs
+            if outputs is not None:
+                for sigma_out in outputs:
+                    self._propagate(edge.target, entry_sigma, sigma_out)
+                return
+        # Line 16: fall back to the top-down analysis.
+        self._tabulate_call(edge, entry_sigma, sigma)
+        # Lines 17-19: maybe trigger the bottom-up analysis.
+        if callee in self.bu or callee in self._bu_disabled:
+            return
+        incoming = self._entry_counts.get(callee)
+        if incoming is not None and len(incoming) > self.k:
+            self._run_bu(callee)
+
+    # -- run_bu ------------------------------------------------------------------------
+    def _run_bu(self, root: str) -> None:
+        """``bu := run_bu(Γ, θ, f, bu)`` over procedures reachable from ``root``."""
+        reachable = self.program.reachable_from(root)
+        if self.postpone_unseen and any(
+            not self._entry_counts.get(proc) for proc in reachable
+        ):
+            # Section 4, first difficult scenario: without top-down data
+            # for some reachable procedure the pruner cannot identify its
+            # common cases — postpone until every procedure has been
+            # entered at least once.
+            return
+        targets = (
+            reachable
+            if self.refresh_existing
+            else frozenset(p for p in reachable if p not in self.bu)
+        )
+        if not targets:
+            return
+        pruner = self.pruner_factory(
+            self.bu_analysis,
+            self.theta,
+            incoming=self._entry_counts,
+            metrics=self.metrics,
+        )
+        engine = BottomUpEngine(
+            self.program,
+            self.bu_analysis,
+            pruner=pruner,
+            budget=self.budget,
+            metrics=self.metrics,
+        )
+        self.metrics.bu_triggers += 1
+        result = engine.analyze(targets, external=self.bu)
+        if result.timed_out:
+            # Budget ran out mid-run: the partial summaries are not at
+            # fixpoint and must not be applied.  Disable the trigger for
+            # these procedures and re-raise on the next budget check.
+            self._bu_disabled.update(reachable)
+            return
+        self.bu.update(result.summaries)
+        self._apply_cache.clear()
+
+    # -- driver -----------------------------------------------------------------------
+    def run(self, initial_states: Iterable) -> SwiftResult:
+        base = super().run(initial_states)
+        return SwiftResult(base, dict(self.bu))

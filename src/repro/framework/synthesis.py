@@ -1,0 +1,40 @@
+"""Synthesizing one analysis from the other (Section 5).
+
+From a bottom-up analysis, the paper gives a general recipe for a
+top-down analysis satisfying condition C1 automatically::
+
+    trans(c)(σ) = {σ' | (σ, σ') ∈ γ(rtrans(c)(id#))}
+
+:class:`SynthesizedTopDown` implements exactly that (caching
+``rtrans(c)(id#)`` per command).  The opposite direction has no general
+recipe; for the *kill/gen* class of analyses it exists and is
+implemented in :mod:`repro.killgen.synthesis`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Set
+
+from repro.framework.interfaces import BottomUpAnalysis, TopDownAnalysis
+from repro.ir.commands import Prim
+
+
+class SynthesizedTopDown(TopDownAnalysis):
+    """The top-down analysis induced by a bottom-up analysis."""
+
+    def __init__(self, bu: BottomUpAnalysis) -> None:
+        self.bu = bu
+        self._per_command: Dict[Prim, FrozenSet] = {}
+
+    def _relations_for(self, cmd: Prim) -> FrozenSet:
+        if cmd not in self._per_command:
+            self._per_command[cmd] = frozenset(
+                self.bu.rtransfer(cmd, self.bu.identity())
+            )
+        return self._per_command[cmd]
+
+    def transfer(self, cmd: Prim, sigma) -> FrozenSet:
+        out: Set = set()
+        for r in self._relations_for(cmd):
+            out.update(self.bu.apply(r, sigma))
+        return frozenset(out)

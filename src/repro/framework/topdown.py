@@ -1,0 +1,206 @@
+"""Tabulation-based top-down interprocedural engine (the ``TD`` baseline).
+
+This is the standard tabulation computation of Reps, Horwitz and Sagiv
+[14] that Algorithm 1 calls ``run_td``: it maintains
+
+* ``td : PC -> 2^(S x S)`` — *path edges*.  A pair ``(sigma, sigma')``
+  at program point ``pc`` means: if the procedure containing ``pc`` is
+  entered with abstract state ``sigma``, then ``sigma'`` arises at
+  ``pc``;
+* a workset of newly discovered path edges;
+* call records linking pending callee contexts back to their return
+  sites, so exit path edges of a callee flow to every caller awaiting
+  them.
+
+A *top-down summary* of a procedure, in the terminology of the
+evaluation section, is a pair ``(sigma, sigma')`` in ``td(exit_f)`` —
+this is what Table 2 and Figure 5 count.
+
+The engine is written so :class:`repro.framework.swift.SwiftEngine` can
+subclass it and override only the handling of call edges.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from typing import Deque, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.framework.interfaces import TopDownAnalysis
+from repro.framework.metrics import Budget, BudgetExceededError, Metrics
+from repro.ir.cfg import CFGEdge, ControlFlowGraphs, ProgramPoint
+from repro.ir.commands import Call
+from repro.ir.program import Program
+
+
+class TopDownResult:
+    """Read-only view over the tables computed by a top-down run."""
+
+    def __init__(
+        self,
+        program: Program,
+        cfgs: ControlFlowGraphs,
+        td: Dict[ProgramPoint, Set[Tuple]],
+        entry_counts: Dict[str, Counter],
+        metrics: Metrics,
+        timed_out: bool = False,
+    ) -> None:
+        self.program = program
+        self.cfgs = cfgs
+        self.td = td
+        self.entry_counts = entry_counts  # proc -> Counter of incoming states
+        self.metrics = metrics
+        self.timed_out = timed_out
+
+    # -- state queries ------------------------------------------------------------
+    def states_at(self, point: ProgramPoint) -> FrozenSet:
+        """All abstract states arising at a program point."""
+        return frozenset(sigma for (_, sigma) in self.td.get(point, ()))
+
+    def pairs_at(self, point: ProgramPoint) -> FrozenSet[Tuple]:
+        return frozenset(self.td.get(point, ()))
+
+    def exit_states(self, proc: Optional[str] = None) -> FrozenSet:
+        proc = proc or self.program.main
+        return self.states_at(self.cfgs.exit(proc))
+
+    # -- summary statistics (the quantities of Table 2 / Figure 5) ------------------
+    def summaries(self, proc: str) -> FrozenSet[Tuple]:
+        """Top-down summaries of ``proc``: input/output state pairs."""
+        return frozenset(self.td.get(self.cfgs.exit(proc), ()))
+
+    def summary_count(self, proc: str) -> int:
+        return len(self.td.get(self.cfgs.exit(proc), ()))
+
+    def total_summaries(self) -> int:
+        return sum(self.summary_count(proc) for proc in self.program)
+
+    def summary_counts_by_proc(self) -> Dict[str, int]:
+        return {proc: self.summary_count(proc) for proc in self.program}
+
+    def incoming_states(self, proc: str) -> FrozenSet:
+        """Distinct incoming abstract states observed for ``proc``."""
+        return frozenset(self.entry_counts.get(proc, Counter()))
+
+
+class TopDownEngine:
+    """Worklist tabulation over the program's CFGs."""
+
+    def __init__(
+        self,
+        program: Program,
+        analysis: TopDownAnalysis,
+        budget: Optional[Budget] = None,
+        cfgs: Optional[ControlFlowGraphs] = None,
+        order: str = "lifo",
+    ) -> None:
+        if order not in ("lifo", "fifo"):
+            raise ValueError("order must be 'lifo' or 'fifo'")
+        self.program = program
+        self.analysis = analysis
+        self.budget = budget
+        self.order = order
+        self.cfgs = cfgs if cfgs is not None else ControlFlowGraphs(program)
+        self.metrics = Metrics()
+        # td(pc) = set of path edges (entry state, state at pc)
+        self._td: Dict[ProgramPoint, Set[Tuple]] = {}
+        # (callee, entry state) -> set of (return point, caller entry state)
+        self._call_records: Dict[Tuple[str, object], Set[Tuple[ProgramPoint, object]]] = {}
+        # proc -> multiset of incoming abstract states (the data the
+        # pruning operator ranks against; Section 3.4).
+        self._entry_counts: Dict[str, Counter] = {}
+        self._workset: Deque[Tuple[ProgramPoint, object, object]] = deque()
+        self._timed_out = False
+
+    # -- driver -----------------------------------------------------------------------
+    def run(self, initial_states: Iterable) -> TopDownResult:
+        """Analyze the program from ``main`` with the given initial states."""
+        if self.budget is not None:
+            self.budget.restart_clock()
+        main_entry = self.cfgs.entry(self.program.main)
+        for sigma in initial_states:
+            self._record_entry(self.program.main, sigma)
+            self._propagate(main_entry, sigma, sigma)
+        try:
+            self._solve()
+        except BudgetExceededError:
+            self._timed_out = True
+        return TopDownResult(
+            self.program,
+            self.cfgs,
+            self._td,
+            self._entry_counts,
+            self.metrics,
+            timed_out=self._timed_out,
+        )
+
+    def _solve(self) -> None:
+        while self._workset:
+            if self.budget is not None:
+                self.budget.check(self.metrics)
+            # Default LIFO (depth-first): a callee context is fully
+            # explored before the next incoming state is popped, so
+            # SWIFT's bottom-up trigger fires after only ~k contexts
+            # have been tabulated rather than after the whole flood is
+            # enqueued.  FIFO is kept for the worklist-order ablation.
+            if self.order == "lifo":
+                point, entry_sigma, sigma = self._workset.pop()
+            else:
+                point, entry_sigma, sigma = self._workset.popleft()
+            for edge in self.cfgs[point.proc].successors(point):
+                if edge.is_call:
+                    self._handle_call(edge, entry_sigma, sigma)
+                else:
+                    self._handle_prim(edge, entry_sigma, sigma)
+            self._after_exit(point, entry_sigma, sigma)
+
+    # -- edge handling ------------------------------------------------------------------
+    def _handle_prim(self, edge: CFGEdge, entry_sigma, sigma) -> None:
+        self.metrics.transfers += 1
+        for sigma_prime in self.analysis.transfer(edge.label, sigma):
+            self._propagate(edge.target, entry_sigma, sigma_prime)
+
+    def _handle_call(self, edge: CFGEdge, entry_sigma, sigma) -> None:
+        """Plain tabulation handling of a call edge (``run_td``)."""
+        self._tabulate_call(edge, entry_sigma, sigma)
+
+    def _tabulate_call(self, edge: CFGEdge, entry_sigma, sigma) -> None:
+        callee = edge.label.proc
+        record_key = (callee, sigma)
+        records = self._call_records.setdefault(record_key, set())
+        record = (edge.target, entry_sigma)
+        if record in records:
+            return
+        records.add(record)
+        self._record_entry(callee, sigma)
+        callee_entry = self.cfgs.entry(callee)
+        if (sigma, sigma) in self._td.get(callee_entry, ()):
+            # The callee context exists already: reuse its summaries.
+            self.metrics.td_summary_reuses += 1
+            callee_exit = self.cfgs.exit(callee)
+            for (sigma_in, sigma_out) in list(self._td.get(callee_exit, ())):
+                if sigma_in == sigma:
+                    self._propagate(edge.target, entry_sigma, sigma_out)
+        else:
+            self._propagate(callee_entry, sigma, sigma)
+
+    def _after_exit(self, point: ProgramPoint, entry_sigma, sigma) -> None:
+        """If a path edge reached a procedure exit, return to callers."""
+        if point != self.cfgs.exit(point.proc):
+            return
+        for (return_point, caller_entry) in list(
+            self._call_records.get((point.proc, entry_sigma), ())
+        ):
+            self._propagate(return_point, caller_entry, sigma)
+
+    # -- low-level table updates -----------------------------------------------------------
+    def _propagate(self, point: ProgramPoint, entry_sigma, sigma) -> None:
+        edges = self._td.setdefault(point, set())
+        pair = (entry_sigma, sigma)
+        if pair in edges:
+            return
+        edges.add(pair)
+        self.metrics.propagations += 1
+        self._workset.append((point, entry_sigma, sigma))
+
+    def _record_entry(self, proc: str, sigma) -> None:
+        self._entry_counts.setdefault(proc, Counter())[sigma] += 1

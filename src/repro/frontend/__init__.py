@@ -1,0 +1,64 @@
+"""MiniOO: a small object-oriented surface language.
+
+The paper analyzes Java bytecode (via the Chord platform); this package
+provides the equivalent substrate for the reproduction — a class-based
+language with fields, virtual methods, parameters and type-state
+events, compiled down to the parameterless-global command IR that the
+analyses run on:
+
+* methods become procedures named ``Class$method``; locals are renamed
+  ``Class$method$x`` so the IR's global-variable semantics respects
+  scoping;
+* parameter passing is lowered through argument registers ``p$i`` and
+  the return register ``ret$``;
+* virtual calls are resolved by a 0-CFA class analysis
+  (:mod:`repro.frontend.cfa`) into a non-deterministic choice over the
+  possible targets;
+* ``x.#open()`` marks a type-state event on ``x`` (the analogue of
+  calling a tracked JDK method).
+
+See :mod:`repro.frontend.parser` for the grammar.
+"""
+
+from repro.frontend.ast import (
+    Block,
+    CallStmt,
+    ClassDecl,
+    EventStmt,
+    FieldDecl,
+    IfStmt,
+    LoadStmt,
+    MethodDecl,
+    MiniProgram,
+    NewStmt,
+    ReturnStmt,
+    SimpleAssign,
+    StoreStmt,
+    WhileStmt,
+)
+from repro.frontend.parser import MiniParseError, parse_minioo
+from repro.frontend.cfa import ClassAnalysis
+from repro.frontend.lower import LoweringError, compile_minioo, lower
+
+__all__ = [
+    "Block",
+    "CallStmt",
+    "ClassAnalysis",
+    "ClassDecl",
+    "EventStmt",
+    "FieldDecl",
+    "IfStmt",
+    "LoadStmt",
+    "LoweringError",
+    "MethodDecl",
+    "MiniParseError",
+    "MiniProgram",
+    "NewStmt",
+    "ReturnStmt",
+    "SimpleAssign",
+    "StoreStmt",
+    "WhileStmt",
+    "compile_minioo",
+    "lower",
+    "parse_minioo",
+]

@@ -1,0 +1,138 @@
+"""AST of the MiniOO surface language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class NewStmt:
+    """``x = new C();``"""
+
+    lhs: str
+    classname: str
+
+
+@dataclass(frozen=True)
+class SimpleAssign:
+    """``x = y;``"""
+
+    lhs: str
+    rhs: str
+
+
+@dataclass(frozen=True)
+class LoadStmt:
+    """``x = y.f;``"""
+
+    lhs: str
+    base: str
+    fieldname: str
+
+
+@dataclass(frozen=True)
+class StoreStmt:
+    """``x.f = y;``"""
+
+    base: str
+    fieldname: str
+    rhs: str
+
+
+@dataclass(frozen=True)
+class CallStmt:
+    """``[x =] recv.m(a1, ..., an);`` — virtual method call."""
+
+    receiver: str
+    method: str
+    args: Tuple[str, ...]
+    lhs: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class EventStmt:
+    """``x.#m();`` — a type-state event on ``x``."""
+
+    receiver: str
+    event: str
+
+
+@dataclass(frozen=True)
+class ReturnStmt:
+    """``return [x];`` — only allowed as a method's last statement."""
+
+    value: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class Block:
+    stmts: Tuple[object, ...]
+
+
+@dataclass(frozen=True)
+class IfStmt:
+    """``if (*) { ... } [else { ... }]`` — non-deterministic branch."""
+
+    then_block: Block
+    else_block: Optional[Block] = None
+
+
+@dataclass(frozen=True)
+class WhileStmt:
+    """``while (*) { ... }`` — non-deterministic loop."""
+
+    body: Block
+
+
+@dataclass(frozen=True)
+class MethodDecl:
+    name: str
+    params: Tuple[str, ...]
+    body: Block
+
+
+@dataclass(frozen=True)
+class FieldDecl:
+    name: str
+
+
+@dataclass
+class ClassDecl:
+    name: str
+    superclass: Optional[str]
+    fields: Tuple[FieldDecl, ...]
+    methods: Dict[str, MethodDecl]
+
+
+@dataclass
+class MiniProgram:
+    """A parsed MiniOO compilation unit."""
+
+    classes: Dict[str, ClassDecl]
+    main: Block
+
+    def resolve_method(self, classname: str, method: str) -> Optional[str]:
+        """The class actually defining ``method`` for receivers of
+        ``classname`` (walking the extends chain); None if absent."""
+        current: Optional[str] = classname
+        while current is not None:
+            decl = self.classes.get(current)
+            if decl is None:
+                return None
+            if method in decl.methods:
+                return current
+            current = decl.superclass
+        return None
+
+    def subclasses_of(self, classname: str) -> List[str]:
+        """``classname`` and every transitive subclass."""
+        out = [classname]
+        frontier = [classname]
+        while frontier:
+            parent = frontier.pop()
+            for name, decl in self.classes.items():
+                if decl.superclass == parent and name not in out:
+                    out.append(name)
+                    frontier.append(name)
+        return out

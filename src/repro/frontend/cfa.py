@@ -1,0 +1,135 @@
+"""0-CFA class analysis for MiniOO.
+
+Computes, for every variable of every scope, the set of classes whose
+instances the variable may hold — context-insensitively and with
+field-based heap abstraction (one set per field name), i.e. the
+standard 0-CFA used to build call graphs.  Virtual calls are resolved
+on the fly: a receiver's class set determines the callee methods, whose
+parameter/return flows feed back into the constraint system.
+
+Scopes are ``"main"`` or ``"Class$method"``; the receiver inside a
+method is the variable ``this`` and the return value the variable
+``ret$``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+
+from repro.frontend.ast import (
+    Block,
+    CallStmt,
+    EventStmt,
+    IfStmt,
+    LoadStmt,
+    MethodDecl,
+    MiniProgram,
+    NewStmt,
+    ReturnStmt,
+    SimpleAssign,
+    StoreStmt,
+    WhileStmt,
+)
+
+RETURN_VAR = "ret$"
+THIS_VAR = "this"
+
+
+def scope_of(classname: str, method: str) -> str:
+    return f"{classname}${method}"
+
+
+class ClassAnalysis:
+    """Solved 0-CFA class sets and call-target resolution."""
+
+    def __init__(self, program: MiniProgram) -> None:
+        self.program = program
+        self._var_classes: Dict[Tuple[str, str], Set[str]] = {}
+        self._field_classes: Dict[str, Set[str]] = {}
+        self._solve()
+
+    # -- public queries ----------------------------------------------------------------
+    def classes_of(self, scope: str, var: str) -> FrozenSet[str]:
+        return frozenset(self._var_classes.get((scope, var), ()))
+
+    def call_targets(self, scope: str, call: CallStmt) -> List[Tuple[str, MethodDecl]]:
+        """Possible (defining class, method) targets of a call, sorted."""
+        targets = {}
+        for cls in self.classes_of(scope, call.receiver):
+            owner = self.program.resolve_method(cls, call.method)
+            if owner is not None:
+                targets[owner] = self.program.classes[owner].methods[call.method]
+        return sorted(targets.items())
+
+    # -- constraint solving --------------------------------------------------------------
+    def _solve(self) -> None:
+        changed = True
+        while changed:
+            changed = False
+            changed |= self._flow_block("main", self.program.main)
+            for classname, decl in self.program.classes.items():
+                for method in decl.methods.values():
+                    changed |= self._flow_block(
+                        scope_of(classname, method.name), method.body
+                    )
+
+    def _add(self, scope: str, var: str, classes: Iterable[str]) -> bool:
+        key = (scope, var)
+        current = self._var_classes.setdefault(key, set())
+        before = len(current)
+        current.update(classes)
+        return len(current) != before
+
+    def _flow_block(self, scope: str, block: Block) -> bool:
+        changed = False
+        for stmt in block.stmts:
+            changed |= self._flow_stmt(scope, stmt)
+        return changed
+
+    def _flow_stmt(self, scope: str, stmt) -> bool:
+        if isinstance(stmt, NewStmt):
+            return self._add(scope, stmt.lhs, [stmt.classname])
+        if isinstance(stmt, SimpleAssign):
+            return self._add(scope, stmt.lhs, self.classes_of(scope, stmt.rhs))
+        if isinstance(stmt, LoadStmt):
+            return self._add(
+                scope, stmt.lhs, self._field_classes.get(stmt.fieldname, ())
+            )
+        if isinstance(stmt, StoreStmt):
+            current = self._field_classes.setdefault(stmt.fieldname, set())
+            before = len(current)
+            current.update(self.classes_of(scope, stmt.rhs))
+            return len(current) != before
+        if isinstance(stmt, CallStmt):
+            changed = False
+            for owner, method in self.call_targets(scope, stmt):
+                callee = scope_of(owner, method.name)
+                # The receiver set flows into `this` (restricted to the
+                # classes that actually dispatch here would be more
+                # precise; standard 0-CFA keeps the whole set).
+                changed |= self._add(
+                    callee, THIS_VAR, self.classes_of(scope, stmt.receiver)
+                )
+                for formal, actual in zip(method.params, stmt.args):
+                    changed |= self._add(
+                        callee, formal, self.classes_of(scope, actual)
+                    )
+                if stmt.lhs is not None:
+                    changed |= self._add(
+                        scope, stmt.lhs, self.classes_of(callee, RETURN_VAR)
+                    )
+            return changed
+        if isinstance(stmt, ReturnStmt):
+            if stmt.value is None:
+                return False
+            return self._add(scope, RETURN_VAR, self.classes_of(scope, stmt.value))
+        if isinstance(stmt, IfStmt):
+            changed = self._flow_block(scope, stmt.then_block)
+            if stmt.else_block is not None:
+                changed |= self._flow_block(scope, stmt.else_block)
+            return changed
+        if isinstance(stmt, WhileStmt):
+            return self._flow_block(scope, stmt.body)
+        if isinstance(stmt, EventStmt):
+            return False
+        raise TypeError(f"unknown statement {stmt!r}")

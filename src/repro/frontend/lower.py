@@ -1,0 +1,182 @@
+"""Lowering MiniOO to the command IR.
+
+Translation scheme:
+
+* method ``m`` of class ``C`` → procedure ``C$m``; its body is prefixed
+  with ``this = p$0; param_i = p$(i+1)`` (all names scope-mangled);
+* a call ``[x =] r.m(a, b)`` → ``p$0 = r; p$1 = a; p$2 = b;`` followed
+  by a non-deterministic choice over ``call D$m`` for each 0-CFA
+  dispatch target ``D``, then ``x = ret$`` if the result is used;
+* ``return x`` (last statement only) → ``ret$ = x``;
+* ``x = new C()`` → ``New`` with the allocation site ``C@k`` (the k-th
+  occurrence of ``new C`` in the unit);
+* ``if (*)``/``while (*)`` → the IR's ``+`` / ``*`` operators;
+* local ``x`` in scope ``s`` → global register ``s$x``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.frontend.ast import (
+    Block,
+    CallStmt,
+    EventStmt,
+    IfStmt,
+    LoadStmt,
+    MethodDecl,
+    MiniProgram,
+    NewStmt,
+    ReturnStmt,
+    SimpleAssign,
+    StoreStmt,
+    WhileStmt,
+)
+from repro.frontend.cfa import RETURN_VAR, THIS_VAR, ClassAnalysis, scope_of
+from repro.frontend.parser import parse_minioo
+from repro.ir.commands import (
+    Assign,
+    Call,
+    Command,
+    FieldLoad,
+    FieldStore,
+    Invoke,
+    New,
+    Skip,
+    choice,
+    seq,
+    star,
+)
+from repro.ir.program import Program
+
+
+class LoweringError(ValueError):
+    """Raised when a MiniOO unit cannot be compiled."""
+
+
+def compile_minioo(text: str, allow_unresolved_calls: bool = False) -> Program:
+    """Parse and lower a MiniOO unit in one step."""
+    return lower(parse_minioo(text), allow_unresolved_calls=allow_unresolved_calls)
+
+
+def lower(
+    mini: MiniProgram,
+    cfa: Optional[ClassAnalysis] = None,
+    allow_unresolved_calls: bool = False,
+) -> Program:
+    """Lower a parsed MiniOO program to the command IR."""
+    return _Lowerer(mini, cfa, allow_unresolved_calls).run()
+
+
+class _Lowerer:
+    def __init__(
+        self,
+        mini: MiniProgram,
+        cfa: Optional[ClassAnalysis],
+        allow_unresolved_calls: bool,
+    ) -> None:
+        self.mini = mini
+        self.cfa = cfa if cfa is not None else ClassAnalysis(mini)
+        self.allow_unresolved_calls = allow_unresolved_calls
+        self._site_counter: Dict[str, int] = {}
+
+    def run(self) -> Program:
+        procedures: Dict[str, Command] = {}
+        procedures["main"] = self._lower_block("main", self.mini.main)
+        for classname, decl in self.mini.classes.items():
+            for method in decl.methods.values():
+                procedures[scope_of(classname, method.name)] = self._lower_method(
+                    classname, method
+                )
+        return Program(
+            procedures,
+            main="main",
+            metadata={"frontend": "minioo", "classes": sorted(self.mini.classes)},
+        )
+
+    # -- methods ------------------------------------------------------------------------
+    def _lower_method(self, classname: str, method: MethodDecl) -> Command:
+        scope = scope_of(classname, method.name)
+        prologue: List[Command] = [Assign(_mangle(scope, THIS_VAR), "p$0")]
+        for i, param in enumerate(method.params):
+            prologue.append(Assign(_mangle(scope, param), f"p${i + 1}"))
+        return seq(*prologue, self._lower_block(scope, method.body))
+
+    # -- statements ----------------------------------------------------------------------
+    def _lower_block(self, scope: str, block: Block) -> Command:
+        commands: List[Command] = []
+        for i, stmt in enumerate(block.stmts):
+            if isinstance(stmt, ReturnStmt) and i != len(block.stmts) - 1:
+                raise LoweringError(
+                    f"{scope}: 'return' must be the last statement of its block"
+                )
+            commands.append(self._lower_stmt(scope, stmt))
+        if not commands:
+            return Skip()
+        return seq(*commands)
+
+    def _lower_stmt(self, scope: str, stmt) -> Command:
+        if isinstance(stmt, NewStmt):
+            count = self._site_counter.get(stmt.classname, 0)
+            self._site_counter[stmt.classname] = count + 1
+            return New(_mangle(scope, stmt.lhs), f"{stmt.classname}@{count}")
+        if isinstance(stmt, SimpleAssign):
+            return Assign(_mangle(scope, stmt.lhs), _mangle(scope, stmt.rhs))
+        if isinstance(stmt, LoadStmt):
+            return FieldLoad(
+                _mangle(scope, stmt.lhs), _mangle(scope, stmt.base), stmt.fieldname
+            )
+        if isinstance(stmt, StoreStmt):
+            return FieldStore(
+                _mangle(scope, stmt.base), stmt.fieldname, _mangle(scope, stmt.rhs)
+            )
+        if isinstance(stmt, EventStmt):
+            return Invoke(_mangle(scope, stmt.receiver), stmt.event)
+        if isinstance(stmt, ReturnStmt):
+            if stmt.value is None:
+                return Skip()
+            return Assign(RETURN_VAR, _mangle(scope, stmt.value))
+        if isinstance(stmt, IfStmt):
+            then_cmd = self._lower_block(scope, stmt.then_block)
+            else_cmd = (
+                self._lower_block(scope, stmt.else_block)
+                if stmt.else_block is not None
+                else Skip()
+            )
+            return choice(then_cmd, else_cmd)
+        if isinstance(stmt, WhileStmt):
+            return star(self._lower_block(scope, stmt.body))
+        if isinstance(stmt, CallStmt):
+            return self._lower_call(scope, stmt)
+        raise TypeError(f"unknown statement {stmt!r}")
+
+    def _lower_call(self, scope: str, call: CallStmt) -> Command:
+        targets = self.cfa.call_targets(scope, call)
+        if not targets:
+            if self.allow_unresolved_calls:
+                return Skip()
+            raise LoweringError(
+                f"{scope}: no dispatch target for "
+                f"{call.receiver}.{call.method}() — receiver has no classes"
+            )
+        arity = {len(method.params) for _, method in targets}
+        if len(call.args) not in arity:
+            raise LoweringError(
+                f"{scope}: call to {call.method}() passes {len(call.args)} "
+                f"argument(s), targets expect {sorted(arity)}"
+            )
+        parts: List[Command] = [Assign("p$0", _mangle(scope, call.receiver))]
+        for i, arg in enumerate(call.args):
+            parts.append(Assign(f"p${i + 1}", _mangle(scope, arg)))
+        parts.append(
+            choice(
+                *[Call(scope_of(owner, method.name)) for owner, method in targets]
+            )
+        )
+        if call.lhs is not None:
+            parts.append(Assign(_mangle(scope, call.lhs), RETURN_VAR))
+        return seq(*parts)
+
+
+def _mangle(scope: str, var: str) -> str:
+    return f"{scope}${var}"

@@ -1,0 +1,295 @@
+"""Parser for the MiniOO surface language.
+
+Grammar::
+
+    program    ::= classdecl* "main" "{" stmt* "}"
+    classdecl  ::= "class" NAME ("extends" NAME)? "{" member* "}"
+    member     ::= "field" NAME ";"
+                 | "method" NAME "(" (NAME ("," NAME)*)? ")" "{" stmt* "}"
+    stmt       ::= NAME "=" "new" NAME "(" ")" ";"
+                 | NAME "=" NAME ";"
+                 | NAME "=" NAME "." NAME ";"
+                 | NAME "=" NAME "." NAME "(" args ")" ";"
+                 | NAME "." NAME "=" NAME ";"
+                 | NAME "." NAME "(" args ")" ";"
+                 | NAME "." "#" NAME "(" ")" ";"
+                 | "if" "(" "*" ")" block ("else" block)?
+                 | "while" "(" "*" ")" block
+                 | "return" NAME? ";"
+    block      ::= "{" stmt* "}"
+
+Branch and loop conditions are the non-deterministic ``*`` — the
+analyses are path-insensitive, matching the IR's ``+``/``*`` operators.
+Comments run from ``//`` to end of line.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.frontend.ast import (
+    Block,
+    CallStmt,
+    ClassDecl,
+    EventStmt,
+    FieldDecl,
+    IfStmt,
+    LoadStmt,
+    MethodDecl,
+    MiniProgram,
+    NewStmt,
+    ReturnStmt,
+    SimpleAssign,
+    StoreStmt,
+    WhileStmt,
+)
+
+
+class MiniParseError(ValueError):
+    def __init__(self, message: str, position: int, text: str) -> None:
+        line = text.count("\n", 0, position) + 1
+        super().__init__(f"line {line}: {message}")
+
+
+_TOKEN = re.compile(
+    r"""
+    (?P<ws>\s+|//[^\n]*)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<punct>\{|\}|\(|\)|=|;|\.|,|\*|\#)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "class", "extends", "field", "method", "main",
+    "new", "if", "else", "while", "return",
+}
+
+
+class _Lexer:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens: List[Tuple[str, str, int]] = []
+        pos = 0
+        while pos < len(text):
+            match = _TOKEN.match(text, pos)
+            if match is None:
+                raise MiniParseError(f"unexpected character {text[pos]!r}", pos, text)
+            pos = match.end()
+            if match.lastgroup != "ws":
+                self.tokens.append((match.lastgroup, match.group(), match.start()))
+        self.index = 0
+
+    def peek(self, ahead: int = 0) -> Optional[Tuple[str, str, int]]:
+        i = self.index + ahead
+        return self.tokens[i] if i < len(self.tokens) else None
+
+    def next(self) -> Tuple[str, str, int]:
+        token = self.peek()
+        if token is None:
+            raise MiniParseError("unexpected end of input", len(self.text), self.text)
+        self.index += 1
+        return token
+
+    def expect(self, value: str) -> Tuple[str, str, int]:
+        token = self.next()
+        if token[1] != value:
+            raise MiniParseError(
+                f"expected {value!r}, found {token[1]!r}", token[2], self.text
+            )
+        return token
+
+    def at(self, value: str, ahead: int = 0) -> bool:
+        token = self.peek(ahead)
+        return token is not None and token[1] == value
+
+    def name(self) -> str:
+        kind, text, pos = self.next()
+        if kind != "name" or text in _KEYWORDS:
+            raise MiniParseError(f"expected a name, found {text!r}", pos, self.text)
+        return text
+
+
+def parse_minioo(text: str) -> MiniProgram:
+    """Parse MiniOO source text."""
+    lexer = _Lexer(text)
+    classes = {}
+    main: Optional[Block] = None
+    while lexer.peek() is not None:
+        token = lexer.peek()
+        if token[1] == "class":
+            decl = _parse_class(lexer)
+            if decl.name in classes:
+                raise MiniParseError(f"duplicate class {decl.name!r}", token[2], text)
+            classes[decl.name] = decl
+        elif token[1] == "main":
+            if main is not None:
+                raise MiniParseError("duplicate main block", token[2], text)
+            lexer.expect("main")
+            lexer.expect("{")
+            main = _parse_block(lexer)
+        else:
+            raise MiniParseError(
+                f"expected 'class' or 'main', found {token[1]!r}", token[2], text
+            )
+    if main is None:
+        raise MiniParseError("missing main block", len(text), text)
+    program = MiniProgram(classes, main)
+    _check_hierarchy(program, text)
+    return program
+
+
+def _check_hierarchy(program: MiniProgram, text: str) -> None:
+    for decl in program.classes.values():
+        seen = {decl.name}
+        current = decl.superclass
+        while current is not None:
+            if current not in program.classes:
+                raise MiniParseError(
+                    f"class {decl.name!r} extends unknown class {current!r}", 0, text
+                )
+            if current in seen:
+                raise MiniParseError(
+                    f"inheritance cycle through {current!r}", 0, text
+                )
+            seen.add(current)
+            current = program.classes[current].superclass
+
+
+def _parse_class(lexer: _Lexer) -> ClassDecl:
+    lexer.expect("class")
+    name = lexer.name()
+    superclass = None
+    if lexer.at("extends"):
+        lexer.expect("extends")
+        superclass = lexer.name()
+    lexer.expect("{")
+    fields: List[FieldDecl] = []
+    methods = {}
+    while not lexer.at("}"):
+        if lexer.at("field"):
+            lexer.expect("field")
+            fields.append(FieldDecl(lexer.name()))
+            lexer.expect(";")
+        elif lexer.at("method"):
+            method = _parse_method(lexer)
+            if method.name in methods:
+                raise MiniParseError(
+                    f"duplicate method {method.name!r} in {name!r}", 0, lexer.text
+                )
+            methods[method.name] = method
+        else:
+            token = lexer.peek()
+            raise MiniParseError(
+                f"expected member, found {token[1]!r}", token[2], lexer.text
+            )
+    lexer.expect("}")
+    return ClassDecl(name, superclass, tuple(fields), methods)
+
+
+def _parse_method(lexer: _Lexer) -> MethodDecl:
+    lexer.expect("method")
+    name = lexer.name()
+    lexer.expect("(")
+    params: List[str] = []
+    if not lexer.at(")"):
+        params.append(lexer.name())
+        while lexer.at(","):
+            lexer.expect(",")
+            params.append(lexer.name())
+    lexer.expect(")")
+    lexer.expect("{")
+    body = _parse_block(lexer)
+    return MethodDecl(name, tuple(params), body)
+
+
+def _parse_block(lexer: _Lexer) -> Block:
+    """Parse statements up to and including the closing ``}``."""
+    stmts: List[object] = []
+    while not lexer.at("}"):
+        stmts.append(_parse_stmt(lexer))
+    lexer.expect("}")
+    return Block(tuple(stmts))
+
+
+def _parse_stmt(lexer: _Lexer):
+    token = lexer.peek()
+    if token[1] == "if":
+        lexer.expect("if")
+        lexer.expect("(")
+        lexer.expect("*")
+        lexer.expect(")")
+        lexer.expect("{")
+        then_block = _parse_block(lexer)
+        else_block = None
+        if lexer.at("else"):
+            lexer.expect("else")
+            lexer.expect("{")
+            else_block = _parse_block(lexer)
+        return IfStmt(then_block, else_block)
+    if token[1] == "while":
+        lexer.expect("while")
+        lexer.expect("(")
+        lexer.expect("*")
+        lexer.expect(")")
+        lexer.expect("{")
+        return WhileStmt(_parse_block(lexer))
+    if token[1] == "return":
+        lexer.expect("return")
+        value = None
+        if not lexer.at(";"):
+            value = lexer.name()
+        lexer.expect(";")
+        return ReturnStmt(value)
+    first = lexer.name()
+    if lexer.at("."):
+        lexer.expect(".")
+        if lexer.at("#"):
+            lexer.expect("#")
+            event = lexer.name()
+            lexer.expect("(")
+            lexer.expect(")")
+            lexer.expect(";")
+            return EventStmt(first, event)
+        member = lexer.name()
+        if lexer.at("("):
+            args = _parse_args(lexer)
+            lexer.expect(";")
+            return CallStmt(first, member, args)
+        lexer.expect("=")
+        rhs = lexer.name()
+        lexer.expect(";")
+        return StoreStmt(first, member, rhs)
+    lexer.expect("=")
+    if lexer.at("new"):
+        lexer.expect("new")
+        classname = lexer.name()
+        lexer.expect("(")
+        lexer.expect(")")
+        lexer.expect(";")
+        return NewStmt(first, classname)
+    second = lexer.name()
+    if lexer.at("."):
+        lexer.expect(".")
+        member = lexer.name()
+        if lexer.at("("):
+            args = _parse_args(lexer)
+            lexer.expect(";")
+            return CallStmt(second, member, args, lhs=first)
+        lexer.expect(";")
+        return LoadStmt(first, second, member)
+    lexer.expect(";")
+    return SimpleAssign(first, second)
+
+
+def _parse_args(lexer: _Lexer) -> Tuple[str, ...]:
+    lexer.expect("(")
+    args: List[str] = []
+    if not lexer.at(")"):
+        args.append(lexer.name())
+        while lexer.at(","):
+            lexer.expect(",")
+            args.append(lexer.name())
+    lexer.expect(")")
+    return tuple(args)

@@ -1,0 +1,97 @@
+"""Pretty-printer for MiniOO ASTs.
+
+Produces source text that :func:`repro.frontend.parser.parse_minioo`
+accepts back; ``parse(format(p))`` round-trips to an equal AST.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.frontend.ast import (
+    Block,
+    CallStmt,
+    ClassDecl,
+    EventStmt,
+    IfStmt,
+    LoadStmt,
+    MethodDecl,
+    MiniProgram,
+    NewStmt,
+    ReturnStmt,
+    SimpleAssign,
+    StoreStmt,
+    WhileStmt,
+)
+
+
+def format_minioo(program: MiniProgram) -> str:
+    """Render a whole MiniOO program as source text."""
+    chunks: List[str] = []
+    for name in program.classes:
+        chunks.extend(_class_lines(program.classes[name]))
+        chunks.append("")
+    chunks.append("main {")
+    chunks.extend(_block_lines(program.main, 1))
+    chunks.append("}")
+    return "\n".join(chunks)
+
+
+def _class_lines(decl: ClassDecl) -> List[str]:
+    header = f"class {decl.name}"
+    if decl.superclass is not None:
+        header += f" extends {decl.superclass}"
+    lines = [header + " {"]
+    for fld in decl.fields:
+        lines.append(f"  field {fld.name};")
+    for method in decl.methods.values():
+        lines.extend(_method_lines(method))
+    lines.append("}")
+    return lines
+
+
+def _method_lines(method: MethodDecl) -> List[str]:
+    params = ", ".join(method.params)
+    lines = [f"  method {method.name}({params}) {{"]
+    lines.extend(_block_lines(method.body, 2))
+    lines.append("  }")
+    return lines
+
+
+def _block_lines(block: Block, indent: int) -> List[str]:
+    pad = "  " * indent
+    lines: List[str] = []
+    for stmt in block.stmts:
+        if isinstance(stmt, NewStmt):
+            lines.append(f"{pad}{stmt.lhs} = new {stmt.classname}();")
+        elif isinstance(stmt, SimpleAssign):
+            lines.append(f"{pad}{stmt.lhs} = {stmt.rhs};")
+        elif isinstance(stmt, LoadStmt):
+            lines.append(f"{pad}{stmt.lhs} = {stmt.base}.{stmt.fieldname};")
+        elif isinstance(stmt, StoreStmt):
+            lines.append(f"{pad}{stmt.base}.{stmt.fieldname} = {stmt.rhs};")
+        elif isinstance(stmt, CallStmt):
+            call = f"{stmt.receiver}.{stmt.method}({', '.join(stmt.args)});"
+            if stmt.lhs is not None:
+                call = f"{stmt.lhs} = {call}"
+            lines.append(pad + call)
+        elif isinstance(stmt, EventStmt):
+            lines.append(f"{pad}{stmt.receiver}.#{stmt.event}();")
+        elif isinstance(stmt, ReturnStmt):
+            lines.append(
+                f"{pad}return{'' if stmt.value is None else ' ' + stmt.value};"
+            )
+        elif isinstance(stmt, IfStmt):
+            lines.append(f"{pad}if (*) {{")
+            lines.extend(_block_lines(stmt.then_block, indent + 1))
+            if stmt.else_block is not None:
+                lines.append(f"{pad}}} else {{")
+                lines.extend(_block_lines(stmt.else_block, indent + 1))
+            lines.append(f"{pad}}}")
+        elif isinstance(stmt, WhileStmt):
+            lines.append(f"{pad}while (*) {{")
+            lines.extend(_block_lines(stmt.body, indent + 1))
+            lines.append(f"{pad}}}")
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown statement {stmt!r}")
+    return lines

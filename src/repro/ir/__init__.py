@@ -1,0 +1,65 @@
+"""Intermediate representation for the SWIFT reproduction.
+
+The IR mirrors the command language of Section 3 of the paper::
+
+    C ::= c | C + C | C ; C | C* | f()
+
+where ``c`` ranges over primitive commands.  Programs are maps from
+procedure names to commands (Section 3.5).  The module also provides a
+control-flow-graph view of structured commands, which is what the
+tabulation-based top-down engine and the SWIFT driver (Algorithm 1)
+operate on.
+"""
+
+from repro.ir.commands import (
+    Assign,
+    Call,
+    Choice,
+    Command,
+    FieldLoad,
+    FieldStore,
+    Invoke,
+    New,
+    Prim,
+    Seq,
+    Skip,
+    Star,
+    choice,
+    seq,
+    star,
+)
+from repro.ir.program import Procedure, Program
+from repro.ir.cfg import CFG, CFGEdge, ControlFlowGraphs, ProgramPoint
+from repro.ir.printer import format_command, format_program
+from repro.ir.inline import call_free, inline_calls
+from repro.ir.validate import ValidationError, validate_program
+
+__all__ = [
+    "Assign",
+    "CFG",
+    "CFGEdge",
+    "Call",
+    "Choice",
+    "Command",
+    "ControlFlowGraphs",
+    "FieldLoad",
+    "FieldStore",
+    "Invoke",
+    "New",
+    "Prim",
+    "Procedure",
+    "Program",
+    "ProgramPoint",
+    "Seq",
+    "Skip",
+    "Star",
+    "ValidationError",
+    "call_free",
+    "choice",
+    "format_command",
+    "inline_calls",
+    "format_program",
+    "seq",
+    "star",
+    "validate_program",
+]

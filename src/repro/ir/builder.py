@@ -1,0 +1,138 @@
+"""A small fluent builder for constructing programs in tests and examples.
+
+Example
+-------
+::
+
+    b = ProgramBuilder()
+    with b.proc("main") as p:
+        p.new("v1", "h1")
+        p.call("foo_v1")
+    with b.proc("foo_v1") as p:
+        p.invoke("f", "open")
+        p.invoke("f", "close")
+    program = b.build()
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+from repro.ir.commands import (
+    Assign,
+    Call,
+    Command,
+    FieldLoad,
+    FieldStore,
+    Invoke,
+    New,
+    Skip,
+    choice,
+    seq,
+    star,
+)
+from repro.ir.program import Program
+from repro.ir.validate import validate_program
+
+
+class BlockBuilder:
+    """Accumulates statements of one block."""
+
+    def __init__(self) -> None:
+        self._stmts: List[Command] = []
+
+    # -- primitive statements ----------------------------------------------------
+    def new(self, lhs: str, site: str) -> "BlockBuilder":
+        self._stmts.append(New(lhs, site))
+        return self
+
+    def assign(self, lhs: str, rhs: str) -> "BlockBuilder":
+        self._stmts.append(Assign(lhs, rhs))
+        return self
+
+    def invoke(self, receiver: str, method: str) -> "BlockBuilder":
+        self._stmts.append(Invoke(receiver, method))
+        return self
+
+    def load(self, lhs: str, base: str, fieldname: str) -> "BlockBuilder":
+        self._stmts.append(FieldLoad(lhs, base, fieldname))
+        return self
+
+    def store(self, base: str, fieldname: str, rhs: str) -> "BlockBuilder":
+        self._stmts.append(FieldStore(base, fieldname, rhs))
+        return self
+
+    def skip(self) -> "BlockBuilder":
+        self._stmts.append(Skip())
+        return self
+
+    def call(self, proc: str) -> "BlockBuilder":
+        self._stmts.append(Call(proc))
+        return self
+
+    def append(self, cmd: Command) -> "BlockBuilder":
+        self._stmts.append(cmd)
+        return self
+
+    # -- structured statements ----------------------------------------------------
+    @contextmanager
+    def loop(self) -> Iterator["BlockBuilder"]:
+        inner = BlockBuilder()
+        yield inner
+        self._stmts.append(star(inner.command()))
+
+    @contextmanager
+    def choose(self) -> Iterator["ChoiceBuilder"]:
+        inner = ChoiceBuilder()
+        yield inner
+        self._stmts.append(inner.command())
+
+    def command(self) -> Command:
+        return seq(*self._stmts)
+
+
+class ChoiceBuilder:
+    """Accumulates alternatives of a ``choose`` statement."""
+
+    def __init__(self) -> None:
+        self._alts: List[Command] = []
+
+    @contextmanager
+    def branch(self) -> Iterator[BlockBuilder]:
+        inner = BlockBuilder()
+        yield inner
+        self._alts.append(inner.command())
+
+    def command(self) -> Command:
+        if len(self._alts) < 2:
+            raise ValueError("choose needs at least two branches")
+        return choice(*self._alts)
+
+
+class ProgramBuilder:
+    """Builds whole programs procedure by procedure."""
+
+    def __init__(self, main: str = "main") -> None:
+        self.main = main
+        self._procs: Dict[str, Command] = {}
+
+    @contextmanager
+    def proc(self, name: str) -> Iterator[BlockBuilder]:
+        if name in self._procs:
+            raise ValueError(f"duplicate procedure {name!r}")
+        block = BlockBuilder()
+        yield block
+        self._procs[name] = block.command()
+
+    def define(self, name: str, body: Command) -> "ProgramBuilder":
+        if name in self._procs:
+            raise ValueError(f"duplicate procedure {name!r}")
+        self._procs[name] = body
+        return self
+
+    def build(self, validate: bool = True, **metadata: object) -> Program:
+        program = Program(self._procs, main=self.main, metadata=metadata)
+        if validate:
+            validate_program(program)
+        return program

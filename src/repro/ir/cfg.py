@@ -1,0 +1,164 @@
+"""Control-flow-graph view of structured commands.
+
+Algorithm 1 of the paper assumes the program is given both as a map
+``Gamma`` from procedure names to commands and as a control-flow graph
+``G``.  This module lowers each structured command into a per-procedure
+CFG whose edges carry either a primitive command or a procedure call.
+
+Program points (:class:`ProgramPoint`) are the vertices; they are
+interned per procedure so they are cheap to hash and compare.  The
+lowering is the standard one:
+
+* ``c``        — one edge ``entry --c--> exit``
+* ``C1 ; C2``  — graphs chained through a fresh midpoint
+* ``C1 + C2``  — both graphs share entry and exit
+* ``C*``       — a loop node with a back edge through ``C`` and a skip
+  edge to the exit (zero iterations)
+* ``f()``      — one *call edge* ``entry --call f--> exit``
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple, Union
+
+from repro.ir.commands import Call, Choice, Command, Prim, Seq, Skip, Star
+from repro.ir.program import Program
+
+
+@dataclass(frozen=True)
+class ProgramPoint:
+    """A vertex of a procedure's control-flow graph."""
+
+    proc: str
+    index: int
+
+    def __str__(self) -> str:
+        return f"{self.proc}:{self.index}"
+
+
+@dataclass(frozen=True)
+class CFGEdge:
+    """A CFG edge labelled with a primitive command or a procedure call."""
+
+    source: ProgramPoint
+    label: Union[Prim, Call]
+    target: ProgramPoint
+
+    @property
+    def is_call(self) -> bool:
+        return isinstance(self.label, Call)
+
+    def __str__(self) -> str:
+        return f"{self.source} --[{self.label}]--> {self.target}"
+
+
+class CFG:
+    """Control-flow graph of one procedure."""
+
+    def __init__(self, proc: str, body: Command) -> None:
+        self.proc = proc
+        self._points: List[ProgramPoint] = []
+        self._succs: Dict[ProgramPoint, List[CFGEdge]] = {}
+        self._preds: Dict[ProgramPoint, List[CFGEdge]] = {}
+        self.entry = self._fresh()
+        self.exit = self._build(body, self.entry)
+
+    # -- construction -------------------------------------------------------------
+    def _fresh(self) -> ProgramPoint:
+        point = ProgramPoint(self.proc, len(self._points))
+        self._points.append(point)
+        self._succs[point] = []
+        self._preds[point] = []
+        return point
+
+    def _edge(self, src: ProgramPoint, label: Union[Prim, Call], dst: ProgramPoint) -> None:
+        edge = CFGEdge(src, label, dst)
+        self._succs[src].append(edge)
+        self._preds[dst].append(edge)
+
+    def _build(self, cmd: Command, entry: ProgramPoint) -> ProgramPoint:
+        """Lower ``cmd`` starting at ``entry``; return its exit point."""
+        if isinstance(cmd, Prim):
+            exit_ = self._fresh()
+            self._edge(entry, cmd, exit_)
+            return exit_
+        if isinstance(cmd, Call):
+            exit_ = self._fresh()
+            self._edge(entry, cmd, exit_)
+            return exit_
+        if isinstance(cmd, Seq):
+            point = entry
+            for part in cmd.parts:
+                point = self._build(part, point)
+            return point
+        if isinstance(cmd, Choice):
+            exit_ = self._fresh()
+            for alt in cmd.alternatives:
+                alt_exit = self._build(alt, entry)
+                self._edge(alt_exit, Skip(), exit_)
+            return exit_
+        if isinstance(cmd, Star):
+            # entry --skip--> head; head --body--> tail --skip--> head;
+            # head --skip--> exit.  The head is the loop join point.
+            head = self._fresh()
+            self._edge(entry, Skip(), head)
+            tail = self._build(cmd.body, head)
+            self._edge(tail, Skip(), head)
+            exit_ = self._fresh()
+            self._edge(head, Skip(), exit_)
+            return exit_
+        raise TypeError(f"unknown command node {cmd!r}")
+
+    # -- queries ------------------------------------------------------------------
+    @property
+    def points(self) -> List[ProgramPoint]:
+        return list(self._points)
+
+    def successors(self, point: ProgramPoint) -> List[CFGEdge]:
+        return list(self._succs[point])
+
+    def predecessors(self, point: ProgramPoint) -> List[CFGEdge]:
+        return list(self._preds[point])
+
+    def edges(self) -> Iterator[CFGEdge]:
+        for edges in self._succs.values():
+            yield from edges
+
+    def call_edges(self) -> Iterator[CFGEdge]:
+        return (edge for edge in self.edges() if edge.is_call)
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __str__(self) -> str:
+        lines = [f"cfg {self.proc} (entry={self.entry.index}, exit={self.exit.index}):"]
+        lines.extend(f"  {edge}" for edge in self.edges())
+        return "\n".join(lines)
+
+
+class ControlFlowGraphs:
+    """CFGs for every procedure of a program, built lazily and cached."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self._cfgs: Dict[str, CFG] = {}
+
+    def __getitem__(self, proc: str) -> CFG:
+        if proc not in self._cfgs:
+            self._cfgs[proc] = CFG(proc, self.program[proc])
+        return self._cfgs[proc]
+
+    def entry(self, proc: str) -> ProgramPoint:
+        return self[proc].entry
+
+    def exit(self, proc: str) -> ProgramPoint:
+        return self[proc].exit
+
+    def all(self) -> Dict[str, CFG]:
+        for proc in self.program:
+            self[proc]
+        return dict(self._cfgs)
+
+    def total_points(self) -> int:
+        return sum(len(self[proc]) for proc in self.program)

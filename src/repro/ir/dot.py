@@ -1,0 +1,53 @@
+"""Graphviz (dot) export for CFGs and call graphs.
+
+Pure-text rendering — no graphviz dependency; feed the output to
+``dot -Tsvg`` if a picture is wanted.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.callgraph.rta import CallGraph
+from repro.ir.cfg import CFG
+
+
+def _quote(text: str) -> str:
+    return '"' + text.replace("\\", "\\\\").replace('"', '\\"') + '"'
+
+
+def cfg_to_dot(cfg: CFG, name: Optional[str] = None) -> str:
+    """Render one procedure's CFG as a dot digraph."""
+    lines = [f"digraph {_quote(name or cfg.proc)} {{"]
+    lines.append("  node [shape=circle, fontsize=10];")
+    for point in cfg.points:
+        attrs = []
+        if point == cfg.entry:
+            attrs.append("shape=doublecircle")
+        if point == cfg.exit:
+            attrs.append("shape=doublecircle, style=filled, fillcolor=lightgray")
+        suffix = f" [{', '.join(attrs)}]" if attrs else ""
+        lines.append(f"  {point.index}{suffix};")
+    for edge in cfg.edges():
+        style = ", style=dashed" if edge.is_call else ""
+        lines.append(
+            f"  {edge.source.index} -> {edge.target.index} "
+            f"[label={_quote(str(edge.label))}{style}];"
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def call_graph_to_dot(graph: CallGraph, highlight: Iterable[str] = ()) -> str:
+    """Render a call graph as a dot digraph; ``highlight`` nodes are
+    drawn filled (e.g. the procedures SWIFT summarized bottom-up)."""
+    marked = set(highlight)
+    lines = ["digraph callgraph {", "  node [shape=box, fontsize=10];"]
+    for proc in sorted(graph.nodes):
+        attrs = ["style=filled", "fillcolor=lightblue"] if proc in marked else []
+        suffix = f" [{', '.join(attrs)}]" if attrs else ""
+        lines.append(f"  {_quote(proc)}{suffix};")
+    for src, dst in graph.edges():
+        lines.append(f"  {_quote(src)} -> {_quote(dst)};")
+    lines.append("}")
+    return "\n".join(lines)

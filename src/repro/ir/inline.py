@@ -1,0 +1,69 @@
+"""Call inlining.
+
+The classic alternative to procedure summaries is to inline calls and
+run an intraprocedural analysis.  This transformation makes that
+baseline expressible (and lets tests cross-check the interprocedural
+engines against analysis-after-inlining):
+
+* :func:`inline_calls` substitutes callee bodies for ``Call`` nodes up
+  to a depth bound;
+* fully inlining is only possible for non-recursive programs —
+  recursive calls (or calls beyond the depth bound) are left in place.
+
+Because the IR's variables are global, substitution is plain body
+splicing: no renaming is needed, which is exactly why the analyses'
+semantics (Section 3.5) and this transformation agree.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.ir.commands import Call, Choice, Command, Prim, Seq, Star, choice, seq, star
+from repro.ir.program import Program
+
+
+def inline_calls(
+    program: Program,
+    max_depth: Optional[int] = None,
+    proc: Optional[str] = None,
+) -> Program:
+    """Return a program whose entry body has calls inlined.
+
+    ``max_depth`` bounds the substitution depth (``None`` = unbounded,
+    which requires a non-recursive program); ``proc`` selects the
+    procedure to start from (default: main).  Procedures other than the
+    produced entry are retained so leftover calls stay well-formed.
+    """
+    root = proc or program.main
+    if max_depth is None:
+        if program.is_recursive():
+            raise ValueError(
+                "cannot fully inline a recursive program; pass max_depth"
+            )
+        max_depth = len(program) + 1
+    inlined_body = _inline(program, program[root], max_depth)
+    procedures: Dict[str, Command] = dict(program.procedures)
+    procedures[root] = inlined_body
+    return Program(procedures, main=program.main, metadata=dict(program.metadata))
+
+
+def _inline(program: Program, cmd: Command, fuel: int) -> Command:
+    if isinstance(cmd, Prim):
+        return cmd
+    if isinstance(cmd, Call):
+        if fuel <= 0:
+            return cmd
+        return _inline(program, program[cmd.proc], fuel - 1)
+    if isinstance(cmd, Seq):
+        return seq(*[_inline(program, part, fuel) for part in cmd.parts])
+    if isinstance(cmd, Choice):
+        return choice(*[_inline(program, alt, fuel) for alt in cmd.alternatives])
+    if isinstance(cmd, Star):
+        return star(_inline(program, cmd.body, fuel))
+    raise TypeError(f"unknown command node {cmd!r}")
+
+
+def call_free(cmd: Command) -> bool:
+    """Does the command contain no procedure calls?"""
+    return next(cmd.calls(), None) is None

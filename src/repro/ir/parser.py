@@ -1,0 +1,186 @@
+"""Textual frontend for the command IR.
+
+The grammar matches the output of :mod:`repro.ir.printer`::
+
+    program  ::= proc*
+    proc     ::= "proc" NAME "{" stmt* "}"
+    stmt     ::= prim ";" | "call" NAME ";"
+               | "choose" "{" stmt* "}" ("or" "{" stmt* "}")+
+               | "loop" "{" stmt* "}"
+    prim     ::= "skip"
+               | NAME "=" "new" NAME
+               | NAME "=" NAME
+               | NAME "=" NAME "." NAME          (field load)
+               | NAME "." NAME "=" NAME          (field store)
+               | NAME "." NAME "(" ")"           (invoke)
+
+Comments start with ``#`` and run to end of line.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.ir.commands import (
+    Assign,
+    Call,
+    Command,
+    FieldLoad,
+    FieldStore,
+    Invoke,
+    New,
+    Skip,
+    choice,
+    seq,
+    star,
+)
+from repro.ir.program import Program
+
+
+class ParseError(ValueError):
+    """Raised on malformed IR text."""
+
+    def __init__(self, message: str, position: int, text: str) -> None:
+        line = text.count("\n", 0, position) + 1
+        super().__init__(f"line {line}: {message}")
+        self.position = position
+
+
+_TOKEN = re.compile(
+    r"""
+    (?P<ws>\s+|\#[^\n]*)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_$]*)
+  | (?P<punct>\{|\}|\(|\)|=|;|\.)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"proc", "call", "choose", "or", "loop", "new", "skip"}
+
+
+class _Lexer:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens: List[Tuple[str, str, int]] = []
+        pos = 0
+        while pos < len(text):
+            match = _TOKEN.match(text, pos)
+            if match is None:
+                raise ParseError(f"unexpected character {text[pos]!r}", pos, text)
+            pos = match.end()
+            if match.lastgroup == "ws":
+                continue
+            self.tokens.append((match.lastgroup, match.group(), match.start()))
+        self.index = 0
+
+    def peek(self) -> Optional[Tuple[str, str, int]]:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def next(self) -> Tuple[str, str, int]:
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of input", len(self.text), self.text)
+        self.index += 1
+        return token
+
+    def expect(self, value: str) -> None:
+        kind, text, pos = self.next()
+        if text != value:
+            raise ParseError(f"expected {value!r}, found {text!r}", pos, self.text)
+
+    def at(self, value: str) -> bool:
+        token = self.peek()
+        return token is not None and token[1] == value
+
+
+def parse_program(text: str, main: str = "main") -> Program:
+    """Parse IR source text into a :class:`Program`."""
+    lexer = _Lexer(text)
+    procedures: Dict[str, Command] = {}
+    while lexer.peek() is not None:
+        lexer.expect("proc")
+        _, name, pos = lexer.next()
+        if name in procedures:
+            raise ParseError(f"duplicate procedure {name!r}", pos, text)
+        lexer.expect("{")
+        procedures[name] = _parse_block(lexer)
+    if not procedures:
+        raise ParseError("empty program", 0, text)
+    return Program(procedures, main=main)
+
+
+def parse_command(text: str) -> Command:
+    """Parse a statement block (no ``proc`` wrapper) into a command."""
+    lexer = _Lexer("{" + text + "}")
+    lexer.expect("{")
+    return _parse_block(lexer)
+
+
+def _parse_block(lexer: _Lexer) -> Command:
+    """Parse statements up to and including the closing ``}``."""
+    stmts: List[Command] = []
+    while not lexer.at("}"):
+        stmts.append(_parse_stmt(lexer))
+    lexer.expect("}")
+    return seq(*stmts)
+
+
+def _parse_stmt(lexer: _Lexer) -> Command:
+    kind, word, pos = lexer.next()
+    if word == "call":
+        _, proc, _ = lexer.next()
+        lexer.expect(";")
+        return Call(proc)
+    if word == "loop":
+        lexer.expect("{")
+        return star(_parse_block(lexer))
+    if word == "choose":
+        lexer.expect("{")
+        alternatives = [_parse_block(lexer)]
+        while lexer.at("or"):
+            lexer.expect("or")
+            lexer.expect("{")
+            alternatives.append(_parse_block(lexer))
+        if len(alternatives) < 2:
+            raise ParseError("choose needs at least two branches", pos, lexer.text)
+        return choice(*alternatives)
+    if word == "skip":
+        lexer.expect(";")
+        return Skip()
+    if kind != "name" or word in _KEYWORDS:
+        raise ParseError(f"unexpected token {word!r}", pos, lexer.text)
+    # Starts with an identifier: assignment / new / load / store / invoke.
+    return _parse_prim(lexer, word, pos)
+
+
+def _parse_prim(lexer: _Lexer, first: str, pos: int) -> Command:
+    if lexer.at("."):
+        lexer.expect(".")
+        _, member, _ = lexer.next()
+        if lexer.at("("):
+            lexer.expect("(")
+            lexer.expect(")")
+            lexer.expect(";")
+            return Invoke(first, member)
+        lexer.expect("=")
+        _, rhs, _ = lexer.next()
+        lexer.expect(";")
+        return FieldStore(first, member, rhs)
+    lexer.expect("=")
+    kind, second, spos = lexer.next()
+    if second == "new":
+        _, site, _ = lexer.next()
+        lexer.expect(";")
+        return New(first, site)
+    if kind != "name" or second in _KEYWORDS:
+        raise ParseError(f"unexpected token {second!r}", spos, lexer.text)
+    if lexer.at("."):
+        lexer.expect(".")
+        _, fieldname, _ = lexer.next()
+        lexer.expect(";")
+        return FieldLoad(first, second, fieldname)
+    lexer.expect(";")
+    return Assign(first, second)

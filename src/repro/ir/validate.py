@@ -1,0 +1,40 @@
+"""Well-formedness checks for programs."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.commands import Call
+from repro.ir.program import Program
+
+
+class ValidationError(ValueError):
+    """Raised when a program violates IR well-formedness rules."""
+
+
+def validate_program(program: Program) -> None:
+    """Check that a program is well formed; raise :class:`ValidationError`.
+
+    Rules:
+
+    * every ``Call`` targets a defined procedure;
+    * the main procedure exists (enforced by :class:`Program` already);
+    * procedure names and variable names are non-empty identifiers.
+    """
+    problems: List[str] = []
+    for name in program:
+        if not name or not _is_identifier(name):
+            problems.append(f"bad procedure name {name!r}")
+        for call in program[name].calls():
+            if call.proc not in program:
+                problems.append(f"{name}: call to undefined procedure {call.proc!r}")
+        for prim in program[name].primitives():
+            for var in prim.vars_used():
+                if not var or not _is_identifier(var):
+                    problems.append(f"{name}: bad variable name {var!r} in {prim}")
+    if problems:
+        raise ValidationError("; ".join(problems))
+
+
+def _is_identifier(name: str) -> bool:
+    return name.replace(".", "_").replace("$", "_").isidentifier()

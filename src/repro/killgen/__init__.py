@@ -1,0 +1,50 @@
+"""Kill/gen analyses and the Section 5.2 synthesis recipe.
+
+The paper observes that for the *kill/gen* class of analyses — where a
+primitive command's transfer function only removes a fixed set of facts
+and adds a fixed set of facts — a bottom-up analysis satisfying
+conditions C1–C3 can be synthesized automatically from the top-down
+one.  This package implements that recipe:
+
+* a :class:`KillGenSpec` declares, per primitive command, the killed
+  and generated dataflow facts (IFDS-style: abstract states are single
+  facts plus the distinguished ``LAMBDA`` seed);
+* :func:`synthesize` turns a spec into a matched
+  (:class:`KillGenTD`, :class:`KillGenBU`) pair whose bottom-up
+  relations are either *survive* relations (identity minus an
+  accumulated kill set) or *seed constants* (``LAMBDA -> fact``, for
+  generated facts);
+* three concrete specs: reaching definitions, initialized variables,
+  allocated sites.
+
+Because the pair is synthesized, it composes with everything in
+:mod:`repro.framework` — including SWIFT — for free.
+"""
+
+from repro.killgen.analysis import (
+    LAMBDA,
+    KillGenBU,
+    KillGenTD,
+    LambdaConst,
+    Survive,
+    synthesize,
+)
+from repro.killgen.specs import (
+    AllocatedSitesSpec,
+    InitializedVarsSpec,
+    KillGenSpec,
+    ReachingDefsSpec,
+)
+
+__all__ = [
+    "AllocatedSitesSpec",
+    "InitializedVarsSpec",
+    "KillGenBU",
+    "KillGenSpec",
+    "KillGenTD",
+    "LAMBDA",
+    "LambdaConst",
+    "ReachingDefsSpec",
+    "Survive",
+    "synthesize",
+]

@@ -1,0 +1,202 @@
+"""Synthesized top-down and bottom-up kill/gen analyses.
+
+IFDS-style encoding: abstract states are individual dataflow facts plus
+the distinguished seed :data:`LAMBDA`.  The top-down transfer is::
+
+    trans(c)(LAMBDA) = {LAMBDA} ∪ gen(c)
+    trans(c)(d)      = {} if d ∈ kill(c) else {d}
+
+Bottom-up abstract relations take exactly two shapes — this is the
+Section 5.2 recipe made concrete:
+
+* ``Survive(K)``     — ``{(σ, σ) | σ ∉ K}``: the identity weakened by
+  the kill set accumulated so far (``id# = Survive(∅)``);
+* ``LambdaConst(d)`` — ``{(LAMBDA, d)}``: a fact generated somewhere
+  along the path, regardless of what else held at entry.
+
+Relation transfer, composition and weakest preconditions are all
+closed over these two shapes, so conditions C1–C3 hold by construction
+(and are re-checked by the test suite).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Hashable, Tuple, Union
+
+from repro.framework.interfaces import BottomUpAnalysis, TopDownAnalysis
+from repro.ir.commands import Prim
+from repro.killgen.specs import KillGenSpec
+
+
+class _Lambda:
+    """The distinguished seed fact (singleton)."""
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "Λ"
+
+
+LAMBDA = _Lambda()
+
+
+# -- relations -----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Survive:
+    """Identity on every fact outside the accumulated kill set."""
+
+    killed: FrozenSet[Hashable]
+
+    __slots__ = ("killed",)
+
+    def __str__(self) -> str:
+        if not self.killed:
+            return "id#"
+        return f"survive(-{len(self.killed)} facts)"
+
+
+@dataclass(frozen=True)
+class LambdaConst:
+    """``LAMBDA -> fact``: a generated fact."""
+
+    fact: Hashable
+
+    __slots__ = ("fact",)
+
+    def __str__(self) -> str:
+        return f"gen({self.fact!r})"
+
+
+Relation = Union[Survive, LambdaConst]
+
+
+# -- domain predicates (for the ignored sets) --------------------------------------------
+@dataclass(frozen=True)
+class NotKilled:
+    """Denotes ``{σ | σ ∉ killed}`` — the domain of a Survive relation."""
+
+    killed: FrozenSet[Hashable]
+
+    __slots__ = ("killed",)
+
+    def __str__(self) -> str:
+        return f"notIn({len(self.killed)} facts)"
+
+
+@dataclass(frozen=True)
+class IsLambda:
+    """Denotes ``{LAMBDA}`` — the domain of a LambdaConst relation."""
+
+    __slots__ = ()
+
+    def __str__(self) -> str:
+        return "isLambda"
+
+
+Predicate = Union[NotKilled, IsLambda]
+
+
+class KillGenTD(TopDownAnalysis):
+    """Top-down kill/gen analysis over single-fact abstract states."""
+
+    def __init__(self, spec: KillGenSpec) -> None:
+        self.spec = spec
+
+    def transfer(self, cmd: Prim, sigma) -> FrozenSet:
+        if sigma is LAMBDA:
+            return frozenset({LAMBDA}) | self.spec.gen(cmd)
+        if sigma in self.spec.kill(cmd):
+            return frozenset()
+        return frozenset({sigma})
+
+
+class KillGenBU(BottomUpAnalysis):
+    """Bottom-up kill/gen analysis synthesized from the same spec."""
+
+    def __init__(self, spec: KillGenSpec) -> None:
+        self.spec = spec
+        self._identity = Survive(frozenset())
+
+    # -- core operators --------------------------------------------------------------
+    def identity(self) -> Survive:
+        return self._identity
+
+    def rtransfer(self, cmd: Prim, r: Relation) -> FrozenSet[Relation]:
+        kill = self.spec.kill(cmd)
+        if isinstance(r, Survive):
+            out = {Survive(r.killed | kill)}
+            out.update(LambdaConst(d) for d in self.spec.gen(cmd))
+            return frozenset(out)
+        if isinstance(r, LambdaConst):
+            if r.fact in kill:
+                return frozenset()
+            return frozenset({r})
+        raise TypeError(f"unknown relation {r!r}")
+
+    def rcompose(self, r1: Relation, r2: Relation) -> FrozenSet[Relation]:
+        if isinstance(r1, Survive) and isinstance(r2, Survive):
+            return frozenset({Survive(r1.killed | r2.killed)})
+        if isinstance(r1, Survive) and isinstance(r2, LambdaConst):
+            # LAMBDA is never killed, so LAMBDA ∈ dom(r1) always.
+            return frozenset({r2})
+        if isinstance(r1, LambdaConst) and isinstance(r2, Survive):
+            if r1.fact in r2.killed:
+                return frozenset()
+            return frozenset({r1})
+        # (LAMBDA -> d) ; (LAMBDA -> d') needs d = LAMBDA, and facts are
+        # never the seed.
+        return frozenset()
+
+    # -- instantiation -----------------------------------------------------------------
+    def apply(self, r: Relation, sigma) -> FrozenSet:
+        if isinstance(r, Survive):
+            if sigma is LAMBDA or sigma not in r.killed:
+                return frozenset({sigma})
+            return frozenset()
+        if sigma is LAMBDA:
+            return frozenset({r.fact})
+        return frozenset()
+
+    def in_domain(self, r: Relation, sigma) -> bool:
+        if isinstance(r, Survive):
+            return sigma is LAMBDA or sigma not in r.killed
+        return sigma is LAMBDA
+
+    # -- predicates ------------------------------------------------------------------------
+    def domain_predicate(self, r: Relation) -> Predicate:
+        if isinstance(r, Survive):
+            return NotKilled(r.killed)
+        return IsLambda()
+
+    def pred_satisfied(self, p: Predicate, sigma) -> bool:
+        if isinstance(p, IsLambda):
+            return sigma is LAMBDA
+        return sigma is LAMBDA or sigma not in p.killed
+
+    def pred_entails(self, p: Predicate, q: Predicate) -> bool:
+        if isinstance(q, NotKilled):
+            if isinstance(p, IsLambda):
+                return True  # LAMBDA is outside every kill set
+            return q.killed <= p.killed
+        return isinstance(p, IsLambda)
+
+    def pre_image(self, r: Relation, p: Predicate) -> FrozenSet[Predicate]:
+        if isinstance(r, Survive):
+            if isinstance(p, IsLambda):
+                return frozenset({IsLambda()})
+            return frozenset({NotKilled(r.killed | p.killed)})
+        # LambdaConst: the only input is LAMBDA; its image is r.fact.
+        if self.pred_satisfied(p, r.fact):
+            return frozenset({IsLambda()})
+        return frozenset()
+
+
+def synthesize(spec: KillGenSpec) -> Tuple[KillGenTD, KillGenBU]:
+    """The Section 5.2 recipe: a matched (top-down, bottom-up) pair."""
+    return KillGenTD(spec), KillGenBU(spec)

@@ -1,0 +1,94 @@
+"""Concrete kill/gen analysis specifications.
+
+A spec answers two questions per primitive command: which facts does it
+*kill* and which does it *generate*?  Both answers must be fixed sets —
+independent of the incoming facts — which is precisely what makes the
+class amenable to automatic bottom-up synthesis (Section 5.2).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Hashable
+
+from repro.ir.commands import Assign, FieldLoad, FieldStore, Invoke, New, Prim
+from repro.ir.program import Program
+
+
+class KillGenSpec:
+    """Interface of a kill/gen analysis."""
+
+    name = "kill-gen"
+
+    def kill(self, cmd: Prim) -> FrozenSet[Hashable]:
+        raise NotImplementedError
+
+    def gen(self, cmd: Prim) -> FrozenSet[Hashable]:
+        raise NotImplementedError
+
+
+class ReachingDefsSpec(KillGenSpec):
+    """Reaching definitions.
+
+    Facts are ``(variable, definition)`` pairs, where a definition is
+    identified by the (structurally unique) text of the defining
+    command — syntactically identical commands share one definition
+    site, a deterministic coarsening that keeps the spec a pure
+    function of the command.
+    """
+
+    name = "reaching-defs"
+
+    def __init__(self, program: Program) -> None:
+        self._defs_of = {}
+        for prim in program.primitives():
+            target = _defined_var(prim)
+            if target is not None:
+                self._defs_of.setdefault(target, set()).add((target, str(prim)))
+
+    def kill(self, cmd: Prim) -> FrozenSet:
+        target = _defined_var(cmd)
+        if target is None:
+            return frozenset()
+        return frozenset(self._defs_of.get(target, ()))
+
+    def gen(self, cmd: Prim) -> FrozenSet:
+        target = _defined_var(cmd)
+        if target is None:
+            return frozenset()
+        return frozenset({(target, str(cmd))})
+
+
+class InitializedVarsSpec(KillGenSpec):
+    """Variables that have definitely-maybe been assigned (may-init).
+
+    Facts are variable names; nothing is ever killed.
+    """
+
+    name = "initialized-vars"
+
+    def kill(self, cmd: Prim) -> FrozenSet:
+        return frozenset()
+
+    def gen(self, cmd: Prim) -> FrozenSet:
+        target = _defined_var(cmd)
+        return frozenset() if target is None else frozenset({target})
+
+
+class AllocatedSitesSpec(KillGenSpec):
+    """Allocation sites executed so far (a may-allocation analysis)."""
+
+    name = "allocated-sites"
+
+    def kill(self, cmd: Prim) -> FrozenSet:
+        return frozenset()
+
+    def gen(self, cmd: Prim) -> FrozenSet:
+        if isinstance(cmd, New):
+            return frozenset({cmd.site})
+        return frozenset()
+
+
+def _defined_var(cmd: Prim):
+    if isinstance(cmd, (New, Assign, FieldLoad)):
+        return cmd.lhs
+    return None

@@ -1,0 +1,165 @@
+"""Type-state verification client.
+
+Runs one of the engines (TD, BU, SWIFT) over a program for a given
+type-state property and extracts the *error reports*: program points
+where an abstract object may be in the ``error`` type-state.  The
+bootstrap pseudo-object is excluded (its type-state is meaningless;
+see :mod:`repro.typestate.states`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple
+
+from repro.framework.bottomup import BottomUpEngine, BottomUpResult
+from repro.framework.metrics import Budget
+from repro.framework.pruning import NoPruner
+from repro.framework.swift import SwiftEngine, SwiftResult
+from repro.framework.topdown import TopDownEngine, TopDownResult
+from repro.ir.cfg import ProgramPoint
+from repro.ir.program import Program
+from repro.typestate.bu_analysis import SimpleTypestateBU
+from repro.typestate.dfa import ERROR, TypestateProperty
+from repro.typestate.states import BOOTSTRAP_SITE, bootstrap_state
+from repro.typestate.td_analysis import SimpleTypestateTD
+
+
+@dataclass
+class TypestateReport:
+    """Outcome of a type-state verification run."""
+
+    property_name: str
+    engine: str
+    errors: FrozenSet[Tuple[ProgramPoint, str]]  # (point, allocation site)
+    td_summaries: int
+    bu_summaries: int
+    timed_out: bool
+    result: object = field(repr=False, default=None)
+
+    @property
+    def error_sites(self) -> FrozenSet[str]:
+        return frozenset(site for (_, site) in self.errors)
+
+
+def find_errors(result: TopDownResult) -> FrozenSet[Tuple[ProgramPoint, str]]:
+    """All (program point, allocation site) pairs with a possible error state."""
+    out: Set[Tuple[ProgramPoint, str]] = set()
+    for point, pairs in result.td.items():
+        for (_, sigma) in pairs:
+            if sigma.state == ERROR and sigma.site != BOOTSTRAP_SITE:
+                out.add((point, sigma.site))
+    return frozenset(out)
+
+
+def make_analyses(
+    program: Program,
+    prop: TypestateProperty,
+    domain: str = "simple",
+    tracked_sites: Optional[FrozenSet[str]] = None,
+    oracle=None,
+):
+    """Build the (td, bu, initial-state) triple for a domain.
+
+    ``domain`` is ``"simple"`` (Figures 2-3) or ``"full"`` (the
+    four-component analysis of the evaluation; a may-alias oracle is
+    derived from an Andersen points-to run when not supplied).
+    """
+    if domain == "simple":
+        return (
+            SimpleTypestateTD(prop, tracked_sites),
+            SimpleTypestateBU(prop, tracked_sites),
+            bootstrap_state(prop),
+        )
+    if domain == "full":
+        from repro.typestate.full import (
+            FullTypestateBU,
+            FullTypestateTD,
+            full_bootstrap_state,
+        )
+
+        if oracle is None:
+            from repro.alias import points_to_oracle
+
+            oracle = points_to_oracle(program)
+        variables = program.variables()
+        return (
+            FullTypestateTD(prop, oracle, tracked_sites, variables),
+            FullTypestateBU(prop, oracle, tracked_sites, variables),
+            full_bootstrap_state(prop),
+        )
+    raise ValueError(f"unknown domain {domain!r} (expected simple or full)")
+
+
+def run_typestate(
+    program: Program,
+    prop: TypestateProperty,
+    engine: str = "swift",
+    k: int = 5,
+    theta: int = 1,
+    budget: Optional[Budget] = None,
+    tracked_sites: Optional[FrozenSet[str]] = None,
+    domain: str = "simple",
+    oracle=None,
+) -> TypestateReport:
+    """Verify ``prop`` over ``program`` with the chosen engine.
+
+    ``engine`` is ``"td"`` (conventional top-down), ``"bu"``
+    (conventional bottom-up, no pruning) or ``"swift"`` (the hybrid);
+    see :func:`make_analyses` for ``domain``.
+    """
+    td_analysis, bu_analysis, init = make_analyses(
+        program, prop, domain, tracked_sites, oracle
+    )
+    initial = [init]
+    if engine == "td":
+        td_engine = TopDownEngine(program, td_analysis, budget=budget)
+        result = td_engine.run(initial)
+        return TypestateReport(
+            prop.name,
+            "td",
+            find_errors(result),
+            result.total_summaries(),
+            0,
+            result.timed_out,
+            result,
+        )
+    if engine == "swift":
+        swift = SwiftEngine(
+            program, td_analysis, bu_analysis, k=k, theta=theta, budget=budget
+        )
+        result = swift.run(initial)
+        return TypestateReport(
+            prop.name,
+            "swift",
+            find_errors(result),
+            result.total_summaries(),
+            result.total_bu_relations(),
+            result.timed_out,
+            result,
+        )
+    if engine == "bu":
+        bu_engine = BottomUpEngine(
+            program, bu_analysis, pruner=NoPruner(bu_analysis), budget=budget
+        )
+        bu_result = bu_engine.analyze()
+        errors: Set[Tuple[ProgramPoint, str]] = set()
+        timed_out = bu_result.timed_out
+        if not timed_out:
+            # Instantiate main's summary on the initial state; errors are
+            # reported at main's exit (per-point attribution needs the
+            # top-down tables, which a pure bottom-up run does not build).
+            exit_point = ProgramPoint(program.main, -1)
+            for sigma in bu_result.apply_to(program.main, initial):
+                if sigma.state == ERROR and sigma.site != BOOTSTRAP_SITE:
+                    errors.add((exit_point, sigma.site))
+        return TypestateReport(
+            prop.name,
+            "bu",
+            frozenset(errors),
+            0,
+            bu_result.total_relations(),
+            timed_out,
+            bu_result,
+        )
+    raise ValueError(f"unknown engine {engine!r} (expected td, bu, or swift)")

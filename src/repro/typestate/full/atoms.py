@@ -1,0 +1,152 @@
+"""Predicate atoms of the full relational type-state analysis.
+
+The analysis case-splits three ways on the status of an access path
+``π`` in the incoming state — in the must set, in the must-not set, or
+in neither — so it needs the four membership atoms below plus their
+mutual-exclusion rules (``π`` cannot be in both sets at once).
+
+May-alias facts are baked into atoms at creation time: a
+:class:`MayAliasAtom` carries the frozen set of sites its variable may
+point to, so satisfaction only needs the state's site and the atoms
+stay self-contained hashable values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet
+
+from repro.framework.predicates import Atom
+from repro.typestate.full.states import FullAbstractState
+
+
+@dataclass(frozen=True)
+class InMust(Atom):
+    """``π ∈ a`` (the paper's ``have``)."""
+
+    path: str
+
+    __slots__ = ("path",)
+
+    def satisfied_by(self, sigma: FullAbstractState) -> bool:
+        return self.path in sigma.must
+
+    def contradicts(self, other: Atom) -> bool:
+        if isinstance(other, NotInMust) and other.path == self.path:
+            return True
+        # must and must-not are disjoint, so π ∈ a contradicts π ∈ n.
+        return isinstance(other, InMustNot) and other.path == self.path
+
+    def implies(self, other: Atom) -> bool:
+        # π ∈ a implies π ∉ n (the sets are disjoint).
+        return isinstance(other, NotInMustNot) and other.path == self.path
+
+    def __str__(self) -> str:
+        return f"inMust({self.path})"
+
+
+@dataclass(frozen=True)
+class NotInMust(Atom):
+    """``π ∉ a``."""
+
+    path: str
+
+    __slots__ = ("path",)
+
+    def satisfied_by(self, sigma: FullAbstractState) -> bool:
+        return self.path not in sigma.must
+
+    def contradicts(self, other: Atom) -> bool:
+        return isinstance(other, InMust) and other.path == self.path
+
+    def __str__(self) -> str:
+        return f"notInMust({self.path})"
+
+
+@dataclass(frozen=True)
+class InMustNot(Atom):
+    """``π ∈ n`` (the paper's ``notHave`` in the four-component domain)."""
+
+    path: str
+
+    __slots__ = ("path",)
+
+    def satisfied_by(self, sigma: FullAbstractState) -> bool:
+        return self.path in sigma.mustnot
+
+    def contradicts(self, other: Atom) -> bool:
+        if isinstance(other, NotInMustNot) and other.path == self.path:
+            return True
+        return isinstance(other, InMust) and other.path == self.path
+
+    def implies(self, other: Atom) -> bool:
+        # π ∈ n implies π ∉ a (the sets are disjoint).
+        return isinstance(other, NotInMust) and other.path == self.path
+
+    def __str__(self) -> str:
+        return f"inMustNot({self.path})"
+
+
+@dataclass(frozen=True)
+class NotInMustNot(Atom):
+    """``π ∉ n``."""
+
+    path: str
+
+    __slots__ = ("path",)
+
+    def satisfied_by(self, sigma: FullAbstractState) -> bool:
+        return self.path not in sigma.mustnot
+
+    def contradicts(self, other: Atom) -> bool:
+        return isinstance(other, InMustNot) and other.path == self.path
+
+    def __str__(self) -> str:
+        return f"notInMustNot({self.path})"
+
+
+@dataclass(frozen=True)
+class MayAliasAtom(Atom):
+    """``mayalias(v, h)`` — the state's site is among the sites ``v``
+    may point to (per the oracle snapshot baked in at creation)."""
+
+    var: str
+    sites: FrozenSet[str]
+
+    __slots__ = ("var", "sites")
+
+    def satisfied_by(self, sigma: FullAbstractState) -> bool:
+        return sigma.site in self.sites
+
+    def contradicts(self, other: Atom) -> bool:
+        return (
+            isinstance(other, NotMayAliasAtom)
+            and other.var == self.var
+            and other.sites == self.sites
+        )
+
+    def __str__(self) -> str:
+        return f"mayalias({self.var})"
+
+
+@dataclass(frozen=True)
+class NotMayAliasAtom(Atom):
+    """``¬mayalias(v, h)``."""
+
+    var: str
+    sites: FrozenSet[str]
+
+    __slots__ = ("var", "sites")
+
+    def satisfied_by(self, sigma: FullAbstractState) -> bool:
+        return sigma.site not in self.sites
+
+    def contradicts(self, other: Atom) -> bool:
+        return (
+            isinstance(other, MayAliasAtom)
+            and other.var == self.var
+            and other.sites == self.sites
+        )
+
+    def __str__(self) -> str:
+        return f"!mayalias({self.var})"

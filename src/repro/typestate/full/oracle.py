@@ -1,0 +1,60 @@
+"""May-alias oracles.
+
+The full type-state analysis falls back to may-alias information when
+the receiver of a tracked call is in neither the must nor the must-not
+set (summaries ``B3``/``B4`` in Figure 1).  An oracle answers, for a
+variable and an allocation site, whether the variable may point to
+objects from that site, and — because the relational analysis embeds
+the answer in predicate atoms — must also enumerate the sites a
+variable may point to.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Mapping
+
+from repro.typestate.states import BOOTSTRAP_SITE
+
+
+class MayAliasOracle:
+    """Interface: conservative may-point-to information."""
+
+    def may_alias(self, var: str, site: str) -> bool:
+        return site in self.sites_for(var)
+
+    def sites_for(self, var: str) -> FrozenSet[str]:
+        raise NotImplementedError
+
+
+class AllMayAlias(MayAliasOracle):
+    """Everything may alias everything (sound, maximally imprecise).
+
+    The bootstrap pseudo-site is still excluded: no program variable
+    ever points to the bootstrap object.
+    """
+
+    def __init__(self, sites: Iterable[str]) -> None:
+        self._sites = frozenset(sites) - {BOOTSTRAP_SITE}
+
+    def sites_for(self, var: str) -> FrozenSet[str]:
+        return self._sites
+
+
+class NoMayAlias(MayAliasOracle):
+    """Nothing may alias (useful in tests; unsound on real programs)."""
+
+    def sites_for(self, var: str) -> FrozenSet[str]:
+        return frozenset()
+
+
+class PointsToOracle(MayAliasOracle):
+    """Oracle backed by a points-to analysis result."""
+
+    def __init__(self, points_to: Mapping[str, FrozenSet[str]]) -> None:
+        self._points_to: Dict[str, FrozenSet[str]] = {
+            var: frozenset(sites) - {BOOTSTRAP_SITE}
+            for var, sites in points_to.items()
+        }
+
+    def sites_for(self, var: str) -> FrozenSet[str]:
+        return self._points_to.get(var, frozenset())

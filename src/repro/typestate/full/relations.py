@@ -1,0 +1,193 @@
+"""Abstract relations of the full type-state analysis.
+
+Mirrors :mod:`repro.typestate.bu_analysis` with two enrichments: the
+transformer carries removal *pattern* masks and addition sets for both
+the must and the must-not components::
+
+    σ = (h, t, a, n)  ↦  (h, ι(t), (a \\ remA) ∪ addA, (n \\ remN) ∪ addN)
+
+Removal masks are sets of :class:`~repro.typestate.full.paths.PathPattern`
+(whole families of access paths get invalidated at once — every path
+rooted at an overwritten variable, every path through a stored field);
+addition sets are concrete paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Union
+
+from repro.framework.predicates import Conjunction
+from repro.typestate.dfa import TSFunction
+from repro.typestate.full.paths import (
+    ExactPath,
+    HasField,
+    PathPattern,
+    Rooted,
+    filter_removed,
+    matches_any,
+    normalize_patterns,
+    path_fields,
+    path_root,
+)
+from repro.typestate.full.states import FullAbstractState
+
+
+class _CompiledMask:
+    """Pattern set pre-split by kind for O(1)-ish matching.
+
+    Removal masks are consulted for every access path of every state a
+    transformer is applied to; matching each path against each pattern
+    object dominates instantiation cost, so the patterns are compiled
+    once per relation into three plain sets.
+    """
+
+    __slots__ = ("roots", "exacts", "fields", "empty")
+
+    def __init__(self, patterns: FrozenSet[PathPattern]) -> None:
+        roots = set()
+        exacts = set()
+        fields = set()
+        for p in patterns:
+            if isinstance(p, Rooted):
+                roots.add(p.var)
+            elif isinstance(p, ExactPath):
+                exacts.add(p.path)
+            elif isinstance(p, HasField):
+                fields.add(p.fieldname)
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"unknown pattern {p!r}")
+        self.roots = roots
+        self.exacts = exacts
+        self.fields = fields
+        self.empty = not (roots or exacts or fields)
+
+    def matches(self, path: str) -> bool:
+        if self.empty:
+            return False
+        dot = path.find(".")
+        if dot < 0:
+            return path in self.roots or path in self.exacts
+        return (
+            path[:dot] in self.roots
+            or path in self.exacts
+            or (bool(self.fields) and any(f in self.fields for f in path.split(".")[1:]))
+        )
+
+    def filter(self, paths: FrozenSet[str]) -> FrozenSet[str]:
+        if self.empty or not paths:
+            return paths
+        return frozenset(p for p in paths if not self.matches(p))
+
+
+@dataclass(frozen=True)
+class FullConstRelation:
+    """``(σ, φ)`` — constant relation."""
+
+    output: FullAbstractState
+    pred: Conjunction
+
+    __slots__ = ("output", "pred")
+
+    def __str__(self) -> str:
+        return f"[{self.pred} => {self.output}]"
+
+
+class FullTransformerRelation:
+    """``(ι, remA, addA, remN, addN, φ)``."""
+
+    __slots__ = (
+        "iota",
+        "rem_must",
+        "add_must",
+        "rem_mustnot",
+        "add_mustnot",
+        "pred",
+        "_hash",
+        "_rem_must_c",
+        "_rem_mustnot_c",
+    )
+
+    def __init__(
+        self,
+        iota: TSFunction,
+        rem_must: FrozenSet[PathPattern],
+        add_must: FrozenSet[str],
+        rem_mustnot: FrozenSet[PathPattern],
+        add_mustnot: FrozenSet[str],
+        pred: Conjunction,
+    ) -> None:
+        self.iota = iota
+        self.rem_must = normalize_patterns(rem_must)
+        self.add_must = frozenset(add_must)
+        self.rem_mustnot = normalize_patterns(rem_mustnot)
+        self.add_mustnot = frozenset(add_mustnot)
+        if self.add_must & self.add_mustnot:
+            raise ValueError("a path cannot be added to both must and must-not")
+        self.pred = pred
+        self._rem_must_c = _CompiledMask(self.rem_must)
+        self._rem_mustnot_c = _CompiledMask(self.rem_mustnot)
+        self._hash = hash(
+            (
+                self.iota,
+                self.rem_must,
+                self.add_must,
+                self.rem_mustnot,
+                self.add_mustnot,
+                self.pred,
+            )
+        )
+
+    # -- output-status queries (three-valued) -------------------------------------
+    def must_status(self, path: str) -> str:
+        """Status of ``path`` in the *output* must set: 'in', 'out' or 'dep'."""
+        if path in self.add_must:
+            return "in"
+        if self._rem_must_c.matches(path):
+            return "out"
+        return "dep"
+
+    def mustnot_status(self, path: str) -> str:
+        if path in self.add_mustnot:
+            return "in"
+        if self._rem_mustnot_c.matches(path):
+            return "out"
+        return "dep"
+
+    # -- semantics ------------------------------------------------------------------
+    def transform(self, sigma: FullAbstractState) -> FullAbstractState:
+        must = self._rem_must_c.filter(sigma.must) | self.add_must
+        mustnot = self._rem_mustnot_c.filter(sigma.mustnot) | self.add_mustnot
+        return FullAbstractState(sigma.site, self.iota(sigma.state), must, mustnot)
+
+    # -- value semantics ---------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FullTransformerRelation):
+            return NotImplemented
+        return (
+            self.iota == other.iota
+            and self.rem_must == other.rem_must
+            and self.add_must == other.add_must
+            and self.rem_mustnot == other.rem_mustnot
+            and self.add_mustnot == other.add_mustnot
+            and self.pred == other.pred
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return str(self)
+
+    def __str__(self) -> str:
+        rem_a = ",".join(sorted(map(str, self.rem_must)))
+        add_a = ",".join(sorted(self.add_must))
+        rem_n = ",".join(sorted(map(str, self.rem_mustnot)))
+        add_n = ",".join(sorted(self.add_mustnot))
+        return (
+            f"[{self.pred} => {self.iota}, "
+            f"A:-{{{rem_a}}}+{{{add_a}}}, N:-{{{rem_n}}}+{{{add_n}}}]"
+        )
+
+
+FullRelation = Union[FullConstRelation, FullTransformerRelation]

@@ -1,0 +1,51 @@
+"""Abstract states of the full type-state analysis: ``(h, t, a, n)``.
+
+``a`` (must) and ``n`` (must-not) are disjoint finite sets of access
+paths; ``a`` lists expressions that definitely point to the abstract
+object, ``n`` expressions that definitely do not (Section 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable
+
+from repro.typestate.dfa import TypestateProperty
+from repro.typestate.states import BOOTSTRAP_SITE
+
+
+@dataclass(frozen=True)
+class FullAbstractState:
+    """``(h, t, a, n)`` — site, type-state, must set, must-not set."""
+
+    site: str
+    state: str
+    must: FrozenSet[str]
+    mustnot: FrozenSet[str]
+
+    __slots__ = ("site", "state", "must", "mustnot")
+
+    def __post_init__(self) -> None:
+        overlap = self.must & self.mustnot
+        if overlap:
+            raise ValueError(f"must/must-not overlap: {sorted(overlap)}")
+
+    def with_state(self, state: str) -> "FullAbstractState":
+        return FullAbstractState(self.site, state, self.must, self.mustnot)
+
+    def with_sets(
+        self, must: Iterable[str], mustnot: Iterable[str]
+    ) -> "FullAbstractState":
+        return FullAbstractState(
+            self.site, self.state, frozenset(must), frozenset(mustnot)
+        )
+
+    def __str__(self) -> str:
+        a = "{" + ",".join(sorted(self.must)) + "}"
+        n = "{" + ",".join(sorted(self.mustnot)) + "}"
+        return f"({self.site},{self.state},{a},{n})"
+
+
+def full_bootstrap_state(prop: TypestateProperty) -> FullAbstractState:
+    """The initial abstract state fed to ``main``."""
+    return FullAbstractState(BOOTSTRAP_SITE, prop.initial, frozenset(), frozenset())

@@ -1,0 +1,181 @@
+"""Library of type-state properties.
+
+The paper evaluates on type-state properties from the Ashes and DaCapo
+suites; the usual set in that line of work (Fink et al., TOSEM 2008)
+covers JDK resource classes.  This module defines DFAs for the classic
+ones.  Each property's methods are disjoint from the others' where
+possible so several properties can be checked over one program without
+interference.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.typestate.dfa import TypestateProperty
+
+#: File: must be opened before reads/writes; no double open/close.
+FILE_PROPERTY = TypestateProperty(
+    "File",
+    states=["closed", "opened"],
+    initial="closed",
+    transitions={
+        ("closed", "open"): "opened",
+        ("opened", "read"): "opened",
+        ("opened", "write"): "opened",
+        ("opened", "close"): "closed",
+    },
+)
+
+#: Iterator: hasNext must precede next.
+ITERATOR_PROPERTY = TypestateProperty(
+    "Iterator",
+    states=["start", "checked"],
+    initial="start",
+    transitions={
+        ("start", "hasNext"): "checked",
+        ("checked", "hasNext"): "checked",
+        ("checked", "next"): "start",
+    },
+)
+
+#: Connection: connect before send/recv; disconnect ends the session.
+CONNECTION_PROPERTY = TypestateProperty(
+    "Connection",
+    states=["idle", "connected"],
+    initial="idle",
+    transitions={
+        ("idle", "connect"): "connected",
+        ("connected", "send"): "connected",
+        ("connected", "recv"): "connected",
+        ("connected", "disconnect"): "idle",
+    },
+)
+
+#: Signature: initSign, then update*, then sign (java.security.Signature).
+SIGNATURE_PROPERTY = TypestateProperty(
+    "Signature",
+    states=["uninit", "signing"],
+    initial="uninit",
+    transitions={
+        ("uninit", "initSign"): "signing",
+        ("signing", "update"): "signing",
+        ("signing", "sign"): "uninit",
+    },
+)
+
+#: Stack: pop/peek only on a non-empty stack (1-bounded emptiness).
+STACK_PROPERTY = TypestateProperty(
+    "Stack",
+    states=["empty", "nonempty"],
+    initial="empty",
+    transitions={
+        ("empty", "push"): "nonempty",
+        ("nonempty", "push"): "nonempty",
+        ("nonempty", "pop"): "nonempty",
+        ("nonempty", "peek"): "nonempty",
+    },
+)
+
+#: Enumeration: hasMoreElements before nextElement.
+ENUMERATION_PROPERTY = TypestateProperty(
+    "Enumeration",
+    states=["fresh", "ready"],
+    initial="fresh",
+    transitions={
+        ("fresh", "hasMoreElements"): "ready",
+        ("ready", "hasMoreElements"): "ready",
+        ("ready", "nextElement"): "fresh",
+    },
+)
+
+#: KeyStore: load before getKey.
+KEYSTORE_PROPERTY = TypestateProperty(
+    "KeyStore",
+    states=["unloaded", "loaded"],
+    initial="unloaded",
+    transitions={
+        ("unloaded", "load"): "loaded",
+        ("loaded", "getKey"): "loaded",
+        ("loaded", "aliases"): "loaded",
+    },
+)
+
+#: PrintStream: no use after close.
+PRINTSTREAM_PROPERTY = TypestateProperty(
+    "PrintStream",
+    states=["open", "closedPS"],
+    initial="open",
+    transitions={
+        ("open", "print"): "open",
+        ("open", "println"): "open",
+        ("open", "closeStream"): "closedPS",
+    },
+)
+
+#: URLConnection: setters are illegal once connected.
+URLCONN_PROPERTY = TypestateProperty(
+    "URLConn",
+    states=["setup", "live"],
+    initial="setup",
+    transitions={
+        ("setup", "setDoOutput"): "setup",
+        ("setup", "setRequestProperty"): "setup",
+        ("setup", "connectURL"): "live",
+        ("live", "getInputStream"): "live",
+        ("live", "getOutputStream"): "live",
+    },
+)
+
+#: Vector: elementAt only after at least one addElement (simplified).
+VECTOR_PROPERTY = TypestateProperty(
+    "Vector",
+    states=["emptyVec", "filled"],
+    initial="emptyVec",
+    transitions={
+        ("emptyVec", "addElement"): "filled",
+        ("filled", "addElement"): "filled",
+        ("filled", "elementAt"): "filled",
+        ("filled", "removeAll"): "emptyVec",
+    },
+)
+
+#: Socket: bind, then connectSock, then IO, then closeSock.
+SOCKET_PROPERTY = TypestateProperty(
+    "Socket",
+    states=["unbound", "bound", "connectedSock"],
+    initial="unbound",
+    transitions={
+        ("unbound", "bind"): "bound",
+        ("bound", "connectSock"): "connectedSock",
+        ("connectedSock", "sendTo"): "connectedSock",
+        ("connectedSock", "recvFrom"): "connectedSock",
+        ("connectedSock", "closeSock"): "unbound",
+    },
+)
+
+_ALL: List[TypestateProperty] = [
+    FILE_PROPERTY,
+    ITERATOR_PROPERTY,
+    CONNECTION_PROPERTY,
+    SIGNATURE_PROPERTY,
+    STACK_PROPERTY,
+    ENUMERATION_PROPERTY,
+    KEYSTORE_PROPERTY,
+    PRINTSTREAM_PROPERTY,
+    URLCONN_PROPERTY,
+    VECTOR_PROPERTY,
+    SOCKET_PROPERTY,
+]
+
+
+def all_properties() -> List[TypestateProperty]:
+    """All built-in properties (a fresh list)."""
+    return list(_ALL)
+
+
+def property_by_name(name: str) -> TypestateProperty:
+    for prop in _ALL:
+        if prop.name == name:
+            return prop
+    raise KeyError(f"unknown typestate property {name!r}")

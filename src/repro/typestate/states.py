@@ -1,0 +1,55 @@
+"""Abstract states of the simple type-state analysis (Figure 2).
+
+An abstract state (also called an *abstract object*) is a triple
+``(h, t, a)``: an allocation site, a type-state the object allocated
+there may be in, and the *must set* — variables that definitely point
+to the object.
+
+The analysis is seeded with a single *bootstrap* state for a
+distinguished pseudo-site: ``trans(v = new h)`` in Figure 2 produces
+the new abstract object ``(h, init, {v})`` *alongside* the updated
+incoming object, so some abstract object must already be flowing for
+allocations to materialize.  The bootstrap object plays that role and
+is excluded from error reports (its type-state is meaningless — the
+simplified analysis of Figure 2 drives *every* object whose must set
+misses the receiver to ``error`` on a tracked call).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable
+
+from repro.typestate.dfa import TypestateProperty
+
+#: Pseudo allocation site of the bootstrap abstract object.
+BOOTSTRAP_SITE = "<boot>"
+
+
+@dataclass(frozen=True)
+class AbstractState:
+    """``(h, t, a)`` — site, type-state, must set."""
+
+    site: str
+    state: str
+    must: FrozenSet[str]
+
+    __slots__ = ("site", "state", "must")
+
+    def with_state(self, state: str) -> "AbstractState":
+        return AbstractState(self.site, state, self.must)
+
+    def with_must(self, must: Iterable[str]) -> "AbstractState":
+        return AbstractState(self.site, self.state, frozenset(must))
+
+    def has(self, var: str) -> bool:
+        return var in self.must
+
+    def __str__(self) -> str:
+        must = "{" + ",".join(sorted(self.must)) + "}"
+        return f"({self.site},{self.state},{must})"
+
+
+def bootstrap_state(prop: TypestateProperty) -> AbstractState:
+    """The initial abstract state fed to ``main``."""
+    return AbstractState(BOOTSTRAP_SITE, prop.initial, frozenset())

@@ -1,0 +1,68 @@
+"""Top-down type-state analysis — Figure 2 of the paper.
+
+Transfer functions over abstract states ``(h, t, a)``::
+
+    trans(v = new h')(h, t, a) = {(h, t, a \\ {v}), (h', init, {v})}
+    trans(v = w)(h, t, a)      = if (w ∈ a) then {(h, t, a ∪ {v})}
+                                 else {(h, t, a \\ {v})}
+    trans(v.m())(h, t, a)      = if (v ∈ a) then {(h, [m](t), a)}
+                                 else {(h, error, a)}
+
+extended (consistently with the bottom-up analysis, so condition C1
+keeps holding) by:
+
+* field loads ``v = w.f`` — the simple analysis does not track heap
+  paths, so ``v`` simply loses its must-alias status: ``a \\ {v}``;
+* field stores and ``skip`` — no-ops on ``(h, t, a)``;
+* calls of methods the property does not track — no-ops;
+* an optional ``tracked_sites`` filter so allocations at untracked
+  sites do not materialize abstract objects.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional
+
+from repro.framework.interfaces import TopDownAnalysis
+from repro.ir.commands import Assign, FieldLoad, FieldStore, Invoke, New, Prim, Skip
+from repro.typestate.dfa import ERROR, TypestateProperty
+from repro.typestate.states import AbstractState
+
+
+class SimpleTypestateTD(TopDownAnalysis):
+    """The analysis ``A = (S, trans)`` of Figure 2."""
+
+    def __init__(
+        self,
+        prop: TypestateProperty,
+        tracked_sites: Optional[FrozenSet[str]] = None,
+    ) -> None:
+        self.prop = prop
+        self.tracked_sites = tracked_sites
+
+    def _tracks_site(self, site: str) -> bool:
+        return self.tracked_sites is None or site in self.tracked_sites
+
+    def transfer(self, cmd: Prim, sigma: AbstractState) -> FrozenSet[AbstractState]:
+        if isinstance(cmd, New):
+            survivor = sigma.with_must(sigma.must - {cmd.lhs})
+            out = {survivor}
+            if self._tracks_site(cmd.site):
+                out.add(AbstractState(cmd.site, self.prop.initial, frozenset({cmd.lhs})))
+            return frozenset(out)
+        if isinstance(cmd, Assign):
+            if cmd.rhs in sigma.must:
+                return frozenset({sigma.with_must(sigma.must | {cmd.lhs})})
+            return frozenset({sigma.with_must(sigma.must - {cmd.lhs})})
+        if isinstance(cmd, Invoke):
+            fn = self.prop.method_function(cmd.method)
+            if fn is None:
+                return frozenset({sigma})
+            if cmd.receiver in sigma.must:
+                return frozenset({sigma.with_state(fn(sigma.state))})
+            return frozenset({sigma.with_state(ERROR)})
+        if isinstance(cmd, FieldLoad):
+            return frozenset({sigma.with_must(sigma.must - {cmd.lhs})})
+        if isinstance(cmd, (FieldStore, Skip)):
+            return frozenset({sigma})
+        raise TypeError(f"unsupported primitive command {cmd!r}")

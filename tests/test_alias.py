@@ -1,0 +1,94 @@
+"""Unit tests for the Andersen points-to analysis and alias oracles."""
+
+from repro.alias import AndersenPointsTo, points_to_oracle
+from repro.ir.builder import ProgramBuilder
+from repro.typestate.full.oracle import AllMayAlias, NoMayAlias, PointsToOracle
+from repro.typestate.states import BOOTSTRAP_SITE
+
+from tests.helpers import figure1_program
+
+
+def _solve(program):
+    return AndersenPointsTo(program).solve()
+
+
+def test_new_and_copy():
+    b = ProgramBuilder()
+    with b.proc("main") as p:
+        p.new("a", "h1").assign("b", "a").assign("c", "b")
+    result = _solve(b.build())
+    for var in "abc":
+        assert result.of_var(var) == frozenset({"h1"})
+
+
+def test_copy_is_directional():
+    b = ProgramBuilder()
+    with b.proc("main") as p:
+        p.new("a", "h1").new("b", "h2").assign("a", "b")
+    result = _solve(b.build())
+    assert result.of_var("a") == frozenset({"h1", "h2"})
+    assert result.of_var("b") == frozenset({"h2"})
+
+
+def test_field_store_then_load():
+    b = ProgramBuilder()
+    with b.proc("main") as p:
+        p.new("box", "hbox").new("v", "h1")
+        p.store("box", "val", "v")
+        p.load("w", "box", "val")
+    result = _solve(b.build())
+    assert result.of_var("w") == frozenset({"h1"})
+    assert result.of_field("hbox", "val") == frozenset({"h1"})
+
+
+def test_field_sensitivity():
+    b = ProgramBuilder()
+    with b.proc("main") as p:
+        p.new("box", "hbox").new("v", "h1").new("u", "h2")
+        p.store("box", "left", "v")
+        p.store("box", "right", "u")
+        p.load("x", "box", "left")
+    result = _solve(b.build())
+    assert result.of_var("x") == frozenset({"h1"})
+
+
+def test_load_before_store_order_insensitive():
+    """Flow-insensitivity: a load textually before the store still sees
+    the stored value."""
+    b = ProgramBuilder()
+    with b.proc("main") as p:
+        p.new("box", "hbox")
+        p.load("x", "box", "val")
+        p.new("v", "h1")
+        p.store("box", "val", "v")
+    result = _solve(b.build())
+    assert result.of_var("x") == frozenset({"h1"})
+
+
+def test_interprocedural_via_globals():
+    program = figure1_program()
+    result = _solve(program)
+    assert result.of_var("f") == frozenset({"h1", "h2", "h3"})
+    assert result.may_alias_vars("f", "v1")
+    assert not result.may_alias_vars("v1", "v3")
+
+
+def test_points_to_oracle_excludes_bootstrap():
+    oracle = PointsToOracle({"v": frozenset({"h1", BOOTSTRAP_SITE})})
+    assert oracle.sites_for("v") == frozenset({"h1"})
+    assert not oracle.may_alias("v", BOOTSTRAP_SITE)
+
+
+def test_all_and_no_oracles():
+    oracle = AllMayAlias(["h1", "h2", BOOTSTRAP_SITE])
+    assert oracle.sites_for("anything") == frozenset({"h1", "h2"})
+    assert oracle.may_alias("x", "h1")
+    none = NoMayAlias()
+    assert none.sites_for("x") == frozenset()
+    assert not none.may_alias("x", "h1")
+
+
+def test_points_to_oracle_helper():
+    oracle = points_to_oracle(figure1_program())
+    assert oracle.may_alias("f", "h2")
+    assert not oracle.may_alias("v1", "h2")

@@ -1,0 +1,97 @@
+"""Unit tests for the benchmark generator and suite."""
+
+import pytest
+
+from repro.bench import (
+    SUITE_CONFIGS,
+    BenchmarkConfig,
+    benchmark_names,
+    generate,
+    load_benchmark,
+    load_suite,
+)
+from repro.ir.validate import validate_program
+
+
+def _tiny_config(**overrides):
+    base = dict(
+        name="tiny",
+        seed=7,
+        n_entries=2,
+        workers_per_entry=2,
+        n_resources=3,
+        n_hubs=2,
+        wrapper_depth=2,
+        n_branchy=1,
+        branch_len=2,
+        n_padding=4,
+        alias_styles=3,
+    )
+    base.update(overrides)
+    return BenchmarkConfig(**base)
+
+
+def test_generation_is_deterministic():
+    a = generate(_tiny_config())
+    b = generate(_tiny_config())
+    assert a.program.procedures == b.program.procedures
+    assert a.class_of == b.class_of
+
+
+def test_seed_changes_program():
+    a = generate(_tiny_config())
+    b = generate(_tiny_config(seed=8))
+    assert a.program.procedures != b.program.procedures
+
+
+def test_generated_program_is_valid_and_reachable():
+    benchmark = generate(_tiny_config())
+    validate_program(benchmark.program)
+    reachable = benchmark.program.reachable()
+    # Every generated procedure is 0-CFA-reachable from main.
+    assert reachable == frozenset(benchmark.program.names())
+
+
+def test_app_lib_partition():
+    benchmark = generate(_tiny_config())
+    assert not (benchmark.app_procs & benchmark.lib_procs)
+    assert benchmark.app_procs | benchmark.lib_procs == frozenset(
+        benchmark.program.names()
+    )
+    assert "main" in benchmark.app_procs
+    assert any(p.startswith("lib_hub") for p in benchmark.lib_procs)
+
+
+def test_resource_sites_are_allocated():
+    benchmark = generate(_tiny_config())
+    sites = benchmark.program.allocation_sites()
+    assert benchmark.resource_sites() <= sites
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        _tiny_config(alias_styles=0)
+    with pytest.raises(ValueError):
+        _tiny_config(alias_styles=99)
+    with pytest.raises(ValueError):
+        _tiny_config(n_resources=0)
+
+
+def test_suite_has_twelve_paper_names():
+    names = benchmark_names()
+    assert len(names) == 12
+    assert names[0] == "jpat-p" and names[-1] == "sablecc-j"
+    assert "avrora" in names and "antlr" in names
+
+
+def test_suite_caching():
+    assert load_benchmark("jpat-p") is load_benchmark("jpat-p")
+    with pytest.raises(KeyError):
+        load_benchmark("nope")
+
+
+def test_suite_scales_increase():
+    suite = {b.name: b for b in load_suite()}
+    small = len(suite["jpat-p"].program)
+    large = len(suite["avrora"].program)
+    assert large > 3 * small

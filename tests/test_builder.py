@@ -1,0 +1,95 @@
+"""Unit tests for the fluent program builder."""
+
+import pytest
+
+from repro.ir.builder import BlockBuilder, ChoiceBuilder, ProgramBuilder
+from repro.ir.commands import Assign, Call, Choice, Invoke, New, Seq, Skip, Star
+
+
+def test_block_builder_chains():
+    block = BlockBuilder()
+    block.new("v", "h").assign("f", "v").invoke("f", "open").skip().call("p")
+    cmd = block.command()
+    assert isinstance(cmd, Seq)
+    assert cmd.parts == (
+        New("v", "h"),
+        Assign("f", "v"),
+        Invoke("f", "open"),
+        Skip(),
+        Call("p"),
+    )
+
+
+def test_empty_block_is_skip():
+    assert BlockBuilder().command() == Skip()
+
+
+def test_loop_context_manager():
+    block = BlockBuilder()
+    with block.loop() as body:
+        body.invoke("f", "open")
+    cmd = block.command()
+    assert isinstance(cmd, Star)
+    assert cmd.body == Invoke("f", "open")
+
+
+def test_choose_context_manager():
+    block = BlockBuilder()
+    with block.choose() as c:
+        with c.branch() as a:
+            a.skip()
+        with c.branch() as b:
+            b.invoke("f", "open")
+    cmd = block.command()
+    assert isinstance(cmd, Choice)
+    assert len(cmd.alternatives) == 2
+
+
+def test_choice_builder_requires_two_branches():
+    c = ChoiceBuilder()
+    with c.branch() as only:
+        only.skip()
+    with pytest.raises(ValueError):
+        c.command()
+
+
+def test_program_builder_duplicate_proc_rejected():
+    b = ProgramBuilder()
+    with b.proc("main") as p:
+        p.skip()
+    with pytest.raises(ValueError):
+        with b.proc("main") as p:
+            p.skip()
+    with pytest.raises(ValueError):
+        b.define("main", Skip())
+
+
+def test_program_builder_validates_calls():
+    b = ProgramBuilder()
+    with b.proc("main") as p:
+        p.call("missing")
+    with pytest.raises(Exception):
+        b.build()
+    assert b.build(validate=False)["main"] == Call("missing")
+
+
+def test_program_builder_metadata():
+    b = ProgramBuilder()
+    with b.proc("main") as p:
+        p.skip()
+    program = b.build(label="unit-test")
+    assert program.metadata["label"] == "unit-test"
+
+
+def test_append_arbitrary_command():
+    block = BlockBuilder()
+    block.append(Star(Skip()))
+    assert block.command() == Star(Skip())
+
+
+def test_store_and_load_builders():
+    block = BlockBuilder()
+    block.store("box", "val", "v").load("w", "box", "val")
+    parts = block.command().parts
+    assert str(parts[0]) == "box.val = v"
+    assert str(parts[1]) == "w = box.val"

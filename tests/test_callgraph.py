@@ -1,0 +1,66 @@
+"""Unit tests for call graphs and Table 1 statistics."""
+
+import pytest
+
+from repro.bench import load_benchmark
+from repro.callgraph import build_call_graph, compute_stats
+from repro.ir.builder import ProgramBuilder
+from repro.ir.commands import Call, Skip, seq
+
+from tests.helpers import figure1_program
+
+
+def _chain_program():
+    b = ProgramBuilder()
+    b.define("main", seq(Call("a"), Call("b")))
+    b.define("a", Call("c"))
+    b.define("b", Skip())
+    b.define("c", Skip())
+    b.define("dead", Call("c"))
+    return b.build()
+
+
+def test_call_graph_reachability():
+    cg = build_call_graph(_chain_program())
+    assert cg.nodes == frozenset({"main", "a", "b", "c"})
+    assert ("main", "a") in set(cg.edges())
+    assert cg.edge_count() == 3
+
+
+def test_call_graph_depths_and_leaves():
+    cg = build_call_graph(_chain_program())
+    assert cg.depth_of("main") == 0
+    assert cg.depth_of("a") == 1
+    assert cg.depth_of("c") == 2
+    assert cg.leaves() == frozenset({"b", "c"})
+    assert cg.max_out_degree() == 2
+
+
+def test_call_graph_unreachable_raises():
+    cg = build_call_graph(_chain_program())
+    with pytest.raises(KeyError):
+        cg.depth_of("dead")
+
+
+def test_call_graph_custom_root():
+    cg = build_call_graph(_chain_program(), root="a")
+    assert cg.nodes == frozenset({"a", "c"})
+
+
+def test_stats_on_generated_benchmark():
+    benchmark = load_benchmark("jpat-p")
+    stats = compute_stats(benchmark)
+    assert stats.name == "jpat-p"
+    assert stats.methods_total >= stats.methods_app > 0
+    assert stats.loc_total > 0 and stats.code_kb_total > 0
+    # All padding must be reachable (the generator wires lib_misc_init).
+    reachable = build_call_graph(benchmark.program).nodes
+    padding = [p for p in benchmark.program if p.startswith("lib_misc")]
+    assert set(padding) <= set(reachable)
+
+
+def test_stats_row_shape():
+    stats = compute_stats(load_benchmark("toba-s"))
+    row = stats.row()
+    assert row[0] == "toba-s"
+    assert len(row) == 9

@@ -1,0 +1,96 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, load_program, main
+
+GOOD_MINI = """
+class Writer { method flush(f) { f.#open(); f.#close(); } }
+main { w = new Writer(); r = new Writer(); w.flush(r); }
+"""
+
+BAD_MINI = """
+class Writer { method close2(f) { f.#close(); f.#close(); } }
+main { w = new Writer(); r = new Writer(); r.#open(); w.close2(r); }
+"""
+
+IR_TEXT = """
+proc main {
+  v = new h1;
+  f = v;
+  f.open();
+  f.close();
+}
+"""
+
+
+@pytest.fixture
+def mini_file(tmp_path):
+    def write(text, name="prog.mini"):
+        path = tmp_path / name
+        path.write_text(text)
+        return str(path)
+
+    return write
+
+
+def test_load_program_minioo_and_ir(mini_file):
+    program = load_program(mini_file(GOOD_MINI))
+    assert "Writer$flush" in program
+    program = load_program(mini_file(IR_TEXT, "prog.ir"))
+    assert "main" in program
+
+
+def test_verify_ok_exit_code(mini_file, capsys):
+    code = main(["verify", mini_file(GOOD_MINI)])
+    assert code == 0
+    assert "ok" in capsys.readouterr().out
+
+
+def test_verify_violation_exit_code(mini_file, capsys):
+    code = main(["verify", mini_file(BAD_MINI)])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "violation" in out and "error state" in out
+
+
+def test_verify_budget_timeout(mini_file, capsys):
+    code = main(["verify", mini_file(GOOD_MINI), "--budget", "2"])
+    assert code == 2
+    assert "budget" in capsys.readouterr().out
+
+
+def test_verify_all_properties(mini_file, capsys):
+    code = main(["verify", mini_file(GOOD_MINI), "--all-properties"])
+    assert code == 0
+    assert "File: ok" in capsys.readouterr().out
+
+
+def test_verify_engine_choices(mini_file):
+    for engine in ("td", "bu", "swift"):
+        assert main(["verify", mini_file(GOOD_MINI), "--engine", engine]) == 0
+
+
+def test_dump_ir(mini_file, capsys):
+    assert main(["dump-ir", mini_file(GOOD_MINI)]) == 0
+    out = capsys.readouterr().out
+    assert "proc Writer$flush" in out
+    assert "call Writer$flush" in out
+
+
+def test_dot_call_graph_and_cfg(mini_file, capsys):
+    path = mini_file(GOOD_MINI)
+    assert main(["dot", path]) == 0
+    assert "digraph callgraph" in capsys.readouterr().out
+    assert main(["dot", path, "--proc", "main"]) == 0
+    assert "digraph" in capsys.readouterr().out
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_bench_unknown_name(capsys):
+    assert main(["bench", "not-a-benchmark"]) == 2
+    assert "unknown benchmark" in capsys.readouterr().out

@@ -1,0 +1,110 @@
+"""Negative tests: the C1–C3 checkers must *catch* broken analyses.
+
+A checker that never fires is no evidence; these tests feed
+deliberately wrong analyses through the checkers and assert
+counterexamples come back.
+"""
+
+from repro.framework.conditions import check_c1, check_c2, check_c3
+from repro.framework.predicates import TRUE, Conjunction
+from repro.ir.commands import Assign, Invoke
+from repro.typestate.bu_analysis import (
+    HaveAtom,
+    SimpleTypestateBU,
+    TransformerRelation,
+)
+from repro.typestate.properties import FILE_PROPERTY
+from repro.typestate.td_analysis import SimpleTypestateTD
+
+from tests.helpers import small_state_universe
+
+VARS = ["f", "g"]
+SITES = ["h1"]
+
+
+def _states():
+    return small_state_universe(FILE_PROPERTY, SITES, VARS, max_must=1)
+
+
+class _ImpreciseTD(SimpleTypestateTD):
+    """Breaks C1: drops the alias-kill on assignment."""
+
+    def transfer(self, cmd, sigma):
+        if isinstance(cmd, Assign) and cmd.rhs not in sigma.must:
+            return frozenset({sigma})  # wrong: keeps lhs's alias
+        return super().transfer(cmd, sigma)
+
+
+class _BrokenComposeBU(SimpleTypestateBU):
+    """Breaks C2: composition forgets the second relation's predicate."""
+
+    def rcompose(self, r1, r2):
+        out = super().rcompose(r1, r2)
+        return frozenset(
+            TransformerRelation(r.iota, r.removed, r.added, TRUE)
+            if isinstance(r, TransformerRelation)
+            else r
+            for r in out
+        )
+
+
+class _BrokenPreImageBU(SimpleTypestateBU):
+    """Breaks C3: the pre-image ignores the relation's own masks."""
+
+    def pre_image(self, r, p):
+        if p is TRUE:
+            return frozenset({r.pred}) if r.pred is not TRUE else frozenset({TRUE})
+        return frozenset({p})
+
+
+def test_check_c1_catches_imprecise_td():
+    td = _ImpreciseTD(FILE_PROPERTY)
+    bu = SimpleTypestateBU(FILE_PROPERTY)
+    problems = check_c1(
+        td, bu, [Assign("f", "g")], [bu.identity()], _states()
+    )
+    assert problems
+    assert "C1 violated" in problems[0]
+
+
+def test_check_c2_catches_broken_compose():
+    bu = _BrokenComposeBU(FILE_PROPERTY)
+    guarded = TransformerRelation(
+        FILE_PROPERTY.identity_function(),
+        frozenset(),
+        frozenset(),
+        Conjunction.of([HaveAtom("f")]),
+    )
+    kills_f = TransformerRelation(
+        FILE_PROPERTY.identity_function(),
+        frozenset({"f"}),
+        frozenset(),
+        TRUE,
+    )
+    # Compose guarded-then-killer: the composed predicate must retain
+    # have(f); the broken rcompose erases it, over-applying the result.
+    problems = check_c2(bu, [(guarded, kills_f)], _states())
+    assert problems
+    assert "C2 violated" in problems[0]
+
+
+def test_check_c3_catches_broken_pre_image():
+    bu = _BrokenPreImageBU(FILE_PROPERTY)
+    adds_f = TransformerRelation(
+        FILE_PROPERTY.identity_function(),
+        frozenset(),
+        frozenset({"f"}),
+        TRUE,
+    )
+    pred = Conjunction.of([HaveAtom("f")])
+    problems = check_c3(bu, [adds_f], [pred], _states())
+    assert problems
+    assert "C3" in problems[0]
+
+
+def test_checkers_pass_on_correct_pair_sanity():
+    """Control: the same harness with the correct analyses is clean."""
+    td = SimpleTypestateTD(FILE_PROPERTY)
+    bu = SimpleTypestateBU(FILE_PROPERTY)
+    assert not check_c1(td, bu, [Assign("f", "g"), Invoke("f", "open")],
+                        [bu.identity()], _states())

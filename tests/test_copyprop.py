@@ -1,0 +1,167 @@
+"""Tests for the copy-propagation instantiation (repro.copyprop)."""
+
+import itertools
+
+import pytest
+
+from repro.framework.conditions import check_c1, check_c2, check_c3
+from repro.framework.denotational import DenotationalInterpreter
+from repro.framework.swift import SwiftEngine
+from repro.framework.synthesis import SynthesizedTopDown
+from repro.framework.topdown import TopDownEngine
+from repro.copyprop import (
+    LAMBDA,
+    CopyPropBU,
+    CopyPropTD,
+    FactPredicate,
+    SubstRelation,
+    copyprop_pair,
+)
+from repro.ir.commands import Assign, FieldLoad, FieldStore, Invoke, New, Skip
+
+from tests.helpers import all_small_programs, figure1_program
+
+VARS = ["a", "b", "c"]
+SITES = ["h1", "h2"]
+
+
+def _states():
+    return [LAMBDA] + [(v, s) for v in VARS for s in SITES]
+
+
+def _prims():
+    prims = [Skip(), FieldStore("a", "f", "b"), Invoke("a", "open")]
+    for v in VARS:
+        prims.append(New(v, "h1"))
+        prims.append(FieldLoad(v, "b", "f"))
+        for w in VARS:
+            prims.append(Assign(v, w))
+    return prims
+
+
+def _relations(bu):
+    rels = [bu.identity()]
+    rels.append(SubstRelation({"a": "b"}, frozenset()))
+    rels.append(SubstRelation({"a": None}, frozenset({("a", "h1")})))
+    rels.append(SubstRelation({"b": "c", "c": None}, frozenset({("c", "h2")})))
+    rels.append(SubstRelation({"a": "b", "b": "a"}, frozenset()))  # a swap
+    return rels
+
+
+@pytest.fixture(scope="module")
+def pair():
+    td = CopyPropTD()
+    bu = CopyPropBU(VARS)
+    return td, bu
+
+
+def test_td_transfer_shapes(pair):
+    td, _ = pair
+    assert td.transfer(New("a", "h1"), LAMBDA) == frozenset({LAMBDA, ("a", "h1")})
+    assert td.transfer(New("a", "h1"), ("a", "h2")) == frozenset()
+    assert td.transfer(Assign("a", "b"), ("b", "h1")) == frozenset(
+        {("b", "h1"), ("a", "h1")}
+    )
+    assert td.transfer(Assign("a", "b"), ("a", "h1")) == frozenset()
+    assert td.transfer(Assign("a", "a"), ("a", "h1")) == frozenset({("a", "h1")})
+    assert td.transfer(FieldLoad("a", "b", "f"), ("a", "h1")) == frozenset()
+    sigma = ("c", "h2")
+    assert td.transfer(Invoke("x", "open"), sigma) == frozenset({sigma})
+
+
+def test_subst_relation_canonical(pair):
+    _, bu = pair
+    assert SubstRelation({"a": "a"}, frozenset()) == bu.identity()
+    swap1 = SubstRelation({"a": "b", "b": "a"}, frozenset())
+    swap2 = SubstRelation({"b": "a", "a": "b"}, frozenset())
+    assert swap1 == swap2 and hash(swap1) == hash(swap2)
+
+
+def test_apply_follows_copies(pair):
+    _, bu = pair
+    r = SubstRelation({"a": "b"}, frozenset())
+    assert bu.apply(r, ("b", "h1")) == frozenset({("b", "h1"), ("a", "h1")})
+    assert bu.apply(r, ("a", "h1")) == frozenset()
+    assert bu.apply(r, LAMBDA) == frozenset({LAMBDA})
+
+
+def test_condition_c1(pair):
+    td, bu = pair
+    problems = check_c1(td, bu, _prims(), _relations(bu), _states())
+    assert not problems, problems[:5]
+
+
+def test_condition_c2(pair):
+    _, bu = pair
+    rels = _relations(bu)
+    problems = check_c2(bu, itertools.product(rels, rels), _states())
+    assert not problems, problems[:5]
+
+
+def test_condition_c3(pair):
+    _, bu = pair
+    rels = _relations(bu)
+    preds = [bu.domain_predicate(r) for r in rels]
+    preds.append(FactPredicate(False, frozenset({"a"}), frozenset()))
+    preds.append(FactPredicate(True, frozenset(), frozenset({("b", "h1")})))
+    problems = check_c3(bu, rels, preds, _states())
+    assert not problems, problems[:5]
+
+
+def test_section51_synthesis_matches(pair):
+    td, bu = pair
+    synthesized = SynthesizedTopDown(bu)
+    for cmd in _prims():
+        for sigma in _states():
+            assert synthesized.transfer(cmd, sigma) == td.transfer(cmd, sigma)
+
+
+def test_fact_predicate_entailment():
+    small = FactPredicate(False, frozenset(), frozenset({("a", "h1")}))
+    rooty = FactPredicate(False, frozenset({"a"}), frozenset())
+    assert small.entails(rooty)
+    assert not rooty.entails(small)
+    lam = FactPredicate(True, frozenset(), frozenset())
+    assert not lam.entails(small)
+
+
+@pytest.mark.parametrize("program", all_small_programs())
+def test_td_matches_denotational(program):
+    td, _ = copyprop_pair(program)
+    oracle = DenotationalInterpreter(program, td).run([LAMBDA])
+    result = TopDownEngine(program, td).run([LAMBDA])
+    assert result.exit_states() == oracle
+
+
+@pytest.mark.parametrize("program", all_small_programs())
+@pytest.mark.parametrize("k,theta", [(1, 1), (2, 2)])
+def test_swift_equals_td(program, k, theta):
+    td, bu = copyprop_pair(program)
+    td_result = TopDownEngine(program, td).run([LAMBDA])
+    swift_result = SwiftEngine(program, td, bu, k=k, theta=theta).run([LAMBDA])
+    assert swift_result.exit_states() == td_result.exit_states()
+    for point in swift_result.cfgs["main"].points:
+        assert swift_result.states_at(point) == td_result.states_at(point)
+
+
+def test_end_to_end_copy_facts():
+    program = figure1_program()
+    td, _ = copyprop_pair(program)
+    final = TopDownEngine(program, td).run([LAMBDA]).exit_states()
+    # At main's exit: v3 and f both hold the h3 object; v1 still holds h1.
+    assert ("v3", "h3") in final and ("f", "h3") in final
+    assert ("v1", "h1") in final
+    # f was re-copied, so the stale f facts are gone.
+    assert ("f", "h1") not in final and ("f", "h2") not in final
+
+
+def test_summaries_are_single_relations():
+    """Copy propagation never case-splits: one bottom-up relation per
+    procedure, even without pruning."""
+    from repro.framework.bottomup import BottomUpEngine
+
+    program = figure1_program()
+    _, bu = copyprop_pair(program)
+    result = BottomUpEngine(program, bu).analyze()
+    for proc in program.reachable():
+        assert result.summary(proc).case_count() == 1

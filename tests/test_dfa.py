@@ -1,0 +1,97 @@
+"""Unit tests for type-state DFAs and TSFunctions."""
+
+import pytest
+
+from repro.typestate.dfa import ERROR, TSFunction, TypestateProperty
+from repro.typestate.properties import (
+    FILE_PROPERTY,
+    ITERATOR_PROPERTY,
+    all_properties,
+    property_by_name,
+)
+
+
+def test_property_construction_validates():
+    with pytest.raises(ValueError):
+        TypestateProperty("P", ["error"], "error", {})
+    with pytest.raises(ValueError):
+        TypestateProperty("P", ["a"], "b", {})
+    with pytest.raises(ValueError):
+        TypestateProperty("P", ["a"], "a", {("a", "m"): "zzz"})
+
+
+def test_file_property_steps():
+    assert FILE_PROPERTY.step("closed", "open") == "opened"
+    assert FILE_PROPERTY.step("opened", "close") == "closed"
+    # Tracked method in the wrong state falls to error …
+    assert FILE_PROPERTY.step("closed", "close") == ERROR
+    assert FILE_PROPERTY.step("closed", "read") == ERROR
+    # … untracked methods are identity, and error is a sink.
+    assert FILE_PROPERTY.step("closed", "toString") == "closed"
+    assert FILE_PROPERTY.step(ERROR, "open") == ERROR
+
+
+def test_method_function_none_for_untracked():
+    assert FILE_PROPERTY.method_function("toString") is None
+    fn = FILE_PROPERTY.method_function("open")
+    assert fn("closed") == "opened" and fn("opened") == ERROR
+
+
+def test_iterator_protocol():
+    assert ITERATOR_PROPERTY.step("start", "next") == ERROR
+    assert ITERATOR_PROPERTY.step("start", "hasNext") == "checked"
+    assert ITERATOR_PROPERTY.step("checked", "next") == "start"
+
+
+def test_ts_function_canonical_and_hashable():
+    f1 = FILE_PROPERTY.method_function("open")
+    f2 = TSFunction.of(FILE_PROPERTY.states, lambda t: FILE_PROPERTY.step(t, "open"))
+    assert f1 == f2 and hash(f1) == hash(f2)
+    assert len({f1, f2}) == 1
+
+
+def test_ts_function_composition_matches_paper_example():
+    """iota_close ∘ iota_open: closed ↦ closed, opened ↦ error."""
+    open_fn = FILE_PROPERTY.method_function("open")
+    close_fn = FILE_PROPERTY.method_function("close")
+    composed = close_fn.compose_after(open_fn)
+    assert composed("closed") == "closed"
+    assert composed("opened") == ERROR
+    assert composed(ERROR) == ERROR
+
+
+def test_identity_and_constant_functions():
+    ident = FILE_PROPERTY.identity_function()
+    assert ident.is_identity()
+    const = FILE_PROPERTY.error_function()
+    assert all(const(t) == ERROR for t in FILE_PROPERTY.states)
+    assert not const.is_identity()
+    with pytest.raises(ValueError):
+        FILE_PROPERTY.constant_function("nope")
+
+
+def test_ts_function_repr_forms():
+    assert repr(FILE_PROPERTY.identity_function()) == "ι_id"
+    assert "error" in repr(FILE_PROPERTY.error_function())
+    assert "->" in repr(FILE_PROPERTY.method_function("open"))
+
+
+def test_property_library_consistent():
+    props = all_properties()
+    assert len(props) >= 10
+    names = {p.name for p in props}
+    assert len(names) == len(props)
+    for prop in props:
+        assert prop.initial in prop.states
+        assert ERROR == prop.states[-1]
+        assert prop.methods, f"{prop.name} tracks no methods"
+        # Every tracked method in every state lands inside the DFA.
+        for t in prop.states:
+            for m in prop.methods:
+                assert prop.step(t, m) in prop.states
+
+
+def test_property_by_name():
+    assert property_by_name("File") is FILE_PROPERTY
+    with pytest.raises(KeyError):
+        property_by_name("Nope")

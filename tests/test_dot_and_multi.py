@@ -1,0 +1,82 @@
+"""Tests for dot export and the multi-property runner."""
+
+from repro.callgraph import build_call_graph
+from repro.ir.builder import ProgramBuilder
+from repro.ir.cfg import ControlFlowGraphs
+from repro.ir.dot import call_graph_to_dot, cfg_to_dot
+from repro.typestate.multi import (
+    classify_sites_by_method_usage,
+    run_multi_property,
+)
+from repro.typestate.properties import (
+    FILE_PROPERTY,
+    ITERATOR_PROPERTY,
+    all_properties,
+)
+
+from tests.helpers import figure1_program
+
+
+def test_cfg_dot_contains_edges_and_labels():
+    cfgs = ControlFlowGraphs(figure1_program())
+    dot = cfg_to_dot(cfgs["main"])
+    assert dot.startswith('digraph "main"')
+    assert "v1 = new h1" in dot
+    assert "style=dashed" in dot  # call edges dashed
+    assert dot.rstrip().endswith("}")
+
+
+def test_call_graph_dot_with_highlight():
+    graph = build_call_graph(figure1_program())
+    dot = call_graph_to_dot(graph, highlight=["foo"])
+    assert '"main" -> "foo"' in dot
+    assert "lightblue" in dot
+
+
+def _mixed_program():
+    b = ProgramBuilder()
+    with b.proc("main") as p:
+        p.new("file", "hfile").assign("f", "file")
+        p.invoke("f", "open").invoke("f", "close")
+        p.new("it", "hiter").assign("i", "it")
+        p.invoke("i", "next")  # Iterator violation: next before hasNext
+    return b.build()
+
+
+def test_site_classification_by_method_usage():
+    program = _mixed_program()
+    sites = classify_sites_by_method_usage(
+        program, [FILE_PROPERTY, ITERATOR_PROPERTY]
+    )
+    assert sites["File"] == frozenset({"hfile"})
+    assert sites["Iterator"] == frozenset({"hiter"})
+
+
+def test_multi_property_run_reports_each_property():
+    report = run_multi_property(
+        _mixed_program(), [FILE_PROPERTY, ITERATOR_PROPERTY], engine="td"
+    )
+    assert set(report.reports) == {"File", "Iterator"}
+    assert report.report("File").errors == frozenset()
+    assert report.report("Iterator").error_sites == frozenset({"hiter"})
+    assert report.violated_properties == frozenset({"Iterator"})
+    assert report.total_errors >= 1
+    assert report.timed_out_properties == frozenset()
+    lines = report.summary_lines()
+    assert any("Iterator" in line and "error" in line for line in lines)
+
+
+def test_multi_property_skips_unused_properties():
+    report = run_multi_property(_mixed_program(), all_properties(), engine="td")
+    # Only File and Iterator methods appear in the program.
+    assert set(report.reports) == {"File", "Iterator"}
+
+
+def test_multi_property_swift_agrees_with_td():
+    td = run_multi_property(_mixed_program(), [ITERATOR_PROPERTY], engine="td")
+    swift = run_multi_property(
+        _mixed_program(), [ITERATOR_PROPERTY], engine="swift", k=1, theta=2
+    )
+    assert (
+        swift.report("Iterator").error_sites == td.report("Iterator").error_sites
+    )

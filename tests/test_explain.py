@@ -1,0 +1,69 @@
+"""Tests for the SWIFT diagnostics (repro.framework.explain)."""
+
+from repro.framework.explain import SummaryExplorer
+from repro.framework.swift import SwiftEngine
+from repro.typestate.bu_analysis import SimpleTypestateBU
+from repro.typestate.properties import FILE_PROPERTY
+from repro.typestate.states import bootstrap_state
+from repro.typestate.td_analysis import SimpleTypestateTD
+
+from tests.helpers import figure1_program
+
+
+def _explorer(k=2, theta=2):
+    program = figure1_program()
+    result = SwiftEngine(
+        program,
+        SimpleTypestateTD(FILE_PROPERTY),
+        SimpleTypestateBU(FILE_PROPERTY),
+        k=k,
+        theta=theta,
+    ).run([bootstrap_state(FILE_PROPERTY)])
+    return SummaryExplorer(result)
+
+
+def test_hottest_procedures_ranks_foo_first():
+    explorer = _explorer()
+    hottest = explorer.hottest_procedures()
+    assert hottest[0][0] == "foo"
+    assert hottest[0][1] >= 3
+
+
+def test_summarized_procedures():
+    explorer = _explorer()
+    assert explorer.summarized_procedures() == ["foo"]
+
+
+def test_coverage_between_zero_and_one():
+    explorer = _explorer()
+    cov = explorer.coverage("foo")
+    assert cov is not None and 0.0 <= cov <= 1.0
+    assert explorer.coverage("main") is None  # never summarized
+
+
+def test_explain_mentions_cases_and_contexts():
+    explorer = _explorer()
+    text = explorer.explain("foo")
+    assert "incoming abstract states" in text
+    assert "bottom-up summary" in text
+    assert "case:" in text
+
+
+def test_explain_unsummarized_procedure():
+    explorer = _explorer(k=100)
+    text = explorer.explain("foo")
+    assert "no bottom-up summary" in text
+
+
+def test_fallback_states_respect_ignored_set():
+    explorer = _explorer(k=2, theta=1)
+    summary = explorer.result.bu["foo"]
+    for sigma in explorer.fallback_states("foo"):
+        assert sigma in summary.ignored
+
+
+def test_report_overview():
+    explorer = _explorer()
+    report = explorer.report(limit=3)
+    assert "SWIFT summary report" in report
+    assert "foo" in report

@@ -1,0 +1,127 @@
+"""Tests for the bottom-up engine: completeness without pruning
+(coincidence with the top-down semantics) and pruned behaviour.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.framework.bottomup import BottomUpEngine
+from repro.framework.denotational import DenotationalInterpreter
+from repro.framework.pruning import FrequencyPruner, NoPruner
+from repro.typestate.properties import FILE_PROPERTY
+from repro.typestate.bu_analysis import SimpleTypestateBU
+from repro.typestate.states import bootstrap_state
+from repro.typestate.td_analysis import SimpleTypestateTD
+
+from tests.helpers import all_small_programs, figure1_program, section24_program
+
+
+def _apply_summary(bu_analysis, summary, states):
+    out = set()
+    for sigma in states:
+        assert sigma not in summary.ignored
+        for r in summary.relations:
+            out.update(bu_analysis.apply(r, sigma))
+    return frozenset(out)
+
+
+@pytest.mark.parametrize("program", all_small_programs())
+def test_coincidence_without_pruning(program):
+    """Theorem 3.1 with Σ' = ∅ (NoPruner): for every procedure, applying
+    its bottom-up summary to any incoming state set equals the top-down
+    semantics of its body."""
+    td = SimpleTypestateTD(FILE_PROPERTY)
+    bu_analysis = SimpleTypestateBU(FILE_PROPERTY)
+    engine = BottomUpEngine(program, bu_analysis, pruner=NoPruner(bu_analysis))
+    result = engine.analyze()
+    oracle = DenotationalInterpreter(program, td)
+    initial = frozenset([bootstrap_state(FILE_PROPERTY)])
+    for proc in program.reachable():
+        summary = result.summary(proc)
+        assert summary.ignored.is_empty()
+        expected = oracle.eval_proc(proc, initial)
+        actual = _apply_summary(bu_analysis, summary, initial)
+        assert actual == expected, f"mismatch for {proc}"
+
+
+def test_figure1_bu_summaries_for_foo():
+    """foo gets exactly the two transformer cases (have/notHave f) —
+    the Figure 2 domain's analogue of B1-B4 collapsing to two."""
+    program = figure1_program()
+    bu_analysis = SimpleTypestateBU(FILE_PROPERTY)
+    result = BottomUpEngine(program, bu_analysis).analyze()
+    foo = result.summary("foo")
+    assert foo.case_count() == 2
+    preds = {str(r.pred) for r in foo.relations}
+    assert preds == {"have(f)", "notHave(f)"}
+
+
+def test_pruned_run_theta1_keeps_dominating_case():
+    """With the incoming multiset dominated by have(f) states, theta=1
+    must keep the strong-update case and push notHave(f) into Sigma."""
+    program = figure1_program()
+    bu_analysis = SimpleTypestateBU(FILE_PROPERTY)
+    from repro.typestate.states import AbstractState
+
+    incoming = {
+        "foo": Counter(
+            {
+                AbstractState("h1", "closed", frozenset({"f"})): 2,
+                AbstractState("h2", "closed", frozenset({"f"})): 1,
+            }
+        )
+    }
+    pruner = FrequencyPruner(bu_analysis, theta=1, incoming=incoming)
+    result = BottomUpEngine(program, bu_analysis, pruner=pruner).analyze(["foo"])
+    foo = result.summary("foo")
+    assert foo.case_count() == 1
+    (kept,) = foo.relations
+    assert str(kept.pred) == "have(f)"
+    # The dropped case's domain must be recorded in Sigma.
+    dropped_state = AbstractState("h1", "closed", frozenset())
+    assert dropped_state in foo.ignored
+    kept_state = AbstractState("h1", "closed", frozenset({"f"}))
+    assert kept_state not in foo.ignored
+
+
+def test_pruned_summaries_sound_on_unpruned_states():
+    """Coincidence (Theorem 3.1): on states outside Sigma, the pruned
+    summary agrees exactly with the top-down semantics."""
+    for program in all_small_programs():
+        td = SimpleTypestateTD(FILE_PROPERTY)
+        bu_analysis = SimpleTypestateBU(FILE_PROPERTY)
+        pruner = FrequencyPruner(bu_analysis, theta=1, incoming={})
+        result = BottomUpEngine(program, bu_analysis, pruner=pruner).analyze()
+        oracle = DenotationalInterpreter(program, td)
+        initial = bootstrap_state(FILE_PROPERTY)
+        for proc in program.reachable():
+            summary = result.summary(proc)
+            if initial in summary.ignored:
+                continue  # pruned away: SWIFT would fall back to top-down
+            expected = oracle.eval_proc(proc, frozenset([initial]))
+            actual = _apply_summary(bu_analysis, summary, [initial])
+            assert actual == expected, f"mismatch for {proc} in {program}"
+
+
+def test_budget_marks_timeout():
+    from repro.framework.metrics import Budget
+
+    program = section24_program()
+    bu_analysis = SimpleTypestateBU(FILE_PROPERTY)
+    engine = BottomUpEngine(program, bu_analysis, budget=Budget(max_work=3))
+    result = engine.analyze()
+    assert result.timed_out
+
+
+def test_apply_to_rejects_pruned_states():
+    from repro.typestate.states import AbstractState
+
+    program = figure1_program()
+    bu_analysis = SimpleTypestateBU(FILE_PROPERTY)
+    incoming = {"foo": Counter({AbstractState("h1", "closed", frozenset({"f"})): 3})}
+    pruner = FrequencyPruner(bu_analysis, theta=1, incoming=incoming)
+    result = BottomUpEngine(program, bu_analysis, pruner=pruner).analyze(["foo"])
+    pruned_state = AbstractState("h1", "closed", frozenset())
+    with pytest.raises(ValueError):
+        result.apply_to("foo", [pruned_state])

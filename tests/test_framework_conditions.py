@@ -1,0 +1,118 @@
+"""Exhaustive checks of conditions C1-C3 (Figure 4) on small universes.
+
+The simple type-state analyses of Figures 2 and 3 must satisfy all
+three conditions for SWIFT's coincidence theorem to apply.  We
+enumerate every abstract state over a 2-variable, 2-site universe and a
+representative set of relations.
+"""
+
+import itertools
+
+import pytest
+
+from repro.framework.conditions import check_c1, check_c2, check_c3
+from repro.framework.predicates import TRUE, Conjunction
+from repro.framework.synthesis import SynthesizedTopDown
+from repro.typestate.bu_analysis import (
+    ConstRelation,
+    HaveAtom,
+    NotHaveAtom,
+    SimpleTypestateBU,
+    TransformerRelation,
+)
+from repro.typestate.properties import FILE_PROPERTY
+from repro.typestate.states import AbstractState
+from repro.typestate.td_analysis import SimpleTypestateTD
+
+from tests.helpers import all_prims, small_state_universe
+
+VARS = ["f", "g"]
+SITES = ["h1", "h2"]
+METHODS = ["open", "close", "toString"]
+
+
+def _states():
+    return small_state_universe(FILE_PROPERTY, SITES, VARS, max_must=2)
+
+
+def _predicates():
+    preds = [TRUE]
+    atoms = [HaveAtom("f"), NotHaveAtom("f"), HaveAtom("g"), NotHaveAtom("g")]
+    for atom in atoms:
+        preds.append(Conjunction.of([atom]))
+    for a, b in itertools.combinations(atoms, 2):
+        p = Conjunction.of([a, b])
+        if p is not None and not getattr(p, "is_false", False):
+            preds.append(p)
+    return [p for p in preds if not getattr(p, "is_false", False)]
+
+
+def _relations(bu):
+    relations = [bu.identity()]
+    iotas = [
+        FILE_PROPERTY.identity_function(),
+        FILE_PROPERTY.error_function(),
+        FILE_PROPERTY.method_function("open"),
+    ]
+    masks = [
+        (frozenset(), frozenset()),
+        (frozenset({"f"}), frozenset()),
+        (frozenset(), frozenset({"g"})),
+        (frozenset({"f"}), frozenset({"g"})),
+    ]
+    for iota in iotas:
+        for removed, added in masks:
+            for pred in [TRUE, Conjunction.of([HaveAtom("f")]), Conjunction.of([NotHaveAtom("g")])]:
+                relations.append(TransformerRelation(iota, removed, added, pred))
+    relations.append(ConstRelation(AbstractState("h1", "closed", frozenset({"f"})), TRUE))
+    relations.append(
+        ConstRelation(
+            AbstractState("h2", "error", frozenset()),
+            Conjunction.of([HaveAtom("f")]),
+        )
+    )
+    return relations
+
+
+@pytest.fixture(scope="module")
+def bu():
+    return SimpleTypestateBU(FILE_PROPERTY)
+
+
+@pytest.fixture(scope="module")
+def td():
+    return SimpleTypestateTD(FILE_PROPERTY)
+
+
+def test_condition_c1_exhaustive(td, bu):
+    problems = check_c1(
+        td, bu, all_prims(VARS, SITES, METHODS), _relations(bu), _states()
+    )
+    assert not problems, problems[:5]
+
+
+def test_condition_c2_exhaustive(bu):
+    relations = _relations(bu)
+    pairs = list(itertools.product(relations, relations))
+    problems = check_c2(bu, pairs, _states())
+    assert not problems, problems[:5]
+
+
+def test_condition_c3_exhaustive(bu):
+    problems = check_c3(bu, _relations(bu), _predicates(), _states())
+    assert not problems, problems[:5]
+
+
+def test_synthesized_td_equals_handwritten(td, bu):
+    """The Section 5.1 recipe reproduces Figure 2's trans exactly."""
+    synthesized = SynthesizedTopDown(bu)
+    for cmd in all_prims(VARS, SITES, METHODS):
+        for sigma in _states():
+            assert synthesized.transfer(cmd, sigma) == td.transfer(cmd, sigma), (
+                f"divergence at cmd={cmd}, sigma={sigma}"
+            )
+
+
+def test_identity_relation_gamma(bu):
+    for sigma in _states():
+        assert bu.apply(bu.identity(), sigma) == frozenset({sigma})

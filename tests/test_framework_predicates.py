@@ -1,0 +1,82 @@
+"""Unit tests for the predicate machinery (repro.framework.predicates)."""
+
+from repro.framework.predicates import FALSE, TRUE, Conjunction, conjoin
+from repro.typestate.bu_analysis import HaveAtom, NotHaveAtom
+from repro.typestate.states import AbstractState
+
+
+def _state(*must):
+    return AbstractState("h", "closed", frozenset(must))
+
+
+def test_true_is_empty_conjunction():
+    assert TRUE.is_true
+    assert TRUE.satisfied_by(_state())
+    assert TRUE.satisfied_by(_state("a", "b"))
+
+
+def test_false_satisfies_nothing():
+    assert FALSE.is_false
+    assert not FALSE.satisfied_by(_state())
+
+
+def test_atom_satisfaction():
+    p = Conjunction.of([HaveAtom("f")])
+    assert p.satisfied_by(_state("f"))
+    assert not p.satisfied_by(_state("g"))
+    q = Conjunction.of([NotHaveAtom("f")])
+    assert q.satisfied_by(_state("g"))
+    assert not q.satisfied_by(_state("f"))
+
+
+def test_contradiction_detected_on_build():
+    assert Conjunction.of([HaveAtom("f"), NotHaveAtom("f")]) is FALSE
+
+
+def test_contradiction_detected_on_conjoin():
+    p = Conjunction.of([HaveAtom("f")])
+    assert p.conjoin(NotHaveAtom("f")) is FALSE
+    assert p.conjoin(HaveAtom("g")) is not FALSE
+
+
+def test_conjoin_idempotent():
+    p = Conjunction.of([HaveAtom("f")])
+    assert p.conjoin(HaveAtom("f")) is p
+
+
+def test_conjoin_pred():
+    p = Conjunction.of([HaveAtom("f")])
+    q = Conjunction.of([NotHaveAtom("g")])
+    both = p.conjoin_pred(q)
+    assert both.satisfied_by(_state("f"))
+    assert not both.satisfied_by(_state("f", "g"))
+    assert p.conjoin_pred(FALSE) is FALSE
+
+
+def test_conjoin_helper():
+    p = Conjunction.of([HaveAtom("f")])
+    assert conjoin(p, FALSE) is FALSE
+    assert conjoin(FALSE, p) is FALSE
+    assert conjoin(p, TRUE) == p
+
+
+def test_entailment_is_atom_subset():
+    strong = Conjunction.of([HaveAtom("f"), NotHaveAtom("g")])
+    weak = Conjunction.of([HaveAtom("f")])
+    assert strong.entails(weak)
+    assert not weak.entails(strong)
+    assert strong.entails(TRUE)
+    assert not strong.entails(FALSE)
+
+
+def test_conjunction_hashable_and_canonical():
+    p1 = Conjunction.of([HaveAtom("f"), HaveAtom("g")])
+    p2 = Conjunction.of([HaveAtom("g"), HaveAtom("f")])
+    assert p1 == p2
+    assert hash(p1) == hash(p2)
+
+
+def test_str_forms():
+    assert str(TRUE) == "true"
+    p = Conjunction.of([HaveAtom("f"), NotHaveAtom("g")])
+    assert "have(f)" in str(p) and "notHave(g)" in str(p)

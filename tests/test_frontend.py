@@ -1,0 +1,198 @@
+"""Tests for the MiniOO frontend: parsing, 0-CFA, lowering, and an
+end-to-end compile-then-analyze pipeline."""
+
+import pytest
+
+from repro.frontend import (
+    ClassAnalysis,
+    LoweringError,
+    MiniParseError,
+    compile_minioo,
+    parse_minioo,
+)
+from repro.frontend.cfa import scope_of
+from repro.ir.commands import Call, Choice, Invoke, New
+from repro.ir.validate import validate_program
+from repro.typestate.client import run_typestate
+from repro.typestate.properties import FILE_PROPERTY
+
+FILES_EXAMPLE = """
+class Stream {
+  field name;
+  method use(f) {
+    f.#open();
+    f.#close();
+  }
+}
+class LoggingStream extends Stream {
+  method use(f) {
+    f.#open();
+    f.#read();
+    f.#close();
+  }
+}
+main {
+  s = new Stream();
+  l = new LoggingStream();
+  a = new Stream();       // the tracked resource
+  if (*) { h = s; } else { h = l; }
+  h.use(a);
+}
+"""
+
+
+def test_parse_basic_structure():
+    mini = parse_minioo(FILES_EXAMPLE)
+    assert set(mini.classes) == {"Stream", "LoggingStream"}
+    assert mini.classes["LoggingStream"].superclass == "Stream"
+    assert "use" in mini.classes["Stream"].methods
+    assert len(mini.main.stmts) == 5
+
+
+def test_parse_errors():
+    with pytest.raises(MiniParseError):
+        parse_minioo("class A {} main { x = ; }")
+    with pytest.raises(MiniParseError):
+        parse_minioo("class A extends Missing {} main { }")
+    with pytest.raises(MiniParseError):
+        parse_minioo("class A {}")  # no main
+    with pytest.raises(MiniParseError):
+        parse_minioo("class A extends B {} class B extends A {} main { }")
+
+
+def test_method_resolution_walks_hierarchy():
+    mini = parse_minioo(FILES_EXAMPLE)
+    assert mini.resolve_method("LoggingStream", "use") == "LoggingStream"
+    assert mini.resolve_method("Stream", "use") == "Stream"
+    assert mini.resolve_method("Stream", "absent") is None
+    assert set(mini.subclasses_of("Stream")) == {"Stream", "LoggingStream"}
+
+
+def test_cfa_receiver_sets():
+    mini = parse_minioo(FILES_EXAMPLE)
+    cfa = ClassAnalysis(mini)
+    assert cfa.classes_of("main", "h") == frozenset({"Stream", "LoggingStream"})
+    assert cfa.classes_of("main", "a") == frozenset({"Stream"})
+    # The parameter f receives the argument's classes in both targets.
+    assert cfa.classes_of(scope_of("Stream", "use"), "f") == frozenset({"Stream"})
+
+
+def test_cfa_field_based_heap():
+    mini = parse_minioo(
+        """
+        class Box { field val; }
+        class Thing { }
+        main {
+          b = new Box();
+          t = new Thing();
+          b.val = t;
+          u = b.val;
+        }
+        """
+    )
+    cfa = ClassAnalysis(mini)
+    assert cfa.classes_of("main", "u") == frozenset({"Thing"})
+
+
+def test_lowering_produces_valid_ir():
+    program = compile_minioo(FILES_EXAMPLE)
+    validate_program(program)
+    assert set(program) == {"main", "Stream$use", "LoggingStream$use"}
+    # The virtual call lowers to a two-way dispatch choice.
+    dispatches = [
+        cmd
+        for cmd in [program["main"]]
+        for cmd in ([cmd] if isinstance(cmd, Choice) else getattr(cmd, "parts", []))
+        if isinstance(cmd, Choice)
+    ]
+    call_targets = {c.proc for c in program["main"].calls()}
+    assert call_targets == {"Stream$use", "LoggingStream$use"}
+
+
+def test_lowering_allocation_sites_are_numbered():
+    program = compile_minioo(FILES_EXAMPLE)
+    sites = program.allocation_sites()
+    assert "Stream@0" in sites and "Stream@1" in sites
+    assert "LoggingStream@0" in sites
+
+
+def test_lowering_rejects_unresolved_calls():
+    source = "class A { } main { x = new A(); x.missing(); }"
+    with pytest.raises(LoweringError):
+        compile_minioo(source)
+    # Permissive mode turns it into a no-op instead.
+    program = compile_minioo(source, allow_unresolved_calls=True)
+    assert list(program["main"].calls()) == []
+
+
+def test_lowering_rejects_mid_block_return():
+    source = """
+    class A { method m() { return; x = new A(); } }
+    main { a = new A(); a.m(); }
+    """
+    with pytest.raises(LoweringError):
+        compile_minioo(source)
+
+
+def test_lowering_arity_mismatch():
+    source = """
+    class A { method m(p) { return; } }
+    main { a = new A(); a.m(); }
+    """
+    with pytest.raises(LoweringError):
+        compile_minioo(source)
+
+
+def test_return_value_flows_back():
+    source = """
+    class Factory {
+      method make() {
+        x = new Factory();
+        return x;
+      }
+    }
+    main {
+      f = new Factory();
+      y = f.make();
+      z = y;
+    }
+    """
+    mini = parse_minioo(source)
+    cfa = ClassAnalysis(mini)
+    assert cfa.classes_of("main", "z") == frozenset({"Factory"})
+    program = compile_minioo(source)
+    validate_program(program)
+
+
+def test_end_to_end_typestate_verification():
+    """Compile MiniOO and verify the File property on the result: both
+    use() variants open before read/close, so no errors; TD and SWIFT
+    agree."""
+    program = compile_minioo(FILES_EXAMPLE)
+    td = run_typestate(program, FILE_PROPERTY, engine="td", domain="full")
+    swift = run_typestate(
+        program, FILE_PROPERTY, engine="swift", domain="full", k=1, theta=2
+    )
+    assert td.errors == frozenset()
+    assert swift.error_sites == td.error_sites
+
+
+def test_end_to_end_catches_protocol_violation():
+    source = """
+    class User {
+      method bad(f) {
+        f.#close();
+      }
+    }
+    main {
+      u = new User();
+      r = new User();
+      r.#open();
+      u.bad(r);
+      u.bad(r);
+    }
+    """
+    program = compile_minioo(source)
+    td = run_typestate(program, FILE_PROPERTY, engine="td", domain="full")
+    # close; close on an opened file errors on the second close.
+    assert td.error_sites == frozenset({"User@1"})

@@ -1,0 +1,79 @@
+"""Round-trip tests for the MiniOO pretty-printer."""
+
+import pytest
+
+from repro.frontend import parse_minioo
+from repro.frontend.printer import format_minioo
+
+SOURCES = [
+    """
+class Stream {
+  field name;
+  method use(f) {
+    f.#open();
+    f.#close();
+  }
+}
+class LoggingStream extends Stream {
+  method use(f) {
+    f.#open();
+    f.#read();
+    f.#close();
+  }
+}
+main {
+  s = new Stream();
+  l = new LoggingStream();
+  if (*) { h = s; } else { h = l; }
+  h.use(s);
+}
+""",
+    """
+class Factory {
+  method make() {
+    x = new Factory();
+    return x;
+  }
+  method touch() { return; }
+}
+main {
+  f = new Factory();
+  y = f.make();
+  while (*) {
+    y.touch();
+  }
+  z = y;
+  f.val = z;
+  w = f.val;
+}
+""",
+    """
+class A { }
+main {
+  a = new A();
+  if (*) { b = a; }
+}
+""",
+]
+
+
+@pytest.mark.parametrize("source", SOURCES)
+def test_round_trip(source):
+    first = parse_minioo(source)
+    text = format_minioo(first)
+    second = parse_minioo(text)
+    assert set(second.classes) == set(first.classes)
+    for name in first.classes:
+        a, b = first.classes[name], second.classes[name]
+        assert a.superclass == b.superclass
+        assert a.fields == b.fields
+        assert a.methods == b.methods
+    assert second.main == first.main
+
+
+@pytest.mark.parametrize("source", SOURCES)
+def test_format_is_stable(source):
+    program = parse_minioo(source)
+    once = format_minioo(program)
+    twice = format_minioo(parse_minioo(once))
+    assert once == twice

@@ -1,0 +1,139 @@
+"""Unit tests for IgnoredStates, excl/clean, and the pruning operators."""
+
+from collections import Counter
+
+from repro.framework.ignored import IgnoredStates
+from repro.framework.metrics import Metrics
+from repro.framework.predicates import TRUE, Conjunction
+from repro.framework.pruning import FrequencyPruner, NoPruner, clean, excl
+from repro.typestate.bu_analysis import (
+    HaveAtom,
+    NotHaveAtom,
+    SimpleTypestateBU,
+    TransformerRelation,
+)
+from repro.typestate.properties import FILE_PROPERTY
+from repro.typestate.states import AbstractState
+
+
+def _bu():
+    return SimpleTypestateBU(FILE_PROPERTY)
+
+
+def _ignored(bu, preds=()):
+    return IgnoredStates(bu.pred_satisfied, bu.pred_entails, preds)
+
+
+def _state(*must):
+    return AbstractState("h", "closed", frozenset(must))
+
+
+def _pred(*atoms):
+    return Conjunction.of(list(atoms))
+
+
+def _rel(pred):
+    return TransformerRelation(
+        FILE_PROPERTY.identity_function(), frozenset(), frozenset(), pred
+    )
+
+
+def test_membership_is_union_of_predicates():
+    bu = _bu()
+    sigma = _ignored(bu, [_pred(HaveAtom("f")), _pred(HaveAtom("g"))])
+    assert _state("f") in sigma
+    assert _state("g") in sigma
+    assert _state("x") not in sigma
+
+
+def test_normalization_drops_stronger_predicates():
+    bu = _bu()
+    weak = _pred(HaveAtom("f"))
+    strong = _pred(HaveAtom("f"), HaveAtom("g"))
+    sigma = _ignored(bu, [weak, strong])
+    # strong entails weak, so only weak survives.
+    assert sigma.predicates == frozenset({weak})
+
+
+def test_union_is_incremental_and_monotone():
+    bu = _bu()
+    sigma = _ignored(bu, [_pred(HaveAtom("f"))])
+    bigger = sigma.union([_pred(NotHaveAtom("g"))])
+    assert len(bigger) == 2
+    assert _state("f") in bigger and _state() in bigger
+    # Union with an already-covered predicate returns the same object.
+    same = bigger.union([_pred(HaveAtom("f"), HaveAtom("g"))])
+    assert same.predicates == bigger.predicates
+
+
+def test_union_sets_and_equality():
+    bu = _bu()
+    a = _ignored(bu, [_pred(HaveAtom("f"))])
+    b = _ignored(bu, [_pred(HaveAtom("g"))])
+    both = a.union_sets(b)
+    assert len(both) == 2
+    assert both == _ignored(bu, [_pred(HaveAtom("g")), _pred(HaveAtom("f"))])
+    assert hash(both) == hash(a.union_sets(b))
+
+
+def test_covers_conservative():
+    bu = _bu()
+    sigma = _ignored(bu, [_pred(HaveAtom("f"))])
+    assert sigma.covers(_pred(HaveAtom("f"), NotHaveAtom("g")))
+    assert not sigma.covers(_pred(NotHaveAtom("g")))
+
+
+def test_excl_removes_covered_relations():
+    bu = _bu()
+    sigma = _ignored(bu, [_pred(HaveAtom("f"))])
+    covered = _rel(_pred(HaveAtom("f")))
+    alive = _rel(_pred(NotHaveAtom("f")))
+    remaining = excl(bu, frozenset({covered, alive}), sigma)
+    assert remaining == frozenset({alive})
+    relations, out_sigma = clean(bu, frozenset({covered, alive}), sigma)
+    assert relations == frozenset({alive}) and out_sigma is sigma
+
+
+def test_no_pruner_keeps_everything():
+    bu = _bu()
+    pruner = NoPruner(bu)
+    relations = frozenset({_rel(TRUE), _rel(_pred(HaveAtom("f")))})
+    kept, sigma = pruner.prune("p", relations, _ignored(bu))
+    assert kept == relations and sigma.is_empty()
+
+
+def test_frequency_pruner_keeps_top_theta_by_rank():
+    bu = _bu()
+    metrics = Metrics()
+    incoming = {"p": Counter({_state("f"): 3, _state(): 1})}
+    pruner = FrequencyPruner(bu, theta=1, incoming=incoming, metrics=metrics)
+    have = _rel(_pred(HaveAtom("f")))
+    havent = _rel(_pred(NotHaveAtom("f")))
+    kept, sigma = pruner.prune("p", frozenset({have, havent}), _ignored(bu))
+    assert kept == frozenset({have})
+    assert _state() in sigma and _state("f") not in sigma
+    assert metrics.pruned_relations == 1
+
+
+def test_frequency_pruner_small_sets_untouched():
+    bu = _bu()
+    pruner = FrequencyPruner(bu, theta=5, incoming={})
+    relations = frozenset({_rel(TRUE)})
+    kept, sigma = pruner.prune("p", relations, _ignored(bu))
+    assert kept == relations and sigma.is_empty()
+
+
+def test_frequency_pruner_rank_counts_multiplicity():
+    bu = _bu()
+    incoming = {"p": Counter({_state("f"): 2, _state("f", "g"): 5})}
+    pruner = FrequencyPruner(bu, theta=1, incoming=incoming)
+    assert pruner.rank("p", _rel(_pred(HaveAtom("f")))) == 7
+    assert pruner.rank("p", _rel(_pred(HaveAtom("g")))) == 5
+    assert pruner.rank("missing", _rel(TRUE)) == 0
+
+
+def test_frequency_pruner_rejects_bad_theta():
+    import pytest
+
+    with pytest.raises(ValueError):
+        FrequencyPruner(_bu(), theta=0)

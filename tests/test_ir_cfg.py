@@ -1,0 +1,69 @@
+"""Unit tests for CFG construction (repro.ir.cfg)."""
+
+from repro.ir.cfg import CFG, ControlFlowGraphs
+from repro.ir.commands import Assign, Call, Invoke, New, Skip, choice, seq, star
+
+from tests.helpers import figure1_program
+
+
+def test_single_prim_edge():
+    cfg = CFG("p", Assign("a", "b"))
+    assert cfg.entry != cfg.exit
+    edges = list(cfg.edges())
+    assert len(edges) == 1
+    assert edges[0].label == Assign("a", "b")
+
+
+def test_seq_chains():
+    cfg = CFG("p", seq(Assign("a", "b"), Assign("b", "c"), Assign("c", "a")))
+    labels = [e.label for e in cfg.edges()]
+    assert labels == [Assign("a", "b"), Assign("b", "c"), Assign("c", "a")]
+    # entry -> x -> y -> exit: 4 points.
+    assert len(cfg) == 4
+
+
+def test_choice_shares_entry_and_exit():
+    cfg = CFG("p", choice(Assign("a", "b"), Assign("a", "c")))
+    entry_edges = cfg.successors(cfg.entry)
+    assert len(entry_edges) == 2
+    exit_preds = cfg.predecessors(cfg.exit)
+    assert len(exit_preds) == 2
+
+
+def test_star_has_back_edge():
+    cfg = CFG("p", star(Assign("a", "b")))
+    # The loop head must have >= 2 incoming edges (entry + back edge)
+    heads = [p for p in cfg.points if len(cfg.predecessors(p)) >= 2]
+    assert heads, "no loop head found"
+
+
+def test_call_edge_flag():
+    cfg = CFG("p", seq(Call("q"), Skip()))
+    call_edges = list(cfg.call_edges())
+    assert len(call_edges) == 1
+    assert call_edges[0].label.proc == "q"
+
+
+def test_cfg_points_unique_per_proc():
+    cfg = CFG("p", seq(Skip(), Skip()))
+    assert len(set(cfg.points)) == len(cfg.points)
+    assert all(pt.proc == "p" for pt in cfg.points)
+
+
+def test_control_flow_graphs_cache():
+    program = figure1_program()
+    cfgs = ControlFlowGraphs(program)
+    assert cfgs["main"] is cfgs["main"]
+    assert cfgs.entry("foo").proc == "foo"
+    assert cfgs.exit("foo").proc == "foo"
+    assert cfgs.total_points() == sum(len(cfgs[p]) for p in program)
+
+
+def test_every_nonexit_point_has_successor():
+    program = figure1_program()
+    cfgs = ControlFlowGraphs(program)
+    for proc in program:
+        cfg = cfgs[proc]
+        for point in cfg.points:
+            if point != cfg.exit:
+                assert cfg.successors(point), f"dead point {point}"

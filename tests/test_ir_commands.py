@@ -1,0 +1,100 @@
+"""Unit tests for the command AST (repro.ir.commands)."""
+
+import pytest
+
+from repro.ir.commands import (
+    Assign,
+    Call,
+    Choice,
+    FieldLoad,
+    FieldStore,
+    Invoke,
+    New,
+    Seq,
+    Skip,
+    Star,
+    choice,
+    seq,
+    star,
+)
+
+
+def test_prim_str_forms():
+    assert str(New("v", "h1")) == "v = new h1"
+    assert str(Assign("v", "w")) == "v = w"
+    assert str(Invoke("v", "open")) == "v.open()"
+    assert str(FieldLoad("v", "w", "f")) == "v = w.f"
+    assert str(FieldStore("v", "f", "w")) == "v.f = w"
+    assert str(Skip()) == "skip"
+
+
+def test_prims_are_hashable_and_eq():
+    assert New("v", "h") == New("v", "h")
+    assert hash(Assign("a", "b")) == hash(Assign("a", "b"))
+    assert Invoke("v", "open") != Invoke("v", "close")
+    assert len({Skip(), Skip()}) == 1
+
+
+def test_seq_flattens_nested():
+    cmd = seq(Skip(), seq(Assign("a", "b"), Skip()), New("v", "h"))
+    assert isinstance(cmd, Seq)
+    assert len(cmd.parts) == 4
+    assert all(not isinstance(p, Seq) for p in cmd.parts)
+
+
+def test_seq_degenerate_cases():
+    assert seq() == Skip()
+    single = Assign("a", "b")
+    assert seq(single) is single
+
+
+def test_choice_flattens_nested():
+    cmd = choice(Skip(), choice(Assign("a", "b"), Skip()))
+    assert isinstance(cmd, Choice)
+    assert len(cmd.alternatives) == 3
+
+
+def test_choice_rejects_empty():
+    with pytest.raises(ValueError):
+        choice()
+
+
+def test_choice_single_passthrough():
+    single = Skip()
+    assert choice(single) is single
+
+
+def test_seq_constructor_rejects_short():
+    with pytest.raises(ValueError):
+        Seq((Skip(),))
+    with pytest.raises(ValueError):
+        Choice((Skip(),))
+
+
+def test_primitives_iteration_order():
+    cmd = seq(Assign("a", "b"), star(Invoke("a", "open")), choice(Skip(), New("c", "h")))
+    prims = list(cmd.primitives())
+    assert prims[0] == Assign("a", "b")
+    assert Invoke("a", "open") in prims
+    assert New("c", "h") in prims
+    assert len(prims) == 4
+
+
+def test_calls_iteration():
+    cmd = seq(Call("f"), star(Call("g")), choice(Call("h1"), Skip()))
+    assert {c.proc for c in cmd.calls()} == {"f", "g", "h1"}
+
+
+def test_variables():
+    cmd = seq(Assign("a", "b"), FieldStore("c", "f", "d"), Call("p"))
+    assert cmd.variables() == frozenset({"a", "b", "c", "d"})
+
+
+def test_star_str():
+    assert str(star(Skip())) == "(skip)*"
+
+
+def test_nested_structure_str():
+    cmd = seq(Assign("a", "b"), choice(Skip(), Invoke("a", "m")))
+    text = str(cmd)
+    assert "a = b" in text and "a.m()" in text and "+" in text

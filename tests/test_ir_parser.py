@@ -1,0 +1,77 @@
+"""Unit tests for the textual IR frontend and printer round-trips."""
+
+import pytest
+
+from repro.ir.commands import Assign, Call, FieldLoad, FieldStore, Invoke, New, Skip
+from repro.ir.parser import ParseError, parse_command, parse_program
+from repro.ir.printer import count_lines, format_program
+
+from tests.helpers import all_small_programs
+
+
+def test_parse_prims():
+    assert parse_command("v = new h1;") == New("v", "h1")
+    assert parse_command("v = w;") == Assign("v", "w")
+    assert parse_command("v.open();") == Invoke("v", "open")
+    assert parse_command("v = w.f;") == FieldLoad("v", "w", "f")
+    assert parse_command("v.f = w;") == FieldStore("v", "f", "w")
+    assert parse_command("skip;") == Skip()
+    assert parse_command("call foo;") == Call("foo")
+
+
+def test_parse_structured():
+    cmd = parse_command(
+        """
+        a = new h;
+        choose { a.open(); } or { skip; }
+        loop { a.close(); }
+        """
+    )
+    text = str(cmd)
+    assert "a = new h" in text
+    assert "+" in text  # choice
+    assert "*" in text  # loop
+
+
+def test_parse_program_with_comments():
+    program = parse_program(
+        """
+        # entry point
+        proc main {
+            v = new h1;   # allocate
+            call helper;
+        }
+        proc helper { v.open(); }
+        """
+    )
+    assert set(program) == {"main", "helper"}
+
+
+def test_parse_error_reports_line():
+    with pytest.raises(ParseError) as info:
+        parse_program("proc main {\n v = ;\n}")
+    assert "line 2" in str(info.value)
+
+
+def test_duplicate_procedure_rejected():
+    with pytest.raises(ParseError):
+        parse_program("proc main { skip; } proc main { skip; }")
+
+
+def test_choose_requires_two_branches():
+    with pytest.raises(ParseError):
+        parse_command("choose { skip; }")
+
+
+@pytest.mark.parametrize("program", all_small_programs(), ids=lambda p: p.metadata.get("name", repr(p)))
+def test_print_parse_round_trip(program):
+    text = format_program(program)
+    reparsed = parse_program(text)
+    assert set(reparsed) == set(program)
+    for name in program:
+        assert reparsed[name] == program[name]
+
+
+def test_count_lines_positive():
+    for program in all_small_programs():
+        assert count_lines(program) > 0

@@ -1,0 +1,76 @@
+"""Unit tests for Program (repro.ir.program)."""
+
+import pytest
+
+from repro.ir.builder import ProgramBuilder
+from repro.ir.commands import Call, Invoke, New, Skip, seq
+from repro.ir.program import Program
+
+from tests.helpers import figure1_program, recursive_program
+
+
+def test_program_requires_main():
+    with pytest.raises(ValueError):
+        Program({"foo": Skip()})
+
+
+def test_program_mapping_interface():
+    program = figure1_program()
+    assert "foo" in program
+    assert "bar" not in program
+    assert len(program) == 2
+    assert set(program) == {"main", "foo"}
+
+
+def test_universes():
+    program = figure1_program()
+    assert program.allocation_sites() == frozenset({"h1", "h2", "h3"})
+    assert program.invoked_methods() == frozenset({"open", "close"})
+    assert {"v1", "v2", "v3", "f"} <= set(program.variables())
+
+
+def test_callees_and_callers():
+    program = figure1_program()
+    assert program.callees("main") == frozenset({"foo"})
+    assert program.callees("foo") == frozenset()
+    callers = program.callers()
+    assert callers["foo"] == frozenset({"main"})
+    assert callers["main"] == frozenset()
+
+
+def test_reachability():
+    b = ProgramBuilder()
+    b.define("main", Call("a"))
+    b.define("a", Call("b"))
+    b.define("b", Skip())
+    b.define("orphan", Skip())
+    program = b.build()
+    assert program.reachable() == frozenset({"main", "a", "b"})
+    assert program.reachable_from("a") == frozenset({"a", "b"})
+
+
+def test_topological_order_callers_first():
+    b = ProgramBuilder()
+    b.define("main", seq(Call("mid"), Call("leaf")))
+    b.define("mid", Call("leaf"))
+    b.define("leaf", Skip())
+    order = b.build().topological_order()
+    assert order.index("main") < order.index("mid") < order.index("leaf")
+
+
+def test_is_recursive():
+    assert not figure1_program().is_recursive()
+    assert recursive_program().is_recursive()
+
+
+def test_mutual_recursion_detected():
+    b = ProgramBuilder()
+    b.define("main", Call("a"))
+    b.define("a", Call("b"))
+    b.define("b", Call("a"))
+    assert b.build().is_recursive()
+
+
+def test_metadata_round_trip():
+    program = Program({"main": Skip()}, metadata={"suite": "test"})
+    assert program.metadata["suite"] == "test"

@@ -1,0 +1,151 @@
+"""Tests for the kill/gen analyses and the Section 5.2 synthesis recipe."""
+
+import itertools
+
+import pytest
+
+from repro.framework.conditions import check_c1, check_c2, check_c3
+from repro.framework.denotational import DenotationalInterpreter
+from repro.framework.swift import SwiftEngine
+from repro.framework.synthesis import SynthesizedTopDown
+from repro.framework.topdown import TopDownEngine
+from repro.ir.commands import Assign, Invoke, New, Skip
+from repro.killgen import (
+    LAMBDA,
+    AllocatedSitesSpec,
+    InitializedVarsSpec,
+    KillGenBU,
+    KillGenTD,
+    LambdaConst,
+    ReachingDefsSpec,
+    Survive,
+    synthesize,
+)
+
+from tests.helpers import all_small_programs, figure1_program
+
+
+@pytest.fixture(scope="module")
+def rd_pair():
+    return synthesize(ReachingDefsSpec(figure1_program()))
+
+
+def _facts(spec_program=None):
+    program = spec_program or figure1_program()
+    spec = ReachingDefsSpec(program)
+    facts = set()
+    for prim in program.primitives():
+        facts |= spec.gen(prim)
+    return [LAMBDA] + sorted(facts)
+
+
+def _relations(facts):
+    rels = [Survive(frozenset())]
+    concrete = [f for f in facts if f is not LAMBDA]
+    rels.append(Survive(frozenset(concrete[:1])))
+    rels.append(Survive(frozenset(concrete[:3])))
+    rels.extend(LambdaConst(f) for f in concrete[:3])
+    return rels
+
+
+def test_reaching_defs_spec_kill_and_gen():
+    program = figure1_program()
+    spec = ReachingDefsSpec(program)
+    cmd = Assign("f", "v1")
+    gen = spec.gen(cmd)
+    assert gen == frozenset({("f", "f = v1")})
+    # Any definition of f kills every definition of f.
+    assert gen <= spec.kill(Assign("f", "v3"))
+    assert spec.kill(Invoke("f", "open")) == frozenset()
+
+
+def test_initialized_vars_and_allocated_sites_specs():
+    init_spec = InitializedVarsSpec()
+    assert init_spec.gen(New("v", "h")) == frozenset({"v"})
+    assert init_spec.kill(New("v", "h")) == frozenset()
+    alloc_spec = AllocatedSitesSpec()
+    assert alloc_spec.gen(New("v", "h")) == frozenset({"h"})
+    assert alloc_spec.gen(Assign("v", "w")) == frozenset()
+
+
+def test_td_transfer_shapes(rd_pair):
+    td, _ = rd_pair
+    out = td.transfer(Assign("f", "v1"), LAMBDA)
+    assert LAMBDA in out and ("f", "f = v1") in out
+    # A killed fact disappears; an unrelated fact survives.
+    assert td.transfer(Assign("f", "v1"), ("f", "f = v2")) == frozenset()
+    assert td.transfer(Assign("f", "v1"), ("v1", "v1 = new h1")) == frozenset(
+        {("v1", "v1 = new h1")}
+    )
+
+
+def test_killgen_condition_c1(rd_pair):
+    td, bu = rd_pair
+    program = figure1_program()
+    facts = _facts(program)
+    prims = list(dict.fromkeys(program.primitives()))
+    problems = check_c1(td, bu, prims, _relations(facts), facts)
+    assert not problems, problems[:5]
+
+
+def test_killgen_condition_c2(rd_pair):
+    _, bu = rd_pair
+    facts = _facts()
+    rels = _relations(facts)
+    problems = check_c2(bu, itertools.product(rels, rels), facts)
+    assert not problems, problems[:5]
+
+
+def test_killgen_condition_c3(rd_pair):
+    _, bu = rd_pair
+    facts = _facts()
+    rels = _relations(facts)
+    preds = [bu.domain_predicate(r) for r in rels]
+    problems = check_c3(bu, rels, preds, facts)
+    assert not problems, problems[:5]
+
+
+def test_killgen_section51_synthesis_matches(rd_pair):
+    """The generic Section 5.1 recipe applied to the kill/gen bottom-up
+    analysis reproduces the kill/gen top-down analysis."""
+    td, bu = rd_pair
+    synthesized = SynthesizedTopDown(bu)
+    program = figure1_program()
+    for cmd in dict.fromkeys(program.primitives()):
+        for sigma in _facts(program):
+            assert synthesized.transfer(cmd, sigma) == td.transfer(cmd, sigma)
+
+
+@pytest.mark.parametrize("program", all_small_programs())
+def test_killgen_swift_equals_td(program):
+    td, bu = synthesize(ReachingDefsSpec(program))
+    td_result = TopDownEngine(program, td).run([LAMBDA])
+    swift_result = SwiftEngine(program, td, bu, k=1, theta=2).run([LAMBDA])
+    assert swift_result.exit_states() == td_result.exit_states()
+    for point in swift_result.cfgs["main"].points:
+        assert swift_result.states_at(point) == td_result.states_at(point)
+
+
+@pytest.mark.parametrize("program", all_small_programs())
+def test_killgen_td_matches_denotational(program):
+    td, _ = synthesize(InitializedVarsSpec())
+    oracle = DenotationalInterpreter(program, td).run([LAMBDA])
+    result = TopDownEngine(program, td).run([LAMBDA])
+    assert result.exit_states() == oracle
+
+
+def test_reaching_defs_end_to_end():
+    program = figure1_program()
+    td, _ = synthesize(ReachingDefsSpec(program))
+    result = TopDownEngine(program, td).run([LAMBDA])
+    final = result.exit_states()
+    # The last definition of f reaches main's exit; all three v-defs do.
+    assert ("f", "f = v3") in final
+    assert ("v1", "v1 = new h1") in final
+    # f = v1 is killed by the later f-definitions on every path.
+    assert ("f", "f = v1") not in final
+
+
+def test_lambda_singleton_identity():
+    assert LAMBDA is type(LAMBDA)()
+    assert repr(LAMBDA) == "Λ"

@@ -1,0 +1,108 @@
+"""Unit tests for metrics/budgets and the experiment harness."""
+
+import time
+
+import pytest
+
+from repro.framework.metrics import Budget, BudgetExceededError, Metrics
+from repro.experiments.harness import (
+    EngineRun,
+    drop_label,
+    format_table,
+    speedup_label,
+)
+
+
+def test_metrics_total_work_and_merge():
+    a = Metrics(transfers=5, rtransfers=3, compositions=2, propagations=7)
+    assert a.total_work == 17
+    b = Metrics(transfers=1, summary_instantiations=4, pruned_relations=9)
+    a.merge(b)
+    assert a.transfers == 6
+    assert a.summary_instantiations == 4
+    assert a.pruned_relations == 9
+    assert a.total_work == 22
+
+
+def test_budget_work_limit():
+    budget = Budget(max_work=10)
+    budget.check(Metrics(transfers=10))  # at the limit: fine
+    with pytest.raises(BudgetExceededError) as info:
+        budget.check(Metrics(transfers=11))
+    assert info.value.what == "total_work"
+    assert info.value.spent == 11 and info.value.limit == 10
+
+
+def test_budget_relations_limit():
+    budget = Budget(max_relations=2)
+    with pytest.raises(BudgetExceededError):
+        budget.check(Metrics(relations_created=3))
+
+
+def test_budget_time_limit():
+    budget = Budget(max_seconds=0.01)
+    time.sleep(0.02)
+    with pytest.raises(BudgetExceededError):
+        budget.check(Metrics())
+    budget.restart_clock()
+    budget.max_seconds = 10.0
+    budget.check(Metrics())  # fresh clock: fine
+
+
+def test_budget_unlimited_by_default():
+    Budget().check(Metrics(transfers=10**9))  # no limits, no raise
+
+
+def _run(engine="td", work=100, timed_out=False, td=10, bu=0):
+    return EngineRun(
+        benchmark="x",
+        engine=engine,
+        k=None,
+        theta=None,
+        seconds=1.0,
+        work=work,
+        td_summaries=td,
+        bu_summaries=bu,
+        timed_out=timed_out,
+        error_sites=frozenset(),
+    )
+
+
+def test_time_label():
+    assert _run().time_label == "1.00s"
+    assert _run(timed_out=True).time_label == "timeout"
+
+
+def test_speedup_label():
+    baseline = _run(work=1000)
+    swift = _run(engine="swift", work=100)
+    assert speedup_label(baseline, swift) == "10.0X"
+    assert speedup_label(_run(timed_out=True), swift) == "-"
+    assert speedup_label(baseline, _run(work=0)) == "-"
+
+
+def test_drop_label():
+    assert drop_label(100, 5, False) == "95%"
+    assert drop_label(100, 100, False) == "0%"
+    assert drop_label(100, 5, True) == "-"
+    assert drop_label(0, 5, False) == "-"
+
+
+def test_format_table_alignment():
+    text = format_table(
+        ["name", "count"],
+        [["alpha", 1], ["b", 22]],
+        title="T",
+    )
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert lines[1].startswith("name")
+    assert "-----" in lines[2]
+    # Numeric column right-aligned.
+    assert lines[3].endswith("    1")
+    assert lines[4].endswith("   22")
+
+
+def test_format_table_empty_rows():
+    text = format_table(["a", "bb"], [])
+    assert "a" in text and "bb" in text

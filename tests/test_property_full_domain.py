@@ -1,0 +1,169 @@
+"""Hypothesis property tests for the full (four-component) domain.
+
+The exhaustive condition checks in test_typestate_full.py cover tiny
+universes; these tests sample much larger ones — more variables, field
+paths, richer may-alias site sets — where exhaustive enumeration is
+infeasible.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.ir.commands import Assign, FieldLoad, FieldStore, Invoke, New, Skip
+from repro.typestate.full import (
+    FullAbstractState,
+    FullTypestateBU,
+    FullTypestateTD,
+)
+from repro.typestate.full.oracle import PointsToOracle
+from repro.typestate.properties import FILE_PROPERTY
+
+VARS = ["a", "b", "c", "d"]
+FIELDS = ["f", "g"]
+SITES = ["h1", "h2", "h3"]
+
+paths = st.one_of(
+    st.sampled_from(VARS),
+    st.builds(lambda v, f: f"{v}.{f}", st.sampled_from(VARS), st.sampled_from(FIELDS)),
+    st.builds(
+        lambda v, f, g: f"{v}.{f}.{g}",
+        st.sampled_from(VARS),
+        st.sampled_from(FIELDS),
+        st.sampled_from(FIELDS),
+    ),
+)
+
+
+@st.composite
+def full_states(draw):
+    site = draw(st.sampled_from(SITES + ["<boot>"]))
+    ts = draw(st.sampled_from(FILE_PROPERTY.states))
+    must = draw(st.sets(paths, max_size=3))
+    mustnot = draw(st.sets(paths, max_size=3)) - must
+    return FullAbstractState(site, ts, frozenset(must), frozenset(mustnot))
+
+
+prims = st.one_of(
+    st.just(Skip()),
+    st.builds(New, st.sampled_from(VARS), st.sampled_from(SITES)),
+    st.builds(Assign, st.sampled_from(VARS), st.sampled_from(VARS)),
+    st.builds(Invoke, st.sampled_from(VARS), st.sampled_from(["open", "close", "read", "noop"])),
+    st.builds(
+        FieldLoad, st.sampled_from(VARS), st.sampled_from(VARS), st.sampled_from(FIELDS)
+    ),
+    st.builds(
+        FieldStore, st.sampled_from(VARS), st.sampled_from(FIELDS), st.sampled_from(VARS)
+    ),
+)
+
+
+@st.composite
+def oracles(draw):
+    mapping = {
+        v: frozenset(draw(st.sets(st.sampled_from(SITES), max_size=3)))
+        for v in VARS
+    }
+    return PointsToOracle(mapping)
+
+
+FULL_SETTINGS = settings(
+    max_examples=120,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@FULL_SETTINGS
+@given(oracle=oracles(), cmd=prims, sigma=full_states())
+def test_full_c1_pointwise(oracle, cmd, sigma):
+    """C1 at id#: applying rtrans(c)(id#) equals trans(c), pointwise."""
+    td = FullTypestateTD(FILE_PROPERTY, oracle, variables=frozenset(VARS))
+    bu = FullTypestateBU(FILE_PROPERTY, oracle, variables=frozenset(VARS))
+    via_bu = set()
+    for r in bu.rtransfer(cmd, bu.identity()):
+        via_bu.update(bu.apply(r, sigma))
+    assert frozenset(via_bu) == td.transfer(cmd, sigma)
+
+
+@FULL_SETTINGS
+@given(
+    oracle=oracles(),
+    cmds=st.lists(prims, min_size=1, max_size=4),
+    sigma=full_states(),
+)
+def test_full_c1_c2_along_chains(oracle, cmds, sigma):
+    """Relational composition along random command chains equals the
+    top-down semantics — conditions C1 and C2 combined."""
+    td = FullTypestateTD(FILE_PROPERTY, oracle, variables=frozenset(VARS))
+    bu = FullTypestateBU(FILE_PROPERTY, oracle, variables=frozenset(VARS))
+    relations = {bu.identity()}
+    for cmd in cmds:
+        step = set()
+        for r in relations:
+            step.update(bu.rtransfer(cmd, r))
+        relations = step
+    via_relations = set()
+    for r in relations:
+        via_relations.update(bu.apply(r, sigma))
+    states = {sigma}
+    for cmd in cmds:
+        states = set(td.transfer_set(cmd, states))
+    assert frozenset(via_relations) == frozenset(states)
+
+
+@FULL_SETTINGS
+@given(
+    oracle=oracles(),
+    chain1=st.lists(prims, min_size=1, max_size=2),
+    chain2=st.lists(prims, min_size=1, max_size=2),
+    sigma=full_states(),
+)
+def test_full_rcompose_equals_sequential(oracle, chain1, chain2, sigma):
+    """rcomp of chain relations equals running both chains in sequence
+    (C2 over analysis-generated relations)."""
+    td = FullTypestateTD(FILE_PROPERTY, oracle, variables=frozenset(VARS))
+    bu = FullTypestateBU(FILE_PROPERTY, oracle, variables=frozenset(VARS))
+
+    def relations_of(cmds):
+        rels = {bu.identity()}
+        for cmd in cmds:
+            step = set()
+            for r in rels:
+                step.update(bu.rtransfer(cmd, r))
+            rels = step
+        return rels
+
+    rels1 = relations_of(chain1)
+    rels2 = relations_of(chain2)
+    composed_out = set()
+    for r1 in rels1:
+        for r2 in rels2:
+            for rc in bu.rcompose(r1, r2):
+                composed_out.update(bu.apply(rc, sigma))
+    states = {sigma}
+    for cmd in chain1 + chain2:
+        states = set(td.transfer_set(cmd, states))
+    assert frozenset(composed_out) == frozenset(states)
+
+
+@FULL_SETTINGS
+@given(oracle=oracles(), cmd=prims, sigma=full_states())
+def test_full_states_keep_invariant(oracle, cmd, sigma):
+    """Every state any transfer produces keeps must ∩ must-not = ∅
+    (the constructor would raise otherwise — this drives it broadly)."""
+    td = FullTypestateTD(FILE_PROPERTY, oracle, variables=frozenset(VARS))
+    for out in td.transfer(cmd, sigma):
+        assert not (out.must & out.mustnot)
+
+
+@FULL_SETTINGS
+@given(oracle=oracles(), cmd=prims, sigma=full_states())
+def test_full_pre_image_sound_and_exact(oracle, cmd, sigma):
+    """pre_image agrees with apply for relations produced by rtrans."""
+    bu = FullTypestateBU(FILE_PROPERTY, oracle, variables=frozenset(VARS))
+    for r in bu.rtransfer(cmd, bu.identity()):
+        pred = bu.domain_predicate(r)
+        pre = bu.pre_image(r, pred)
+        claimed = any(bu.pred_satisfied(q, sigma) for q in pre)
+        actual = bool(bu.apply(r, sigma))
+        assert claimed == actual

@@ -1,0 +1,130 @@
+"""Engine agreement on recursive shapes + denotational interpreter units."""
+
+import pytest
+
+from repro.framework.bottomup import BottomUpEngine
+from repro.framework.denotational import DenotationalInterpreter
+from repro.framework.pruning import NoPruner
+from repro.framework.swift import SwiftEngine
+from repro.framework.topdown import TopDownEngine
+from repro.ir.builder import ProgramBuilder
+from repro.ir.commands import Assign, Invoke, New, Skip, choice, seq, star
+from repro.ir.program import Program
+from repro.typestate.bu_analysis import SimpleTypestateBU
+from repro.typestate.properties import FILE_PROPERTY
+from repro.typestate.states import AbstractState, bootstrap_state
+from repro.typestate.td_analysis import SimpleTypestateTD
+
+
+def mutual_recursion_program() -> Program:
+    b = ProgramBuilder()
+    with b.proc("main") as p:
+        p.new("v", "h1").assign("f", "v").call("ping")
+    with b.proc("ping") as p:
+        with p.choose() as c:
+            with c.branch() as stop:
+                stop.invoke("f", "open")
+            with c.branch() as go:
+                go.call("pong")
+    with b.proc("pong") as p:
+        with p.choose() as c:
+            with c.branch() as stop:
+                stop.skip()
+            with c.branch() as go:
+                go.invoke("f", "open").invoke("f", "close").call("ping")
+    return b.build()
+
+
+def self_loop_program() -> Program:
+    """Recursion under a loop — the nastiest fixpoint interleaving."""
+    b = ProgramBuilder()
+    with b.proc("main") as p:
+        p.new("v", "h1").assign("f", "v")
+        with p.loop() as body:
+            body.call("rec")
+    with b.proc("rec") as p:
+        with p.choose() as c:
+            with c.branch() as stop:
+                stop.invoke("f", "open").invoke("f", "close")
+            with c.branch() as go:
+                go.call("rec")
+    return b.build()
+
+
+RECURSIVE_PROGRAMS = [mutual_recursion_program(), self_loop_program()]
+
+
+@pytest.mark.parametrize("program", RECURSIVE_PROGRAMS)
+def test_td_matches_denotational_on_recursion(program):
+    analysis = SimpleTypestateTD(FILE_PROPERTY)
+    initial = [bootstrap_state(FILE_PROPERTY)]
+    oracle = DenotationalInterpreter(program, analysis).run(initial)
+    result = TopDownEngine(program, analysis).run(initial)
+    assert result.exit_states() == oracle
+
+
+@pytest.mark.parametrize("program", RECURSIVE_PROGRAMS)
+@pytest.mark.parametrize("k,theta", [(1, 1), (1, 4), (2, 2)])
+def test_swift_matches_td_on_recursion(program, k, theta):
+    td_analysis = SimpleTypestateTD(FILE_PROPERTY)
+    bu_analysis = SimpleTypestateBU(FILE_PROPERTY)
+    initial = [bootstrap_state(FILE_PROPERTY)]
+    td_result = TopDownEngine(program, td_analysis).run(initial)
+    swift_result = SwiftEngine(
+        program, td_analysis, bu_analysis, k=k, theta=theta
+    ).run(initial)
+    assert swift_result.exit_states() == td_result.exit_states()
+
+
+@pytest.mark.parametrize("program", RECURSIVE_PROGRAMS)
+def test_bu_coincides_on_recursion(program):
+    td_analysis = SimpleTypestateTD(FILE_PROPERTY)
+    bu_analysis = SimpleTypestateBU(FILE_PROPERTY)
+    result = BottomUpEngine(program, bu_analysis, pruner=NoPruner(bu_analysis)).analyze()
+    oracle = DenotationalInterpreter(program, td_analysis)
+    init = bootstrap_state(FILE_PROPERTY)
+    for proc in program.reachable():
+        expected = oracle.eval_proc(proc, frozenset([init]))
+        actual = set()
+        for r in result.summary(proc).relations:
+            actual.update(bu_analysis.apply(r, init))
+        assert frozenset(actual) == expected, proc
+
+
+# -- denotational interpreter units ----------------------------------------------------
+def _eval(cmd, states):
+    program = Program({"main": cmd})
+    interp = DenotationalInterpreter(program, SimpleTypestateTD(FILE_PROPERTY))
+    return interp.eval(cmd, frozenset(states))
+
+
+def test_denotational_choice_is_union():
+    sigma = AbstractState("h1", "closed", frozenset({"f"}))
+    cmd = choice(Invoke("f", "open"), Skip())
+    out = _eval(cmd, [sigma])
+    assert out == frozenset({sigma, sigma.with_state("opened")})
+
+
+def test_denotational_star_accumulates_iterations():
+    sigma = AbstractState("h1", "closed", frozenset({"f"}))
+    # (open)*: zero iterations keep closed; one reaches opened; two, error.
+    out = _eval(star(Invoke("f", "open")), [sigma])
+    assert {s.state for s in out} == {"closed", "opened", "error"}
+
+
+def test_denotational_seq_threads_states():
+    sigma = AbstractState("h1", "closed", frozenset({"f"}))
+    out = _eval(seq(Invoke("f", "open"), Invoke("f", "close")), [sigma])
+    assert out == frozenset({sigma})
+
+
+def test_denotational_empty_input_is_empty():
+    assert _eval(seq(New("v", "h2"), Skip()), []) == frozenset()
+
+
+def test_denotational_metrics_count_transfers():
+    program = Program({"main": seq(Skip(), Skip())})
+    interp = DenotationalInterpreter(program, SimpleTypestateTD(FILE_PROPERTY))
+    out = interp.eval(program["main"], frozenset([bootstrap_state(FILE_PROPERTY)]))
+    assert len(out) == 1
+    assert interp.metrics.transfers == 2

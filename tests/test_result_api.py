@@ -1,0 +1,68 @@
+"""Coverage for the result-object APIs (TopDownResult / SwiftResult)."""
+
+from repro.framework.swift import SwiftEngine
+from repro.framework.topdown import TopDownEngine
+from repro.typestate.bu_analysis import SimpleTypestateBU
+from repro.typestate.properties import FILE_PROPERTY
+from repro.typestate.states import bootstrap_state
+from repro.typestate.td_analysis import SimpleTypestateTD
+
+from tests.helpers import figure1_program
+
+
+def _results():
+    program = figure1_program()
+    td_analysis = SimpleTypestateTD(FILE_PROPERTY)
+    bu_analysis = SimpleTypestateBU(FILE_PROPERTY)
+    initial = [bootstrap_state(FILE_PROPERTY)]
+    td = TopDownEngine(program, td_analysis).run(initial)
+    swift = SwiftEngine(program, td_analysis, bu_analysis, k=2, theta=2).run(initial)
+    return td, swift
+
+
+def test_pairs_at_shape():
+    td, _ = _results()
+    exit_point = td.cfgs.exit("foo")
+    pairs = td.pairs_at(exit_point)
+    assert pairs and all(len(p) == 2 for p in pairs)
+    assert td.summaries("foo") == pairs
+
+
+def test_states_at_unknown_point_is_empty():
+    from repro.ir.cfg import ProgramPoint
+
+    td, _ = _results()
+    assert td.states_at(ProgramPoint("main", 9999)) == frozenset()
+
+
+def test_exit_states_defaults_to_main():
+    td, _ = _results()
+    assert td.exit_states() == td.states_at(td.cfgs.exit("main"))
+    assert td.exit_states("foo") == td.states_at(td.cfgs.exit("foo"))
+
+
+def test_incoming_states_and_summary_count_consistency():
+    td, _ = _results()
+    assert td.summary_count("foo") == len(td.summaries("foo"))
+    assert len(td.incoming_states("foo")) >= 1
+    # Every summary's input component was an observed incoming state.
+    incoming = td.incoming_states("foo")
+    assert {pair[0] for pair in td.summaries("foo")} <= incoming
+
+
+def test_swift_result_extends_td_result():
+    _, swift = _results()
+    assert swift.bu_procs() == frozenset({"foo"})
+    assert swift.total_bu_relations() == swift.bu["foo"].case_count()
+    # Inherited API still works.
+    assert swift.exit_states()
+    assert swift.total_summaries() == sum(
+        swift.summary_counts_by_proc().values()
+    )
+
+
+def test_metrics_visible_on_results():
+    td, swift = _results()
+    assert td.metrics.propagations > 0
+    assert swift.metrics.summary_instantiations > 0
+    assert swift.metrics.bu_triggers >= 1

@@ -1,0 +1,248 @@
+"""Tests for the full type-state analysis (must + must-not + may-alias).
+
+Includes the headline reproduction of Figure 1: the bottom-up analysis
+of ``foo(f){ f.open(); f.close(); }`` yields exactly the four summaries
+B1-B4, with B2's type-state transformer being ``ι_close ∘ ι_open``.
+"""
+
+import itertools
+
+import pytest
+
+from repro.framework.conditions import check_c1, check_c2, check_c3
+from repro.framework.predicates import FALSE, TRUE, Conjunction
+from repro.framework.synthesis import SynthesizedTopDown
+from repro.ir.commands import Assign, FieldLoad, FieldStore, Invoke, New, Skip
+from repro.typestate.dfa import ERROR
+from repro.typestate.full import (
+    FullAbstractState,
+    FullConstRelation,
+    FullTransformerRelation,
+    FullTypestateBU,
+    FullTypestateTD,
+    InMust,
+    InMustNot,
+    NotInMust,
+    NotInMustNot,
+    full_bootstrap_state,
+)
+from repro.typestate.full.oracle import AllMayAlias, NoMayAlias, PointsToOracle
+from repro.typestate.full.paths import HasField, Rooted
+from repro.typestate.properties import FILE_PROPERTY
+
+VARS = ["f", "g"]
+SITES = ["h1", "h2"]
+
+
+def _oracle():
+    return AllMayAlias(SITES)
+
+
+def _states(max_size=1, paths=("f", "g")):
+    """Small exhaustive universe of four-component states."""
+    out = []
+    subsets = [frozenset()] + [frozenset({p}) for p in paths]
+    if max_size >= 2:
+        subsets += [frozenset(c) for c in itertools.combinations(paths, 2)]
+    for site in SITES + ["<boot>"]:
+        for ts in FILE_PROPERTY.states:
+            for must in subsets:
+                for mustnot in subsets:
+                    if must & mustnot:
+                        continue
+                    out.append(FullAbstractState(site, ts, must, mustnot))
+    return out
+
+
+def _prims():
+    return [
+        Skip(),
+        New("f", "h1"),
+        New("g", "h2"),
+        Assign("f", "g"),
+        Assign("g", "f"),
+        FieldLoad("f", "g", "fld"),
+        FieldStore("g", "fld", "f"),
+        Invoke("f", "open"),
+        Invoke("g", "close"),
+        Invoke("f", "toString"),
+    ]
+
+
+def _relations(bu):
+    relations = [bu.identity()]
+    empty = frozenset()
+    iotas = [FILE_PROPERTY.identity_function(), FILE_PROPERTY.method_function("open")]
+    preds = [TRUE, Conjunction.of([InMust("f")]), Conjunction.of([InMustNot("g")])]
+    for iota in iotas:
+        for pred in preds:
+            relations.append(
+                FullTransformerRelation(iota, empty, empty, empty, empty, pred)
+            )
+            relations.append(
+                FullTransformerRelation(
+                    iota,
+                    frozenset({Rooted("f")}),
+                    empty,
+                    frozenset({Rooted("f")}),
+                    frozenset({"f"}),
+                    pred,
+                )
+            )
+            relations.append(
+                FullTransformerRelation(
+                    iota,
+                    frozenset({HasField("fld")}),
+                    frozenset({"g"}),
+                    frozenset({HasField("fld"), Rooted("g")}),
+                    empty,
+                    pred,
+                )
+            )
+    relations.append(
+        FullConstRelation(
+            FullAbstractState("h1", "closed", frozenset({"f"}), frozenset()), TRUE
+        )
+    )
+    return relations
+
+
+@pytest.fixture(scope="module")
+def bu():
+    return FullTypestateBU(FILE_PROPERTY, _oracle())
+
+
+@pytest.fixture(scope="module")
+def td():
+    return FullTypestateTD(FILE_PROPERTY, _oracle())
+
+
+# -- Figure 1 reproduction -----------------------------------------------------------
+def test_figure1_bottom_up_summaries_b1_to_b4(bu):
+    """foo's body yields exactly the paper's four cases B1-B4."""
+    relations = {bu.identity()}
+    for cmd in [Invoke("f", "open"), Invoke("f", "close")]:
+        new = set()
+        for r in relations:
+            new.update(bu.rtransfer(cmd, r))
+        relations = new
+    assert len(relations) == 4
+    by_pred = {str(r.pred): r for r in relations}
+    # B1: f in the must-not set — identity.
+    b1 = by_pred["inMustNot(f)"]
+    assert b1.iota.is_identity()
+    # B2: f in the must set — strong update iota_close ∘ iota_open.
+    b2 = by_pred["inMust(f)"]
+    assert b2.iota("closed") == "closed"
+    assert b2.iota("opened") == ERROR
+    # B3: neither + may-alias — weak update to error.
+    b3 = next(
+        r
+        for key, r in by_pred.items()
+        if "mayalias(f)" in key and "!mayalias(f)" not in key
+    )
+    assert b3.iota("closed") == ERROR
+    # B4: neither + definitely-not-alias — identity.
+    b4 = next(r for key, r in by_pred.items() if "!mayalias(f)" in key)
+    assert b4.iota.is_identity()
+
+
+def test_bootstrap_object_never_errors(td):
+    """With may-alias reasoning, calls on unrelated receivers leave the
+    bootstrap object alone (unlike the simplified Figure 2 analysis)."""
+    boot = full_bootstrap_state(FILE_PROPERTY)
+    (out,) = td.transfer(Invoke("f", "open"), boot)
+    assert out.state != ERROR
+
+
+# -- top-down transfer behaviour --------------------------------------------------------
+def test_td_new_updates_mustnot(td):
+    sigma = FullAbstractState("h1", "closed", frozenset({"f"}), frozenset())
+    out = td.transfer(New("g", "h2"), sigma)
+    survivor = next(s for s in out if s.site == "h1")
+    assert "g" in survivor.mustnot and "f" in survivor.must
+    fresh = next(s for s in out if s.site == "h2")
+    assert fresh.must == frozenset({"g"}) and fresh.mustnot == frozenset()
+
+
+def test_td_assign_inherits_mustnot(td):
+    sigma = FullAbstractState("h1", "closed", frozenset(), frozenset({"g"}))
+    (out,) = td.transfer(Assign("f", "g"), sigma)
+    assert "f" in out.mustnot
+
+
+def test_td_invoke_mustnot_is_noop(td):
+    sigma = FullAbstractState("h1", "closed", frozenset(), frozenset({"f"}))
+    (out,) = td.transfer(Invoke("f", "open"), sigma)
+    assert out == sigma
+
+
+def test_td_invoke_neither_mayalias_weak_update(td):
+    sigma = FullAbstractState("h1", "closed", frozenset(), frozenset())
+    (out,) = td.transfer(Invoke("f", "open"), sigma)
+    assert out.state == ERROR
+
+
+def test_td_invoke_neither_no_alias_noop():
+    td = FullTypestateTD(FILE_PROPERTY, NoMayAlias())
+    sigma = FullAbstractState("h1", "closed", frozenset(), frozenset())
+    (out,) = td.transfer(Invoke("f", "open"), sigma)
+    assert out == sigma
+
+
+def test_td_points_to_oracle_selective():
+    oracle = PointsToOracle({"f": frozenset({"h1"})})
+    td = FullTypestateTD(FILE_PROPERTY, oracle)
+    at_h1 = FullAbstractState("h1", "closed", frozenset(), frozenset())
+    at_h2 = FullAbstractState("h2", "closed", frozenset(), frozenset())
+    assert next(iter(td.transfer(Invoke("f", "open"), at_h1))).state == ERROR
+    assert next(iter(td.transfer(Invoke("f", "open"), at_h2))).state == "closed"
+
+
+def test_td_store_invalidates_field_paths(td):
+    sigma = FullAbstractState(
+        "h1", "closed", frozenset({"g.fld", "f"}), frozenset({"g.fld.x"})
+    )
+    (out,) = td.transfer(FieldStore("g", "fld", "f"), sigma)
+    # All .fld paths invalidated; g.fld re-established because f is must.
+    assert out.must == frozenset({"f", "g.fld"})
+    assert out.mustnot == frozenset()
+
+
+def test_td_load_inherits_path_status(td):
+    sigma = FullAbstractState("h1", "closed", frozenset({"g.fld"}), frozenset())
+    (out,) = td.transfer(FieldLoad("f", "g", "fld"), sigma)
+    assert "f" in out.must
+
+
+def test_state_invariant_enforced():
+    with pytest.raises(ValueError):
+        FullAbstractState("h1", "closed", frozenset({"f"}), frozenset({"f"}))
+
+
+# -- conditions C1-C3 ----------------------------------------------------------------------
+def test_full_condition_c1(td, bu):
+    problems = check_c1(td, bu, _prims(), _relations(bu), _states())
+    assert not problems, problems[:5]
+
+
+def test_full_condition_c2(bu):
+    relations = _relations(bu)
+    pairs = list(itertools.product(relations, relations))
+    problems = check_c2(bu, pairs, _states())
+    assert not problems, problems[:5]
+
+
+def test_full_condition_c3(bu):
+    preds = [TRUE]
+    for atom in [InMust("f"), NotInMust("f"), InMustNot("g"), NotInMustNot("g")]:
+        preds.append(Conjunction.of([atom]))
+    problems = check_c3(bu, _relations(bu), preds, _states())
+    assert not problems, problems[:5]
+
+
+def test_full_synthesized_td_matches(td, bu):
+    synthesized = SynthesizedTopDown(bu)
+    for cmd in _prims():
+        for sigma in _states():
+            assert synthesized.transfer(cmd, sigma) == td.transfer(cmd, sigma)

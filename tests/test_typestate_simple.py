@@ -1,0 +1,239 @@
+"""Unit tests for the simple type-state analyses (Figures 2 and 3).
+
+Includes a direct reproduction of the bottom-up summaries ``B1``/``B2``
+of ``foo`` from the paper's overview (Section 2, adapted to the
+Figure 2 domain without must-not sets).
+"""
+
+import pytest
+
+from repro.framework.predicates import FALSE, TRUE, Conjunction
+from repro.ir.commands import Assign, FieldLoad, FieldStore, Invoke, New, Skip
+from repro.typestate.bu_analysis import (
+    ConstRelation,
+    HaveAtom,
+    NotHaveAtom,
+    SimpleTypestateBU,
+    TransformerRelation,
+)
+from repro.typestate.dfa import ERROR
+from repro.typestate.properties import FILE_PROPERTY
+from repro.typestate.states import AbstractState, bootstrap_state
+from repro.typestate.td_analysis import SimpleTypestateTD
+
+
+@pytest.fixture
+def td():
+    return SimpleTypestateTD(FILE_PROPERTY)
+
+
+@pytest.fixture
+def bu():
+    return SimpleTypestateBU(FILE_PROPERTY)
+
+
+def _state(site="h1", ts="closed", *must):
+    return AbstractState(site, ts, frozenset(must))
+
+
+# -- top-down transfer functions (Figure 2) -------------------------------------------
+def test_td_new_spawns_object(td):
+    out = td.transfer(New("v", "h2"), _state("h1", "closed", "v", "w"))
+    assert out == frozenset(
+        {
+            AbstractState("h1", "closed", frozenset({"w"})),
+            AbstractState("h2", "closed", frozenset({"v"})),
+        }
+    )
+
+
+def test_td_assign_copies_alias(td):
+    out = td.transfer(Assign("v", "w"), _state("h1", "closed", "w"))
+    assert out == frozenset({AbstractState("h1", "closed", frozenset({"v", "w"}))})
+
+
+def test_td_assign_kills_alias(td):
+    out = td.transfer(Assign("v", "w"), _state("h1", "closed", "v"))
+    assert out == frozenset({AbstractState("h1", "closed", frozenset())})
+
+
+def test_td_invoke_strong_update(td):
+    out = td.transfer(Invoke("v", "open"), _state("h1", "closed", "v"))
+    assert out == frozenset({AbstractState("h1", "opened", frozenset({"v"}))})
+
+
+def test_td_invoke_double_open_errors(td):
+    out = td.transfer(Invoke("v", "open"), _state("h1", "opened", "v"))
+    assert out == frozenset({AbstractState("h1", ERROR, frozenset({"v"}))})
+
+
+def test_td_invoke_without_must_alias_errors(td):
+    out = td.transfer(Invoke("v", "open"), _state("h1", "closed", "w"))
+    assert out == frozenset({AbstractState("h1", ERROR, frozenset({"w"}))})
+
+
+def test_td_untracked_method_is_noop(td):
+    sigma = _state("h1", "closed", "w")
+    assert td.transfer(Invoke("v", "toString"), sigma) == frozenset({sigma})
+
+
+def test_td_field_load_havocs_lhs(td):
+    out = td.transfer(FieldLoad("v", "w", "f"), _state("h1", "closed", "v", "w"))
+    assert out == frozenset({AbstractState("h1", "closed", frozenset({"w"}))})
+
+
+def test_td_store_and_skip_are_noops(td):
+    sigma = _state("h1", "opened", "v")
+    assert td.transfer(FieldStore("v", "f", "w"), sigma) == frozenset({sigma})
+    assert td.transfer(Skip(), sigma) == frozenset({sigma})
+
+
+def test_td_tracked_sites_filter():
+    td = SimpleTypestateTD(FILE_PROPERTY, tracked_sites=frozenset({"h1"}))
+    out = td.transfer(New("v", "h9"), bootstrap_state(FILE_PROPERTY))
+    assert out == frozenset({bootstrap_state(FILE_PROPERTY)})
+
+
+# -- bottom-up transfer functions (Figure 3) -------------------------------------------
+def test_identity_relation_maps_state_to_itself(bu):
+    sigma = _state("h1", "opened", "v")
+    assert bu.apply(bu.identity(), sigma) == frozenset({sigma})
+
+
+def test_paper_summaries_b1_b2():
+    """foo(){ f.open(); f.close(); } yields exactly the cases B1, B2.
+
+    In the Figure 2 domain without must-not sets, ``notHave(f)``
+    corresponds to the weak-update case and yields the error constant.
+    """
+    bu = SimpleTypestateBU(FILE_PROPERTY)
+    relations = {bu.identity()}
+    for cmd in [Invoke("f", "open"), Invoke("f", "close")]:
+        new = set()
+        for r in relations:
+            new.update(bu.rtransfer(cmd, r))
+        relations = new
+    assert len(relations) == 2
+    by_pred = {str(r.pred): r for r in relations}
+    strong = by_pred["have(f)"]
+    weak = by_pred["notHave(f)"]
+    # B2: iota_close ∘ iota_open — closed stays closed, opened errors.
+    assert strong.iota("closed") == "closed"
+    assert strong.iota("opened") == ERROR
+    # Weak case: the simplified analysis drives the object to error.
+    assert weak.iota("closed") == ERROR
+
+
+def test_rtransfer_new_creates_const_relation(bu):
+    out = bu.rtransfer(New("v", "h3"), bu.identity())
+    consts = [r for r in out if isinstance(r, ConstRelation)]
+    transformers = [r for r in out if isinstance(r, TransformerRelation)]
+    assert len(consts) == 1 and len(transformers) == 1
+    assert consts[0].output == AbstractState("h3", "closed", frozenset({"v"}))
+    assert not transformers[0].keeps("v")
+
+
+def test_rtransfer_assign_three_cases(bu):
+    ident = bu.identity()
+    # w passes through the identity: expect a case split.
+    out = bu.rtransfer(Assign("v", "w"), ident)
+    assert len(out) == 2
+    preds = {str(r.pred) for r in out}
+    assert preds == {"have(w)", "notHave(w)"}
+
+
+def test_rtransfer_assign_no_split_when_added(bu):
+    r = TransformerRelation(
+        FILE_PROPERTY.identity_function(), frozenset(), frozenset({"w"}), TRUE
+    )
+    out = bu.rtransfer(Assign("v", "w"), r)
+    assert len(out) == 1
+    (only,) = out
+    assert only.adds("v") and only.adds("w")
+
+
+def test_rtransfer_assign_no_split_when_removed(bu):
+    r = TransformerRelation(
+        FILE_PROPERTY.identity_function(), frozenset({"w"}), frozenset(), TRUE
+    )
+    out = bu.rtransfer(Assign("v", "w"), r)
+    assert len(out) == 1
+    (only,) = out
+    assert not only.keeps("v")
+
+
+def test_rtransfer_const_uses_td_transfer(bu):
+    const = ConstRelation(_state("h1", "closed", "v"), TRUE)
+    out = bu.rtransfer(Invoke("v", "open"), const)
+    assert out == frozenset({ConstRelation(_state("h1", "opened", "v"), TRUE)})
+
+
+def test_apply_respects_predicate(bu):
+    r = TransformerRelation(
+        FILE_PROPERTY.identity_function(),
+        frozenset(),
+        frozenset(),
+        Conjunction.of([HaveAtom("f")]),
+    )
+    assert bu.apply(r, _state("h1", "closed", "f"))
+    assert not bu.apply(r, _state("h1", "closed", "g"))
+
+
+def test_transformer_canonical_form():
+    r = TransformerRelation(
+        FILE_PROPERTY.identity_function(), frozenset({"v", "w"}), frozenset({"v"}), TRUE
+    )
+    # `added` wins; the overlap is dropped from `removed`.
+    assert r.removed == frozenset({"w"})
+    assert r.added == frozenset({"v"})
+
+
+def test_rcompose_constant_absorbs(bu):
+    const = ConstRelation(_state("h1", "closed", "v"), TRUE)
+    out = bu.rcompose(bu.identity(), const)
+    assert out == frozenset({const})
+
+
+def test_rcompose_contradiction_is_empty(bu):
+    r1 = TransformerRelation(
+        FILE_PROPERTY.identity_function(),
+        frozenset({"f"}),  # f removed: output never has f
+        frozenset(),
+        TRUE,
+    )
+    r2 = TransformerRelation(
+        FILE_PROPERTY.identity_function(),
+        frozenset(),
+        frozenset(),
+        Conjunction.of([HaveAtom("f")]),  # requires f on input
+    )
+    assert bu.rcompose(r1, r2) == frozenset()
+
+
+def test_rcompose_wp_through_added(bu):
+    r1 = TransformerRelation(
+        FILE_PROPERTY.identity_function(), frozenset(), frozenset({"f"}), TRUE
+    )
+    r2 = TransformerRelation(
+        FILE_PROPERTY.identity_function(),
+        frozenset(),
+        frozenset(),
+        Conjunction.of([HaveAtom("f")]),
+    )
+    out = bu.rcompose(r1, r2)
+    assert len(out) == 1
+    (only,) = out
+    assert only.pred == TRUE  # wp(have(f)) through +f is true
+    assert only.adds("f")
+
+
+def test_pre_image_matches_apply(bu):
+    r = TransformerRelation(
+        FILE_PROPERTY.identity_function(), frozenset({"g"}), frozenset({"f"}), TRUE
+    )
+    p = Conjunction.of([HaveAtom("f"), NotHaveAtom("g")])
+    pre = bu.pre_image(r, p)
+    # f is added and g removed, so the pre-image is everything.
+    assert pre == frozenset({TRUE})
+    p2 = Conjunction.of([HaveAtom("g")])
+    assert bu.pre_image(r, p2) == frozenset()

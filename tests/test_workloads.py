@@ -1,0 +1,98 @@
+"""Tests for the micro-workload generators."""
+
+import pytest
+
+from repro.bench.workloads import (
+    case_bomb,
+    deep_chain,
+    hub_flood,
+    scalability_series,
+    wide_dispatch,
+)
+from repro.framework.bottomup import BottomUpEngine
+from repro.framework.swift import SwiftEngine
+from repro.framework.topdown import TopDownEngine
+from repro.ir.validate import validate_program
+from repro.typestate.bu_analysis import SimpleTypestateBU
+from repro.typestate.properties import FILE_PROPERTY
+from repro.typestate.states import bootstrap_state
+from repro.typestate.td_analysis import SimpleTypestateTD
+
+
+@pytest.mark.parametrize(
+    "program",
+    [hub_flood(6), deep_chain(4), wide_dispatch(3), case_bomb(3)],
+    ids=["hub_flood", "deep_chain", "wide_dispatch", "case_bomb"],
+)
+def test_workloads_are_valid_and_analyzable(program):
+    validate_program(program)
+    assert program.reachable() == frozenset(program.names())
+    td = SimpleTypestateTD(FILE_PROPERTY)
+    bu = SimpleTypestateBU(FILE_PROPERTY)
+    initial = [bootstrap_state(FILE_PROPERTY)]
+    td_result = TopDownEngine(program, td).run(initial)
+    swift_result = SwiftEngine(program, td, bu, k=2, theta=2).run(initial)
+    assert swift_result.exit_states() == td_result.exit_states()
+
+
+def test_hub_flood_structure():
+    program = hub_flood(10, n_resources=3)
+    assert "hub" in program
+    callers = [p for p in program if p.startswith("caller")]
+    assert len(callers) == 10
+    assert len(program.allocation_sites()) == 3
+
+
+def test_deep_chain_depth():
+    program = deep_chain(5)
+    from repro.callgraph import build_call_graph
+
+    graph = build_call_graph(program)
+    assert graph.depth_of("level4") == 5
+
+
+def test_wide_dispatch_choice_width():
+    program = wide_dispatch(4)
+    targets = {c.proc for c in program["main"].calls()}
+    assert len(targets) == 4
+
+
+def test_case_bomb_explodes_without_pruning():
+    """Unpruned relation counts grow exponentially with chain length —
+    exactly 2^n in the simple domain (each invoke splits have/notHave;
+    the read/write branches deduplicate extensionally)."""
+    bu = SimpleTypestateBU(FILE_PROPERTY)
+    for n in (2, 3, 5):
+        result = BottomUpEngine(case_bomb(n), bu).analyze(["bomb"])
+        assert result.summary("bomb").case_count() == 2**n
+
+
+def test_case_bomb_tamed_by_pruning():
+    from collections import Counter
+    from repro.framework.pruning import FrequencyPruner
+    from repro.typestate.states import AbstractState
+
+    bu = SimpleTypestateBU(FILE_PROPERTY)
+    incoming = {
+        "bomb": Counter({AbstractState("h0", "closed", frozenset({"f"})): 3})
+    }
+    pruner = FrequencyPruner(bu, theta=1, incoming=incoming)
+    result = BottomUpEngine(case_bomb(5), bu, pruner=pruner).analyze(["bomb"])
+    assert result.summary("bomb").case_count() <= 1
+
+
+def test_generator_validation():
+    with pytest.raises(ValueError):
+        deep_chain(0)
+    with pytest.raises(ValueError):
+        wide_dispatch(1)
+    with pytest.raises(ValueError):
+        case_bomb(0)
+
+
+def test_scalability_series_shapes():
+    sizes = []
+    for size, program in scalability_series([4, 8]):
+        sizes.append(size)
+        validate_program(program)
+    assert sizes == [4, 8]

@@ -118,7 +118,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
 def cmd_experiments(args: argparse.Namespace) -> int:
     from repro.experiments import __main__ as runner
 
-    sys.argv = ["repro.experiments"] + args.names
+    shim = ["repro.experiments"] + args.names
+    if args.parallel:
+        shim += ["--parallel", str(args.parallel)]
+    sys.argv = shim
     runner.main()
     return 0
 
@@ -158,6 +161,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     experiments = sub.add_parser("experiments", help="regenerate tables/figures")
     experiments.add_argument("names", nargs="*")
+    experiments.add_argument(
+        "--parallel",
+        type=int,
+        default=0,
+        metavar="N",
+        help="compute independent benchmark rows in N worker processes "
+        "(same rows as a serial run; see experiments/harness.py)",
+    )
     experiments.set_defaults(fn=cmd_experiments)
     return parser
 

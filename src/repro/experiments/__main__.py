@@ -1,4 +1,10 @@
-"""Regenerate every exhibit: ``python -m repro.experiments``."""
+"""Regenerate every exhibit: ``python -m repro.experiments``.
+
+``--parallel N`` computes independent benchmark rows in N worker
+processes (table2, figure5 and table4 support it); the tables are
+identical to a serial run — work counters are deterministic and rows
+are collected in submission order — only wall clock changes.
+"""
 
 from __future__ import annotations
 
@@ -6,9 +12,21 @@ import sys
 
 from repro.experiments import ablations, figure5, table1, table2, table3, table4
 
+#: Exhibits whose ``main`` accepts a ``parallel`` worker count.
+_PARALLEL_EXHIBITS = frozenset({"table2", "figure5", "table4"})
+
 
 def main() -> None:
-    wanted = set(sys.argv[1:])
+    argv = list(sys.argv[1:])
+    parallel = 0
+    if "--parallel" in argv:
+        at = argv.index("--parallel")
+        try:
+            parallel = int(argv[at + 1])
+        except (IndexError, ValueError):
+            raise SystemExit("--parallel requires an integer worker count")
+        del argv[at : at + 2]
+    wanted = set(argv)
     exhibits = [
         ("table1", table1),
         ("table2", table2),
@@ -21,7 +39,10 @@ def main() -> None:
         if wanted and name not in wanted:
             continue
         print(f"\n{'=' * 78}\n{name}\n{'=' * 78}")
-        module.main()
+        if name in _PARALLEL_EXHIBITS:
+            module.main(parallel=parallel)
+        else:
+            module.main()
 
 
 if __name__ == "__main__":

@@ -93,6 +93,21 @@ def export_table4(directory: Path) -> Path:
     return path
 
 
+def export_hotpath(rows: Iterable[dict], path: str = "BENCH_hotpath.json") -> Path:
+    """Write the hot-path benchmark rows (benchmarks/bench_hotpath.py)
+    as JSON, so successive PRs can track the perf trajectory."""
+    import json
+
+    out = Path(path)
+    payload = {
+        "benchmark": "bench_hotpath",
+        "description": "optimized (indexed+cached+interned) vs unoptimized engines",
+        "rows": list(rows),
+    }
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return out
+
+
 def export_all(directory: str = "results") -> List[Path]:
     """Export every exhibit; returns the written paths."""
     base = Path(directory)

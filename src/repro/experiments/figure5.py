@@ -15,10 +15,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import partial
 from typing import Dict, List
 
 from repro.bench import load_benchmark
-from repro.experiments.harness import DEFAULT_BUDGET_WORK, format_table
+from repro.experiments.harness import DEFAULT_BUDGET_WORK, format_table, map_rows
 from repro.framework.metrics import Budget
 from repro.typestate.client import make_analyses
 from repro.framework.swift import SwiftEngine
@@ -64,8 +65,9 @@ def run_one(name: str, k: int = 5, theta: int = 1) -> Figure5Series:
     return Figure5Series(name, td_counts, swift_counts, k)
 
 
-def run(k: int = 5, theta: int = 1) -> List[Figure5Series]:
-    return [run_one(name, k, theta) for name in BENCHMARKS]
+def run(k: int = 5, theta: int = 1, parallel: int = 0) -> List[Figure5Series]:
+    worker = partial(run_one, k=k, theta=theta)
+    return map_rows(worker, BENCHMARKS, parallel=parallel)
 
 
 def _ascii_chart(series: Figure5Series, height: int = 10, width: int = 60) -> str:
@@ -118,8 +120,8 @@ def render(all_series: List[Figure5Series]) -> str:
     return "\n".join(chunks)
 
 
-def main() -> None:
-    print(render(run()))
+def main(parallel: int = 0) -> None:
+    print(render(run(parallel=parallel)))
 
 
 if __name__ == "__main__":

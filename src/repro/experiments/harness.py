@@ -19,13 +19,17 @@ it everywhere.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
 
 from repro.bench.generator import GeneratedBenchmark
-from repro.framework.metrics import Budget
+from repro.framework.metrics import Budget, Metrics
 from repro.typestate.client import run_typestate
 from repro.typestate.properties import FILE_PROPERTY, TypestateProperty
+
+_ItemT = TypeVar("_ItemT")
+_RowT = TypeVar("_RowT")
 
 #: The stand-in for the paper's 24h/16GB limit (see module docstring).
 DEFAULT_BUDGET_WORK = 400_000
@@ -56,6 +60,9 @@ class EngineRun:
     bu_summaries: int
     timed_out: bool
     error_sites: frozenset
+    # Full work counters of the run (for merging across rows); plain
+    # ints, so rows survive the process boundary of a parallel run.
+    metrics: Optional[Metrics] = field(default=None, repr=False, compare=False)
 
     @property
     def time_label(self) -> str:
@@ -98,7 +105,36 @@ def run_engine(
         bu_summaries=report.bu_summaries,
         timed_out=report.timed_out,
         error_sites=report.error_sites,
+        metrics=metrics,
     )
+
+
+def aggregate_metrics(runs: Iterable[EngineRun]) -> Metrics:
+    """Merge the work counters of several rows into one ``Metrics``."""
+    total = Metrics()
+    for run in runs:
+        if run.metrics is not None:
+            total.merge(run.metrics)
+    return total
+
+
+def map_rows(
+    fn: Callable[[_ItemT], _RowT], items: Iterable[_ItemT], parallel: int = 0
+) -> List[_RowT]:
+    """Run ``fn`` over ``items``, optionally in a process pool.
+
+    With ``parallel > 1`` the rows are computed in a
+    ``ProcessPoolExecutor``; ``pool.map`` yields results in submission
+    order, and the engines' work counters are deterministic, so a
+    parallel table is identical to the serial one — only wall clock
+    changes.  ``fn`` and the items must be picklable (pass benchmark
+    *names* and reload in the worker, not ``Program`` objects).
+    """
+    items = list(items)
+    if parallel and parallel > 1 and len(items) > 1:
+        with ProcessPoolExecutor(max_workers=parallel) as pool:
+            return list(pool.map(fn, items))
+    return [fn(item) for item in items]
 
 
 def speedup_label(baseline: EngineRun, swift: EngineRun) -> str:

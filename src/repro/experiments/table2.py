@@ -17,15 +17,17 @@ work counters; wall-clock seconds are shown alongside.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from functools import partial
+from typing import List, Optional, Sequence
 
-from repro.bench import load_suite
+from repro.bench import benchmark_names, load_benchmark
 from repro.bench.generator import GeneratedBenchmark
 from repro.experiments.harness import (
     DEFAULT_BUDGET_WORK,
     EngineRun,
     drop_label,
     format_table,
+    map_rows,
     run_engine,
     speedup_label,
 )
@@ -86,23 +88,42 @@ def run_one(
     return Table2Row(benchmark.name, td, bu, swift)
 
 
+def _row_for_name(
+    name: str,
+    k: int = 5,
+    theta: int = 1,
+    budget_work: Optional[int] = DEFAULT_BUDGET_WORK,
+) -> Table2Row:
+    """Worker entry point: benchmarks are reloaded by name so only the
+    name crosses the process boundary (Programs are not pickled)."""
+    return run_one(load_benchmark(name), k, theta, budget_work)
+
+
 def run(
     k: int = 5,
     theta: int = 1,
     budget_work: Optional[int] = DEFAULT_BUDGET_WORK,
     progress: bool = False,
+    parallel: int = 0,
+    names: Optional[Sequence[str]] = None,
 ) -> List[Table2Row]:
-    rows = []
-    for benchmark in load_suite():
-        row = run_one(benchmark, k, theta, budget_work)
+    names = list(names) if names is not None else benchmark_names()
+    worker = partial(_row_for_name, k=k, theta=theta, budget_work=budget_work)
+
+    def report(row: Table2Row) -> Table2Row:
         if progress:
             print(
                 f"  [{row.benchmark}] td={row.td.time_label} "
                 f"bu={row.bu.time_label} swift={row.swift.time_label}",
                 flush=True,
             )
-        rows.append(row)
-    return rows
+        return row
+
+    if parallel and parallel > 1:
+        # Rows land in submission order (pool.map), so the table is
+        # identical to a serial run; progress prints once they are in.
+        return [report(row) for row in map_rows(worker, names, parallel=parallel)]
+    return [report(worker(name)) for name in names]
 
 
 def render(rows: List[Table2Row]) -> str:
@@ -113,8 +134,8 @@ def render(rows: List[Table2Row]) -> str:
     )
 
 
-def main() -> None:
-    print(render(run(progress=True)))
+def main(parallel: int = 0) -> None:
+    print(render(run(progress=True, parallel=parallel)))
 
 
 if __name__ == "__main__":

@@ -11,6 +11,7 @@ from theta=2.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import List
 
 from repro.bench import benchmark_names, load_benchmark
@@ -18,6 +19,7 @@ from repro.experiments.harness import (
     DEFAULT_BUDGET_WORK,
     EngineRun,
     format_table,
+    map_rows,
     run_engine,
 )
 
@@ -55,8 +57,9 @@ def run_one(name: str, k: int = 5) -> Table4Row:
     return Table4Row(name, runs)
 
 
-def run(k: int = 5) -> List[Table4Row]:
-    return [run_one(name, k) for name in BENCHMARKS]
+def run(k: int = 5, parallel: int = 0) -> List[Table4Row]:
+    worker = partial(run_one, k=k)
+    return map_rows(worker, BENCHMARKS, parallel=parallel)
 
 
 def render(rows: List[Table4Row]) -> str:
@@ -70,8 +73,8 @@ def render(rows: List[Table4Row]) -> str:
     )
 
 
-def main() -> None:
-    print(render(run()))
+def main(parallel: int = 0) -> None:
+    print(render(run(parallel=parallel)))
 
 
 if __name__ == "__main__":

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
 
+from repro.framework.caching import RComposeCache, RTransferCache
 from repro.framework.ignored import IgnoredStates
 from repro.framework.interfaces import BottomUpAnalysis
 from repro.framework.metrics import Budget, BudgetExceededError, Metrics
@@ -121,6 +122,10 @@ class BottomUpEngine:
         pruner: Optional[PruneOperator] = None,
         budget: Optional[Budget] = None,
         metrics: Optional[Metrics] = None,
+        enable_caches: bool = True,
+        restart_clock: bool = True,
+        rtransfer_cache: Optional[RTransferCache] = None,
+        rcompose_cache: Optional[RComposeCache] = None,
     ) -> None:
         self.program = program
         self.analysis = analysis
@@ -130,6 +135,30 @@ class BottomUpEngine:
         # parts so a single budget bounds their combined work.
         self.metrics = metrics if metrics is not None else Metrics()
         self._owns_metrics = metrics is None
+        # Engines restart the budget's wall clock at the start of their
+        # outermost run (so a Budget built before a long setup phase
+        # times the analysis, not the setup).  A nested run — SWIFT's
+        # run_bu, which shares the enclosing engine's budget mid-run —
+        # passes restart_clock=False; restarting there would extend the
+        # enclosing deadline.
+        self._restart_clock = restart_clock
+        self.enable_caches = enable_caches
+        if enable_caches:
+            # SWIFT passes long-lived caches here so later triggers
+            # reuse the operator results of earlier ones.
+            self._rtransfer = (
+                rtransfer_cache
+                if rtransfer_cache is not None
+                else RTransferCache(analysis, self.metrics)
+            )
+            self._rcompose = (
+                rcompose_cache
+                if rcompose_cache is not None
+                else RComposeCache(analysis, self.metrics)
+            )
+        else:
+            self._rtransfer = analysis.rtransfer
+            self._rcompose = analysis.rcompose
 
     # -- public API -----------------------------------------------------------------
     def analyze(
@@ -145,9 +174,7 @@ class BottomUpEngine:
         budget exhaustion a partial result is returned with
         ``timed_out=True``.
         """
-        if self.budget is not None and self._owns_metrics:
-            # When metrics are shared (SWIFT), the enclosing engine owns
-            # the budget clock; restarting it here would extend it.
+        if self.budget is not None and self._restart_clock:
             self.budget.restart_clock()
         targets = list(procs) if procs is not None else sorted(self.program.reachable())
         target_set = set(targets)
@@ -215,11 +242,12 @@ class BottomUpEngine:
             self.budget.check(self.metrics)
         if isinstance(cmd, Prim):
             out: Set = set()
+            rtransfer = self._rtransfer
             for i, r in enumerate(relations):
                 if self.budget is not None and i % 128 == 127:
                     self.budget.check(self.metrics)
                 self.metrics.rtransfers += 1
-                produced = self.analysis.rtransfer(cmd, r)
+                produced = rtransfer(cmd, r)
                 self.metrics.relations_created += len(produced)
                 out.update(produced)
             return self._prune(proc, *clean(self.analysis, frozenset(out), ignored))
@@ -254,6 +282,7 @@ class BottomUpEngine:
                 # later run will refine it.
                 callee = ProcedureSummary(frozenset(), self._empty_ignored())
             composed: Set = set()
+            rcompose = self._rcompose
             for r in relations:
                 # The cross product |R| x |R0| is where the conventional
                 # bottom-up analysis explodes; check the budget inside it
@@ -262,7 +291,7 @@ class BottomUpEngine:
                     self.budget.check(self.metrics)
                 for r0 in callee.relations:
                     self.metrics.compositions += 1
-                    produced = self.analysis.rcompose(r, r0)
+                    produced = rcompose(r, r0)
                     self.metrics.relations_created += len(produced)
                     composed.update(produced)
             # Σ00: states whose images under some r land in the callee's

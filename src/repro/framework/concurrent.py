@@ -71,10 +71,11 @@ class ConcurrentSwiftEngine(SwiftEngine):
 
     def _run_bu(self, root: str) -> None:
         """Submit the bottom-up job instead of running it inline."""
-        reachable = self.program.reachable_from(root)
+        reachable = self._reachable(root)
         if self.postpone_unseen and any(
             not self._entry_counts.get(proc) for proc in reachable
         ):
+            self.metrics.bu_postponements += 1
             return
         if reachable & self._pending_procs:
             # Another in-flight job owns part of this subgraph.  The
@@ -100,12 +101,16 @@ class ConcurrentSwiftEngine(SwiftEngine):
             incoming=incoming_snapshot,
             metrics=worker_metrics,
         )
+        # The worker builds its own operator caches: SWIFT's shared ones
+        # are not touched off the tabulation thread.
         engine = BottomUpEngine(
             self.program,
             self.bu_analysis,
             pruner=pruner,
             budget=self.budget,
             metrics=worker_metrics,
+            enable_caches=self.enable_caches,
+            restart_clock=False,
         )
         self.metrics.bu_triggers += 1
         future = self._executor.submit(engine.analyze, targets, external=bu_snapshot)

@@ -41,7 +41,20 @@ class Metrics:
     summary_instantiations: int = 0  # bottom-up summaries applied at calls
     td_summary_reuses: int = 0  # tabulation cache hits at calls
     bu_triggers: int = 0  # run_bu invocations (SWIFT only)
+    bu_postponements: int = 0  # run_bu triggers declined by postpone_unseen
     pruned_relations: int = 0  # relations dropped by prune
+    # Memo-table traffic (framework.caching).  These are *not* part of
+    # total_work: the work counters above count logical operator
+    # applications whether or not the result came from a cache, so
+    # Budget-driven timeouts are identical with caches on or off.  A
+    # hit means the corresponding computation was skipped; computed
+    # work = raw work - hits.
+    transfer_cache_hits: int = 0
+    transfer_cache_misses: int = 0
+    rtransfer_cache_hits: int = 0
+    rtransfer_cache_misses: int = 0
+    rcompose_cache_hits: int = 0
+    rcompose_cache_misses: int = 0
 
     def merge(self, other: "Metrics") -> None:
         self.transfers += other.transfers
@@ -52,11 +65,23 @@ class Metrics:
         self.summary_instantiations += other.summary_instantiations
         self.td_summary_reuses += other.td_summary_reuses
         self.bu_triggers += other.bu_triggers
+        self.bu_postponements += other.bu_postponements
         self.pruned_relations += other.pruned_relations
+        self.transfer_cache_hits += other.transfer_cache_hits
+        self.transfer_cache_misses += other.transfer_cache_misses
+        self.rtransfer_cache_hits += other.rtransfer_cache_hits
+        self.rtransfer_cache_misses += other.rtransfer_cache_misses
+        self.rcompose_cache_hits += other.rcompose_cache_hits
+        self.rcompose_cache_misses += other.rcompose_cache_misses
 
     @property
     def total_work(self) -> int:
-        """A single scalar proxy for analysis cost."""
+        """A single scalar proxy for analysis cost.
+
+        Counts *raw* (logical) operator applications — cache hits
+        included — so the value is deterministic and independent of the
+        ``enable_caches`` engine flag.
+        """
         return (
             self.transfers
             + self.rtransfers
@@ -64,6 +89,29 @@ class Metrics:
             + self.propagations
             + self.summary_instantiations
         )
+
+    @property
+    def cache_hits(self) -> int:
+        """Total memo-table hits across all three operator caches."""
+        return (
+            self.transfer_cache_hits
+            + self.rtransfer_cache_hits
+            + self.rcompose_cache_hits
+        )
+
+    @property
+    def cache_misses(self) -> int:
+        return (
+            self.transfer_cache_misses
+            + self.rtransfer_cache_misses
+            + self.rcompose_cache_misses
+        )
+
+    @property
+    def computed_work(self) -> int:
+        """``total_work`` minus the operator applications served from
+        caches — the work actually executed this run."""
+        return self.total_work - self.cache_hits
 
 
 @dataclass

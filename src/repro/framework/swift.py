@@ -30,6 +30,7 @@ from collections import Counter
 from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple
 
 from repro.framework.bottomup import BottomUpEngine, ProcedureSummary
+from repro.framework.caching import RComposeCache, RTransferCache
 from repro.framework.interfaces import BottomUpAnalysis, TopDownAnalysis
 from repro.framework.metrics import Budget, Metrics
 from repro.framework.pruning import FrequencyPruner
@@ -103,8 +104,18 @@ class SwiftEngine(TopDownEngine):
         pruner_factory=None,
         cfgs: Optional[ControlFlowGraphs] = None,
         order: str = "lifo",
+        enable_caches: bool = True,
+        indexed_summaries: bool = True,
     ) -> None:
-        super().__init__(program, td_analysis, budget=budget, cfgs=cfgs, order=order)
+        super().__init__(
+            program,
+            td_analysis,
+            budget=budget,
+            cfgs=cfgs,
+            order=order,
+            enable_caches=enable_caches,
+            indexed_summaries=indexed_summaries,
+        )
         if k < 1:
             raise ValueError("k must be at least 1")
         self.bu_analysis = bu_analysis
@@ -121,6 +132,19 @@ class SwiftEngine(TopDownEngine):
         self.pruner_factory = pruner_factory or FrequencyPruner
         self.bu: Dict[str, ProcedureSummary] = {}
         self._bu_disabled: Set[str] = set()
+        # reachable_from(root) is a fresh graph walk each call; a
+        # postponed trigger re-checks the same root on every later call
+        # edge, so cache the frozenset per root (the call graph is
+        # immutable for the lifetime of a run).
+        self._reachable_cache: Dict[str, FrozenSet[str]] = {}
+        # Bottom-up operator caches shared across triggers, so a later
+        # run_bu reuses compositions derived by an earlier one.
+        if enable_caches:
+            self._bu_rtransfer_cache = RTransferCache(bu_analysis, self.metrics)
+            self._bu_rcompose_cache = RComposeCache(bu_analysis, self.metrics)
+        else:
+            self._bu_rtransfer_cache = None
+            self._bu_rcompose_cache = None
         # Instantiation cache: (callee, sigma) -> outputs, or None when
         # sigma is in the summary's ignored set (top-down fallback).
         # Entries are only valid for the summary they were computed
@@ -159,9 +183,17 @@ class SwiftEngine(TopDownEngine):
             self._run_bu(callee)
 
     # -- run_bu ------------------------------------------------------------------------
+    def _reachable(self, root: str) -> FrozenSet[str]:
+        reachable = self._reachable_cache.get(root)
+        if reachable is None:
+            reachable = self._reachable_cache[root] = frozenset(
+                self.program.reachable_from(root)
+            )
+        return reachable
+
     def _run_bu(self, root: str) -> None:
         """``bu := run_bu(Γ, θ, f, bu)`` over procedures reachable from ``root``."""
-        reachable = self.program.reachable_from(root)
+        reachable = self._reachable(root)
         if self.postpone_unseen and any(
             not self._entry_counts.get(proc) for proc in reachable
         ):
@@ -169,6 +201,7 @@ class SwiftEngine(TopDownEngine):
             # for some reachable procedure the pruner cannot identify its
             # common cases — postpone until every procedure has been
             # entered at least once.
+            self.metrics.bu_postponements += 1
             return
         targets = (
             reachable
@@ -189,6 +222,10 @@ class SwiftEngine(TopDownEngine):
             pruner=pruner,
             budget=self.budget,
             metrics=self.metrics,
+            enable_caches=self.enable_caches,
+            restart_clock=False,
+            rtransfer_cache=self._bu_rtransfer_cache,
+            rcompose_cache=self._bu_rcompose_cache,
         )
         self.metrics.bu_triggers += 1
         result = engine.analyze(targets, external=self.bu)

@@ -25,6 +25,7 @@ from __future__ import annotations
 from collections import Counter, deque
 from typing import Deque, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
+from repro.framework.caching import TransferCache
 from repro.framework.interfaces import TopDownAnalysis
 from repro.framework.metrics import Budget, BudgetExceededError, Metrics
 from repro.ir.cfg import CFGEdge, ControlFlowGraphs, ProgramPoint
@@ -83,7 +84,19 @@ class TopDownResult:
 
 
 class TopDownEngine:
-    """Worklist tabulation over the program's CFGs."""
+    """Worklist tabulation over the program's CFGs.
+
+    Two hot-path optimizations are on by default and toggleable for
+    ablation; neither changes the computed tables or the deterministic
+    work counters (see :mod:`repro.framework.caching`):
+
+    * ``indexed_summaries`` — an exit-summary index
+      ``proc -> sigma_in -> {sigma_out}`` maintained incrementally by
+      ``_propagate``, so summary reuse at a call edge inspects only the
+      matching summaries instead of scanning every exit path edge of
+      the callee (O(matching) instead of O(all summaries));
+    * ``enable_caches`` — a bounded memo table for ``trans(c)(sigma)``.
+    """
 
     def __init__(
         self,
@@ -92,6 +105,8 @@ class TopDownEngine:
         budget: Optional[Budget] = None,
         cfgs: Optional[ControlFlowGraphs] = None,
         order: str = "lifo",
+        enable_caches: bool = True,
+        indexed_summaries: bool = True,
     ) -> None:
         if order not in ("lifo", "fifo"):
             raise ValueError("order must be 'lifo' or 'fifo'")
@@ -101,6 +116,13 @@ class TopDownEngine:
         self.order = order
         self.cfgs = cfgs if cfgs is not None else ControlFlowGraphs(program)
         self.metrics = Metrics()
+        self.enable_caches = enable_caches
+        self.indexed_summaries = indexed_summaries
+        self._transfer = (
+            TransferCache(analysis, self.metrics)
+            if enable_caches
+            else analysis.transfer
+        )
         # td(pc) = set of path edges (entry state, state at pc)
         self._td: Dict[ProgramPoint, Set[Tuple]] = {}
         # (callee, entry state) -> set of (return point, caller entry state)
@@ -110,13 +132,22 @@ class TopDownEngine:
         self._entry_counts: Dict[str, Counter] = {}
         self._workset: Deque[Tuple[ProgramPoint, object, object]] = deque()
         self._timed_out = False
+        # Per-proc entry/exit points and per-point successor lists,
+        # resolved once: the worklist loop otherwise re-derives them
+        # (and copies the successor list) on every single pop.
+        self._entry_points: Dict[str, ProgramPoint] = {}
+        self._exit_points: Dict[str, ProgramPoint] = {}
+        self._exit_point_set: Set[ProgramPoint] = set()
+        self._succ_cache: Dict[ProgramPoint, List[CFGEdge]] = {}
+        # Exit-summary index: proc -> sigma_in -> set of sigma_out.
+        self._exit_index: Dict[str, Dict[object, Set[object]]] = {}
 
     # -- driver -----------------------------------------------------------------------
     def run(self, initial_states: Iterable) -> TopDownResult:
         """Analyze the program from ``main`` with the given initial states."""
         if self.budget is not None:
             self.budget.restart_clock()
-        main_entry = self.cfgs.entry(self.program.main)
+        main_entry, _ = self._proc_points(self.program.main)
         for sigma in initial_states:
             self._record_entry(self.program.main, sigma)
             self._propagate(main_entry, sigma, sigma)
@@ -146,7 +177,11 @@ class TopDownEngine:
                 point, entry_sigma, sigma = self._workset.pop()
             else:
                 point, entry_sigma, sigma = self._workset.popleft()
-            for edge in self.cfgs[point.proc].successors(point):
+            succs = self._succ_cache.get(point)
+            if succs is None:
+                succs = self.cfgs[point.proc].successors(point)
+                self._succ_cache[point] = succs
+            for edge in succs:
                 if edge.is_call:
                     self._handle_call(edge, entry_sigma, sigma)
                 else:
@@ -156,7 +191,7 @@ class TopDownEngine:
     # -- edge handling ------------------------------------------------------------------
     def _handle_prim(self, edge: CFGEdge, entry_sigma, sigma) -> None:
         self.metrics.transfers += 1
-        for sigma_prime in self.analysis.transfer(edge.label, sigma):
+        for sigma_prime in self._transfer(edge.label, sigma):
             self._propagate(edge.target, entry_sigma, sigma_prime)
 
     def _handle_call(self, edge: CFGEdge, entry_sigma, sigma) -> None:
@@ -172,20 +207,35 @@ class TopDownEngine:
             return
         records.add(record)
         self._record_entry(callee, sigma)
-        callee_entry = self.cfgs.entry(callee)
+        callee_entry, callee_exit = self._proc_points(callee)
         if (sigma, sigma) in self._td.get(callee_entry, ()):
             # The callee context exists already: reuse its summaries.
             self.metrics.td_summary_reuses += 1
-            callee_exit = self.cfgs.exit(callee)
-            for (sigma_in, sigma_out) in list(self._td.get(callee_exit, ())):
-                if sigma_in == sigma:
-                    self._propagate(edge.target, entry_sigma, sigma_out)
+            for sigma_out in self._exit_summaries(callee, callee_exit, sigma):
+                self._propagate(edge.target, entry_sigma, sigma_out)
         else:
             self._propagate(callee_entry, sigma, sigma)
 
+    def _exit_summaries(self, callee: str, callee_exit: ProgramPoint, sigma) -> List:
+        """Exit states of ``callee`` for the incoming state ``sigma``.
+
+        Indexed mode reads the ``(proc, sigma_in) -> {sigma_out}`` index;
+        the fallback is the original linear scan over every exit path
+        edge (kept for the hot-path ablation, ``indexed_summaries=False``).
+        Returns a snapshot list: ``_propagate`` may grow the live sets.
+        """
+        if self.indexed_summaries:
+            outs = self._exit_index.get(callee, _NO_INDEX).get(sigma)
+            return list(outs) if outs else []
+        return [
+            sigma_out
+            for (sigma_in, sigma_out) in list(self._td.get(callee_exit, ()))
+            if sigma_in == sigma
+        ]
+
     def _after_exit(self, point: ProgramPoint, entry_sigma, sigma) -> None:
         """If a path edge reached a procedure exit, return to callers."""
-        if point != self.cfgs.exit(point.proc):
+        if point not in self._exit_point_set:
             return
         for (return_point, caller_entry) in list(
             self._call_records.get((point.proc, entry_sigma), ())
@@ -193,6 +243,23 @@ class TopDownEngine:
             self._propagate(return_point, caller_entry, sigma)
 
     # -- low-level table updates -----------------------------------------------------------
+    def _proc_points(self, proc: str) -> Tuple[ProgramPoint, ProgramPoint]:
+        """The (entry, exit) points of ``proc``, cached.
+
+        Also registers the exit point so ``_propagate``/``_after_exit``
+        can recognize it with one set lookup.  Every point that reaches
+        the workset belongs to a procedure first entered through here
+        (``run`` for main, ``_tabulate_call`` for callees), so the
+        registry is always complete for live points.
+        """
+        entry = self._entry_points.get(proc)
+        if entry is None:
+            cfg = self.cfgs[proc]
+            entry = self._entry_points[proc] = cfg.entry
+            self._exit_points[proc] = cfg.exit
+            self._exit_point_set.add(cfg.exit)
+        return entry, self._exit_points[proc]
+
     def _propagate(self, point: ProgramPoint, entry_sigma, sigma) -> None:
         edges = self._td.setdefault(point, set())
         pair = (entry_sigma, sigma)
@@ -200,7 +267,17 @@ class TopDownEngine:
             return
         edges.add(pair)
         self.metrics.propagations += 1
+        if self.indexed_summaries and point in self._exit_point_set:
+            by_entry = self._exit_index.setdefault(point.proc, {})
+            outs = by_entry.get(entry_sigma)
+            if outs is None:
+                outs = by_entry[entry_sigma] = set()
+            outs.add(sigma)
         self._workset.append((point, entry_sigma, sigma))
 
     def _record_entry(self, proc: str, sigma) -> None:
         self._entry_counts.setdefault(proc, Counter())[sigma] += 1
+
+
+#: Shared empty mapping for index misses (avoids allocating per lookup).
+_NO_INDEX: Dict[object, Set[object]] = {}

@@ -33,7 +33,7 @@ from repro.framework.interfaces import BottomUpAnalysis
 from repro.framework.predicates import FALSE, TRUE, Atom, Conjunction
 from repro.ir.commands import Assign, FieldLoad, FieldStore, Invoke, New, Prim, Skip
 from repro.typestate.dfa import ERROR, TSFunction, TypestateProperty
-from repro.typestate.states import AbstractState
+from repro.typestate.states import AbstractState, intern_state
 from repro.typestate.td_analysis import SimpleTypestateTD
 
 
@@ -193,7 +193,9 @@ class SimpleTypestateBU(BottomUpAnalysis):
                 )
             }
             if self._td._tracks_site(cmd.site):
-                fresh = AbstractState(cmd.site, self.prop.initial, frozenset({cmd.lhs}))
+                fresh = intern_state(
+                    AbstractState(cmd.site, self.prop.initial, frozenset({cmd.lhs}))
+                )
                 out.add(ConstRelation(fresh, r.pred))
             return frozenset(out)
         if isinstance(cmd, Assign):
@@ -275,10 +277,12 @@ class SimpleTypestateBU(BottomUpAnalysis):
         if isinstance(r1, ConstRelation):
             # ((h,t,a), _) ; (ι', a0', a1', _) = (h, ι'(t), a ∩ a0' ∪ a1')
             sigma = r1.output
-            out = AbstractState(
-                sigma.site,
-                r2.iota(sigma.state),
-                r2.transform_must(sigma.must),
+            out = intern_state(
+                AbstractState(
+                    sigma.site,
+                    r2.iota(sigma.state),
+                    r2.transform_must(sigma.must),
+                )
             )
             return ConstRelation(out, pred)
         # (ι, a0, a1, _) ; (ι', a0', a1', _) = (ι'∘ι, a0 ∩ a0', a1 ∩ a0' ∪ a1')
@@ -330,8 +334,10 @@ class SimpleTypestateBU(BottomUpAnalysis):
             return frozenset({r.output})
         return frozenset(
             {
-                AbstractState(
-                    sigma.site, r.iota(sigma.state), r.transform_must(sigma.must)
+                intern_state(
+                    AbstractState(
+                        sigma.site, r.iota(sigma.state), r.transform_must(sigma.must)
+                    )
                 )
             }
         )

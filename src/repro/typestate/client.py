@@ -101,19 +101,30 @@ def run_typestate(
     tracked_sites: Optional[FrozenSet[str]] = None,
     domain: str = "simple",
     oracle=None,
+    enable_caches: bool = True,
+    indexed_summaries: bool = True,
 ) -> TypestateReport:
     """Verify ``prop`` over ``program`` with the chosen engine.
 
     ``engine`` is ``"td"`` (conventional top-down), ``"bu"``
     (conventional bottom-up, no pruning) or ``"swift"`` (the hybrid);
-    see :func:`make_analyses` for ``domain``.
+    see :func:`make_analyses` for ``domain``.  ``enable_caches`` and
+    ``indexed_summaries`` toggle the hot-path optimizations (see
+    :mod:`repro.framework.caching`); neither affects results or the
+    deterministic work counters.
     """
     td_analysis, bu_analysis, init = make_analyses(
         program, prop, domain, tracked_sites, oracle
     )
     initial = [init]
     if engine == "td":
-        td_engine = TopDownEngine(program, td_analysis, budget=budget)
+        td_engine = TopDownEngine(
+            program,
+            td_analysis,
+            budget=budget,
+            enable_caches=enable_caches,
+            indexed_summaries=indexed_summaries,
+        )
         result = td_engine.run(initial)
         return TypestateReport(
             prop.name,
@@ -126,7 +137,14 @@ def run_typestate(
         )
     if engine == "swift":
         swift = SwiftEngine(
-            program, td_analysis, bu_analysis, k=k, theta=theta, budget=budget
+            program,
+            td_analysis,
+            bu_analysis,
+            k=k,
+            theta=theta,
+            budget=budget,
+            enable_caches=enable_caches,
+            indexed_summaries=indexed_summaries,
         )
         result = swift.run(initial)
         return TypestateReport(
@@ -140,7 +158,11 @@ def run_typestate(
         )
     if engine == "bu":
         bu_engine = BottomUpEngine(
-            program, bu_analysis, pruner=NoPruner(bu_analysis), budget=budget
+            program,
+            bu_analysis,
+            pruner=NoPruner(bu_analysis),
+            budget=budget,
+            enable_caches=enable_caches,
         )
         bu_result = bu_engine.analyze()
         errors: Set[Tuple[ProgramPoint, str]] = set()

@@ -20,13 +20,40 @@ from repro.framework.predicates import Atom
 from repro.typestate.full.states import FullAbstractState
 
 
+class _PathAtom(Atom):
+    """Shared machinery for the four membership atoms.
+
+    Atoms live in frozensets that the bottom-up fixpoint hashes
+    constantly, so the hash is computed once at construction.  It mixes
+    in the concrete class: the dataclass-generated hash covers fields
+    only, making e.g. ``InMust('x')`` and ``NotInMust('x')`` collide in
+    every predicate set.
+    """
+
+    __slots__ = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", hash((type(self), self.path)))
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __reduce__(self):
+        # Rebuild through __init__ so the cached hash is recomputed in
+        # the unpickling process (string hashes differ per process).
+        return (type(self), (self.path,))
+
+
 @dataclass(frozen=True)
-class InMust(Atom):
+class InMust(_PathAtom):
     """``π ∈ a`` (the paper's ``have``)."""
 
     path: str
 
-    __slots__ = ("path",)
+    __slots__ = ("path", "_hash")
+    # Pinned in the class body: @dataclass(frozen=True) regenerates
+    # __hash__ unless the class itself defines one.
+    __hash__ = _PathAtom.__hash__
 
     def satisfied_by(self, sigma: FullAbstractState) -> bool:
         return self.path in sigma.must
@@ -46,12 +73,13 @@ class InMust(Atom):
 
 
 @dataclass(frozen=True)
-class NotInMust(Atom):
+class NotInMust(_PathAtom):
     """``π ∉ a``."""
 
     path: str
 
-    __slots__ = ("path",)
+    __slots__ = ("path", "_hash")
+    __hash__ = _PathAtom.__hash__
 
     def satisfied_by(self, sigma: FullAbstractState) -> bool:
         return self.path not in sigma.must
@@ -64,12 +92,13 @@ class NotInMust(Atom):
 
 
 @dataclass(frozen=True)
-class InMustNot(Atom):
+class InMustNot(_PathAtom):
     """``π ∈ n`` (the paper's ``notHave`` in the four-component domain)."""
 
     path: str
 
-    __slots__ = ("path",)
+    __slots__ = ("path", "_hash")
+    __hash__ = _PathAtom.__hash__
 
     def satisfied_by(self, sigma: FullAbstractState) -> bool:
         return self.path in sigma.mustnot
@@ -88,12 +117,13 @@ class InMustNot(Atom):
 
 
 @dataclass(frozen=True)
-class NotInMustNot(Atom):
+class NotInMustNot(_PathAtom):
     """``π ∉ n``."""
 
     path: str
 
-    __slots__ = ("path",)
+    __slots__ = ("path", "_hash")
+    __hash__ = _PathAtom.__hash__
 
     def satisfied_by(self, sigma: FullAbstractState) -> bool:
         return self.path not in sigma.mustnot
@@ -105,15 +135,31 @@ class NotInMustNot(Atom):
         return f"notInMustNot({self.path})"
 
 
+class _AliasAtom(Atom):
+    """Shared hash/pickle machinery for the two may-alias atoms."""
+
+    __slots__ = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", hash((type(self), self.var, self.sites)))
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __reduce__(self):
+        return (type(self), (self.var, self.sites))
+
+
 @dataclass(frozen=True)
-class MayAliasAtom(Atom):
+class MayAliasAtom(_AliasAtom):
     """``mayalias(v, h)`` — the state's site is among the sites ``v``
     may point to (per the oracle snapshot baked in at creation)."""
 
     var: str
     sites: FrozenSet[str]
 
-    __slots__ = ("var", "sites")
+    __slots__ = ("var", "sites", "_hash")
+    __hash__ = _AliasAtom.__hash__
 
     def satisfied_by(self, sigma: FullAbstractState) -> bool:
         return sigma.site in self.sites
@@ -130,13 +176,14 @@ class MayAliasAtom(Atom):
 
 
 @dataclass(frozen=True)
-class NotMayAliasAtom(Atom):
+class NotMayAliasAtom(_AliasAtom):
     """``¬mayalias(v, h)``."""
 
     var: str
     sites: FrozenSet[str]
 
-    __slots__ = ("var", "sites")
+    __slots__ = ("var", "sites", "_hash")
+    __hash__ = _AliasAtom.__hash__
 
     def satisfied_by(self, sigma: FullAbstractState) -> bool:
         return sigma.site not in self.sites

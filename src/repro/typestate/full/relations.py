@@ -30,7 +30,7 @@ from repro.typestate.full.paths import (
     path_fields,
     path_root,
 )
-from repro.typestate.full.states import FullAbstractState
+from repro.typestate.full.states import FullAbstractState, intern_full_state
 
 
 class _CompiledMask:
@@ -158,7 +158,9 @@ class FullTransformerRelation:
     def transform(self, sigma: FullAbstractState) -> FullAbstractState:
         must = self._rem_must_c.filter(sigma.must) | self.add_must
         mustnot = self._rem_mustnot_c.filter(sigma.mustnot) | self.add_mustnot
-        return FullAbstractState(sigma.site, self.iota(sigma.state), must, mustnot)
+        return intern_full_state(
+            FullAbstractState(sigma.site, self.iota(sigma.state), must, mustnot)
+        )
 
     # -- value semantics ---------------------------------------------------------------
     def __eq__(self, other: object) -> bool:

@@ -8,36 +8,54 @@ object, ``n`` expressions that definitely do not (Section 2).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, Iterable
+from typing import Dict, FrozenSet, Iterable
 
 from repro.typestate.dfa import TypestateProperty
-from repro.typestate.states import BOOTSTRAP_SITE
+from repro.typestate.states import BOOTSTRAP_SITE, _INTERN_LIMIT
 
 
 @dataclass(frozen=True)
 class FullAbstractState:
-    """``(h, t, a, n)`` — site, type-state, must set, must-not set."""
+    """``(h, t, a, n)`` — site, type-state, must set, must-not set.
+
+    Hashes are precomputed at construction and equal instances can be
+    canonicalized via :func:`intern_full_state` — the four-component
+    tuples are the hottest hash keys of the full-domain engines.
+    """
 
     site: str
     state: str
     must: FrozenSet[str]
     mustnot: FrozenSet[str]
 
-    __slots__ = ("site", "state", "must", "mustnot")
+    __slots__ = ("site", "state", "must", "mustnot", "_hash")
 
     def __post_init__(self) -> None:
         overlap = self.must & self.mustnot
         if overlap:
             raise ValueError(f"must/must-not overlap: {sorted(overlap)}")
+        object.__setattr__(
+            self, "_hash", hash((self.site, self.state, self.must, self.mustnot))
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __reduce__(self):
+        # Rebuild through __init__ so the cached hash is recomputed in
+        # the unpickling process (string hashes differ per process).
+        return (FullAbstractState, (self.site, self.state, self.must, self.mustnot))
 
     def with_state(self, state: str) -> "FullAbstractState":
-        return FullAbstractState(self.site, state, self.must, self.mustnot)
+        return intern_full_state(
+            FullAbstractState(self.site, state, self.must, self.mustnot)
+        )
 
     def with_sets(
         self, must: Iterable[str], mustnot: Iterable[str]
     ) -> "FullAbstractState":
-        return FullAbstractState(
-            self.site, self.state, frozenset(must), frozenset(mustnot)
+        return intern_full_state(
+            FullAbstractState(self.site, self.state, frozenset(must), frozenset(mustnot))
         )
 
     def __str__(self) -> str:
@@ -46,6 +64,18 @@ class FullAbstractState:
         return f"({self.site},{self.state},{a},{n})"
 
 
+_interned: Dict[FullAbstractState, FullAbstractState] = {}
+
+
+def intern_full_state(sigma: FullAbstractState) -> FullAbstractState:
+    """The canonical instance equal to ``sigma``."""
+    if len(_interned) > _INTERN_LIMIT:
+        _interned.clear()
+    return _interned.setdefault(sigma, sigma)
+
+
 def full_bootstrap_state(prop: TypestateProperty) -> FullAbstractState:
     """The initial abstract state fed to ``main``."""
-    return FullAbstractState(BOOTSTRAP_SITE, prop.initial, frozenset(), frozenset())
+    return intern_full_state(
+        FullAbstractState(BOOTSTRAP_SITE, prop.initial, frozenset(), frozenset())
+    )

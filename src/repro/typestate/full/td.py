@@ -30,7 +30,7 @@ from repro.ir.commands import Assign, FieldLoad, FieldStore, Invoke, New, Prim, 
 from repro.typestate.dfa import ERROR, TypestateProperty
 from repro.typestate.full.oracle import MayAliasOracle
 from repro.typestate.full.paths import HasField, Rooted, filter_removed
-from repro.typestate.full.states import FullAbstractState
+from repro.typestate.full.states import FullAbstractState, intern_full_state
 
 MUST = "must"
 MUSTNOT = "mustnot"
@@ -65,8 +65,10 @@ class FullTypestateTD(TopDownAnalysis):
 
     def fresh_state(self, var: str, site: str) -> FullAbstractState:
         """The abstract object created by ``var = new site``."""
-        return FullAbstractState(
-            site, self.prop.initial, frozenset({var}), self.variables - {var}
+        return intern_full_state(
+            FullAbstractState(
+                site, self.prop.initial, frozenset({var}), self.variables - {var}
+            )
         )
 
     @staticmethod

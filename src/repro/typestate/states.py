@@ -18,29 +18,50 @@ misses the receiver to ``error`` on a tracked call).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, Iterable
+from typing import Dict, FrozenSet, Iterable
 
 from repro.typestate.dfa import TypestateProperty
 
 #: Pseudo allocation site of the bootstrap abstract object.
 BOOTSTRAP_SITE = "<boot>"
 
+#: Intern-table safety bound; the table is dropped (not evicted) when
+#: exceeded — interning is only an optimization, never a semantic need.
+_INTERN_LIMIT = 1 << 20
+
 
 @dataclass(frozen=True)
 class AbstractState:
-    """``(h, t, a)`` — site, type-state, must set."""
+    """``(h, t, a)`` — site, type-state, must set.
+
+    States are hashed on every worklist/table operation, so the hash is
+    computed once at construction (``_hash``).  ``intern_state``
+    canonicalizes equal instances to one object, which lets dict/set
+    lookups take CPython's pointer-identity fast path.
+    """
 
     site: str
     state: str
     must: FrozenSet[str]
 
-    __slots__ = ("site", "state", "must")
+    __slots__ = ("site", "state", "must", "_hash")
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", hash((self.site, self.state, self.must)))
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __reduce__(self):
+        # Rebuild through __init__ so the cached hash is recomputed in
+        # the unpickling process (string hashes differ per process).
+        return (AbstractState, (self.site, self.state, self.must))
 
     def with_state(self, state: str) -> "AbstractState":
-        return AbstractState(self.site, state, self.must)
+        return intern_state(AbstractState(self.site, state, self.must))
 
     def with_must(self, must: Iterable[str]) -> "AbstractState":
-        return AbstractState(self.site, self.state, frozenset(must))
+        return intern_state(AbstractState(self.site, self.state, frozenset(must)))
 
     def has(self, var: str) -> bool:
         return var in self.must
@@ -50,6 +71,16 @@ class AbstractState:
         return f"({self.site},{self.state},{must})"
 
 
+_interned: Dict[AbstractState, AbstractState] = {}
+
+
+def intern_state(sigma: AbstractState) -> AbstractState:
+    """The canonical instance equal to ``sigma``."""
+    if len(_interned) > _INTERN_LIMIT:
+        _interned.clear()
+    return _interned.setdefault(sigma, sigma)
+
+
 def bootstrap_state(prop: TypestateProperty) -> AbstractState:
     """The initial abstract state fed to ``main``."""
-    return AbstractState(BOOTSTRAP_SITE, prop.initial, frozenset())
+    return intern_state(AbstractState(BOOTSTRAP_SITE, prop.initial, frozenset()))

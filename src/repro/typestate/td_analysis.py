@@ -26,7 +26,7 @@ from typing import FrozenSet, Optional
 from repro.framework.interfaces import TopDownAnalysis
 from repro.ir.commands import Assign, FieldLoad, FieldStore, Invoke, New, Prim, Skip
 from repro.typestate.dfa import ERROR, TypestateProperty
-from repro.typestate.states import AbstractState
+from repro.typestate.states import AbstractState, intern_state
 
 
 class SimpleTypestateTD(TopDownAnalysis):
@@ -48,7 +48,11 @@ class SimpleTypestateTD(TopDownAnalysis):
             survivor = sigma.with_must(sigma.must - {cmd.lhs})
             out = {survivor}
             if self._tracks_site(cmd.site):
-                out.add(AbstractState(cmd.site, self.prop.initial, frozenset({cmd.lhs})))
+                out.add(
+                    intern_state(
+                        AbstractState(cmd.site, self.prop.initial, frozenset({cmd.lhs}))
+                    )
+                )
             return frozenset(out)
         if isinstance(cmd, Assign):
             if cmd.rhs in sigma.must:

@@ -132,3 +132,38 @@ def test_postpone_unseen_can_be_disabled():
     ).run(initial)
     td_result = TopDownEngine(program, td_analysis).run(initial)
     assert eager.exit_states() == td_result.exit_states()
+
+
+# -- hot-path optimizations are invisible (tables, bu map, counters) -----------------
+import hypothesis.strategies as st
+from hypothesis import given
+
+from tests.test_property_based import ENGINE_SETTINGS, programs
+
+
+@ENGINE_SETTINGS
+@given(program=programs(), k=st.integers(1, 4), theta=st.integers(1, 3))
+def test_optimized_swift_identical_to_unoptimized(program, k, theta):
+    td_analysis = SimpleTypestateTD(FILE_PROPERTY)
+    bu_analysis = SimpleTypestateBU(FILE_PROPERTY)
+    initial = [bootstrap_state(FILE_PROPERTY)]
+    fast = SwiftEngine(program, td_analysis, bu_analysis, k=k, theta=theta).run(
+        initial
+    )
+    slow = SwiftEngine(
+        program,
+        td_analysis,
+        bu_analysis,
+        k=k,
+        theta=theta,
+        enable_caches=False,
+        indexed_summaries=False,
+    ).run(initial)
+    assert fast.td == slow.td
+    assert dict(fast.entry_counts) == dict(slow.entry_counts)
+    # ProcedureSummary implements value equality: the bu maps match.
+    assert fast.bu == slow.bu
+    assert fast.metrics.total_work == slow.metrics.total_work
+    assert fast.metrics.bu_triggers == slow.metrics.bu_triggers
+    assert fast.metrics.bu_postponements == slow.metrics.bu_postponements
+    assert slow.metrics.cache_hits == 0 and slow.metrics.cache_misses == 0

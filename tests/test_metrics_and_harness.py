@@ -106,3 +106,100 @@ def test_format_table_alignment():
 def test_format_table_empty_rows():
     text = format_table(["a", "bb"], [])
     assert "a" in text and "bb" in text
+
+
+# -- Budget clock semantics ----------------------------------------------------------
+def _tiny_program():
+    from repro.ir.builder import ProgramBuilder
+
+    b = ProgramBuilder()
+    with b.proc("main") as p:
+        p.new("a", "h1").invoke("a", "open").invoke("a", "close")
+    return b.build()
+
+
+def test_bottomup_analyze_restarts_stale_clock():
+    """A Budget built long before the run must time the analysis, not
+    the setup: analyze() restarts the wall clock uniformly (this was
+    previously skipped whenever a shared Metrics was passed in)."""
+    from repro.framework.bottomup import BottomUpEngine
+    from repro.typestate.bu_analysis import SimpleTypestateBU
+    from repro.typestate.properties import FILE_PROPERTY
+
+    budget = Budget(max_seconds=5.0)
+    budget._started_at = time.monotonic() - 60.0  # stale setup phase
+    engine = BottomUpEngine(
+        _tiny_program(),
+        SimpleTypestateBU(FILE_PROPERTY),
+        budget=budget,
+        metrics=Metrics(),  # shared metrics, as SWIFT passes them
+    )
+    result = engine.analyze()
+    assert not result.timed_out
+
+
+def test_nested_run_keeps_enclosing_clock():
+    """restart_clock=False (SWIFT's nested run_bu) must NOT extend the
+    enclosing deadline: a stale clock times out immediately."""
+    from repro.framework.bottomup import BottomUpEngine
+    from repro.typestate.bu_analysis import SimpleTypestateBU
+    from repro.typestate.properties import FILE_PROPERTY
+
+    budget = Budget(max_seconds=5.0)
+    budget._started_at = time.monotonic() - 60.0
+    engine = BottomUpEngine(
+        _tiny_program(),
+        SimpleTypestateBU(FILE_PROPERTY),
+        budget=budget,
+        restart_clock=False,
+    )
+    result = engine.analyze()
+    assert result.timed_out
+
+
+def test_topdown_run_restarts_stale_clock():
+    from repro.framework.topdown import TopDownEngine
+    from repro.typestate.properties import FILE_PROPERTY
+    from repro.typestate.states import bootstrap_state
+    from repro.typestate.td_analysis import SimpleTypestateTD
+
+    budget = Budget(max_seconds=5.0)
+    budget._started_at = time.monotonic() - 60.0
+    engine = TopDownEngine(
+        _tiny_program(), SimpleTypestateTD(FILE_PROPERTY), budget=budget
+    )
+    result = engine.run([bootstrap_state(FILE_PROPERTY)])
+    assert not result.timed_out
+
+
+# -- parallel harness ----------------------------------------------------------------
+def test_map_rows_preserves_order():
+    from repro.experiments.harness import map_rows
+
+    items = ["aaa", "b", "cc"]
+    assert map_rows(len, items) == [3, 1, 2]
+    assert map_rows(len, items, parallel=2) == [3, 1, 2]
+
+
+def test_parallel_table2_rows_match_serial():
+    """`experiments --parallel N` must produce the same rows as the
+    serial run (work counters are deterministic; only wall clock may
+    differ).  Uses the two smallest suite benchmarks."""
+    from repro.experiments import table2
+    from repro.experiments.harness import aggregate_metrics
+
+    names = ["jpat-p", "elevator"]
+    serial = table2.run(names=names)
+    parallel = table2.run(names=names, parallel=2)
+    assert [r.benchmark for r in serial] == [r.benchmark for r in parallel]
+    for s, p in zip(serial, parallel):
+        for a, b in ((s.td, p.td), (s.bu, p.bu), (s.swift, p.swift)):
+            assert a.engine == b.engine
+            assert a.work == b.work
+            assert a.td_summaries == b.td_summaries
+            assert a.bu_summaries == b.bu_summaries
+            assert a.timed_out == b.timed_out
+            assert a.error_sites == b.error_sites
+    # Per-row Metrics crossed the process boundary and can be merged.
+    merged = aggregate_metrics(r.swift for r in parallel)
+    assert merged.total_work == sum(r.swift.work for r in parallel)

@@ -159,11 +159,20 @@ def test_full_states_keep_invariant(oracle, cmd, sigma):
 @FULL_SETTINGS
 @given(oracle=oracles(), cmd=prims, sigma=full_states())
 def test_full_pre_image_sound_and_exact(oracle, cmd, sigma):
-    """pre_image agrees with apply for relations produced by rtrans."""
+    """pre_image agrees with apply for relations produced by rtrans.
+
+    ``pre_image(r, p)`` is the weakest precondition of ``p`` over the
+    *outputs* of ``r``: sigma satisfies it iff applying ``r`` to sigma
+    yields some state satisfying ``p``.  (Checking ``bool(apply(...))``
+    instead is wrong for self-overwriting commands like ``a = a.f``,
+    whose outputs can never satisfy parts of the domain predicate.)
+    """
     bu = FullTypestateBU(FILE_PROPERTY, oracle, variables=frozenset(VARS))
     for r in bu.rtransfer(cmd, bu.identity()):
         pred = bu.domain_predicate(r)
         pre = bu.pre_image(r, pred)
         claimed = any(bu.pred_satisfied(q, sigma) for q in pre)
-        actual = bool(bu.apply(r, sigma))
+        actual = any(
+            bu.pred_satisfied(pred, out) for out in bu.apply(r, sigma)
+        )
         assert claimed == actual

@@ -8,6 +8,9 @@
     repro-swift dot prog.mini --proc main
     repro-swift bench hedc
     repro-swift experiments table1 table3
+    repro-swift trace record prog.mini --out trace.jsonl
+    repro-swift trace summarize trace.jsonl
+    repro-swift trace diff before.jsonl after.jsonl
 
 Files ending in ``.mini`` are treated as MiniOO source and compiled;
 anything else is parsed as textual IR (the ``proc name { ... }`` format
@@ -121,9 +124,62 @@ def cmd_experiments(args: argparse.Namespace) -> int:
     shim = ["repro.experiments"] + args.names
     if args.parallel:
         shim += ["--parallel", str(args.parallel)]
+    if args.trace:
+        shim += ["--trace", args.trace]
     sys.argv = shim
     runner.main()
     return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.framework.tracing import JsonlSink, Profile, diff_traces, read_jsonl
+
+    if args.trace_command == "record":
+        from repro.framework.metrics import Budget
+        from repro.typestate.client import run_typestate
+        from repro.typestate.properties import property_by_name
+
+        program = load_program(args.file)
+        budget = Budget(max_work=args.budget) if args.budget else None
+        sink = JsonlSink(args.out)
+        try:
+            report = run_typestate(
+                program,
+                property_by_name(args.property),
+                engine=args.engine,
+                k=args.k,
+                theta=args.theta,
+                budget=budget,
+                domain=args.domain,
+                sink=sink,
+            )
+        finally:
+            sink.close()
+        profile = Profile.from_jsonl(args.out)
+        outcome = "timeout" if report.timed_out else f"{len(report.errors)} error(s)"
+        print(
+            f"recorded {profile.total_events} events to {args.out} "
+            f"({args.engine} on {args.file}: {outcome})"
+        )
+        return 0
+    if args.trace_command == "summarize":
+        profile = Profile.from_jsonl(args.file)
+        print(
+            profile.render(
+                limit=args.limit, title=f"Trace summary: {args.file}"
+            )
+        )
+        return 0
+    if args.trace_command == "diff":
+        delta = diff_traces(read_jsonl(args.left), read_jsonl(args.right))
+        if not delta:
+            print(f"traces agree ({args.left} vs {args.right})")
+            return 0
+        print(f"{len(delta)} differing (kind, proc) event counts:")
+        for kind, proc, left_count, right_count in delta:
+            print(f"  {kind:22} {proc or '<program>':20} {left_count:>8} -> {right_count}")
+        return 1
+    raise AssertionError(f"unknown trace subcommand {args.trace_command!r}")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -169,7 +225,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="compute independent benchmark rows in N worker processes "
         "(same rows as a serial run; see experiments/harness.py)",
     )
+    experiments.add_argument(
+        "--trace",
+        default=None,
+        metavar="DIR",
+        help="record per-run analysis events to DIR/<benchmark>_<engine>.jsonl",
+    )
     experiments.set_defaults(fn=cmd_experiments)
+
+    trace = sub.add_parser("trace", help="record, summarize, or diff analysis traces")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+
+    record = trace_sub.add_parser("record", help="run an engine, recording events to JSONL")
+    record.add_argument("file")
+    record.add_argument("--out", default="trace.jsonl", help="JSONL output path")
+    record.add_argument("--property", default="File")
+    record.add_argument("--engine", choices=["td", "bu", "swift"], default="swift")
+    record.add_argument("--domain", choices=["simple", "full"], default="full")
+    record.add_argument("--k", type=int, default=5)
+    record.add_argument("--theta", type=int, default=1)
+    record.add_argument("--budget", type=int, default=None, help="work budget")
+    record.set_defaults(fn=cmd_trace)
+
+    summarize = trace_sub.add_parser(
+        "summarize", help="per-procedure event counts and summary hit rates"
+    )
+    summarize.add_argument("file")
+    summarize.add_argument("--limit", type=int, default=20, help="rows to show")
+    summarize.set_defaults(fn=cmd_trace)
+
+    diff = trace_sub.add_parser(
+        "diff", help="compare per-(kind, proc) event counts of two traces"
+    )
+    diff.add_argument("left")
+    diff.add_argument("right")
+    diff.set_defaults(fn=cmd_trace)
     return parser
 
 

@@ -4,13 +4,17 @@
 processes (table2, figure5 and table4 support it); the tables are
 identical to a serial run — work counters are deterministic and rows
 are collected in submission order — only wall clock changes.
+
+``--trace DIR`` records every engine run's analysis events to
+``DIR/<benchmark>_<engine>.jsonl`` (worker processes included; see
+:func:`repro.experiments.harness.set_trace_dir`).
 """
 
 from __future__ import annotations
 
 import sys
 
-from repro.experiments import ablations, figure5, table1, table2, table3, table4
+from repro.experiments import ablations, figure5, harness, table1, table2, table3, table4
 
 #: Exhibits whose ``main`` accepts a ``parallel`` worker count.
 _PARALLEL_EXHIBITS = frozenset({"table2", "figure5", "table4"})
@@ -25,6 +29,13 @@ def main() -> None:
             parallel = int(argv[at + 1])
         except (IndexError, ValueError):
             raise SystemExit("--parallel requires an integer worker count")
+        del argv[at : at + 2]
+    if "--trace" in argv:
+        at = argv.index("--trace")
+        try:
+            harness.set_trace_dir(argv[at + 1])
+        except IndexError:
+            raise SystemExit("--trace requires a directory")
         del argv[at : at + 2]
     wanted = set(argv)
     exhibits = [

@@ -19,7 +19,12 @@ from functools import partial
 from typing import Dict, List
 
 from repro.bench import load_benchmark
-from repro.experiments.harness import DEFAULT_BUDGET_WORK, format_table, map_rows
+from repro.experiments.harness import (
+    DEFAULT_BUDGET_WORK,
+    format_table,
+    map_rows,
+    open_trace_sink,
+)
 from repro.framework.metrics import Budget
 from repro.typestate.client import make_analyses
 from repro.framework.swift import SwiftEngine
@@ -54,10 +59,23 @@ def run_one(name: str, k: int = 5, theta: int = 1) -> Figure5Series:
     benchmark = load_benchmark(name)
     td_a, bu_a, init = make_analyses(benchmark.program, FILE_PROPERTY, "full")
     budget = Budget(max_work=20 * DEFAULT_BUDGET_WORK)
-    td_result = TopDownEngine(benchmark.program, td_a, budget=budget).run([init])
-    swift_result = SwiftEngine(
-        benchmark.program, td_a, bu_a, k=k, theta=theta, budget=budget
-    ).run([init])
+    td_sink = open_trace_sink(name, "td")
+    try:
+        td_result = TopDownEngine(
+            benchmark.program, td_a, budget=budget, sink=td_sink
+        ).run([init])
+    finally:
+        if td_sink is not None:
+            td_sink.close()
+    swift_sink = open_trace_sink(name, "swift")
+    try:
+        swift_result = SwiftEngine(
+            benchmark.program, td_a, bu_a, k=k, theta=theta, budget=budget,
+            sink=swift_sink,
+        ).run([init])
+    finally:
+        if swift_sink is not None:
+            swift_sink.close()
     td_counts = sorted(td_result.summary_counts_by_proc().values(), reverse=True)
     swift_counts = sorted(
         swift_result.summary_counts_by_proc().values(), reverse=True

@@ -19,12 +19,15 @@ it everywhere.
 from __future__ import annotations
 
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+from pathlib import Path
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar, Union
 
 from repro.bench.generator import GeneratedBenchmark
 from repro.framework.metrics import Budget, Metrics
+from repro.framework.tracing import JsonlSink
 from repro.typestate.client import run_typestate
 from repro.typestate.properties import FILE_PROPERTY, TypestateProperty
 
@@ -44,6 +47,38 @@ DEFAULT_BUDGET_SECONDS = 600.0
 #: burn minutes per timeout row.  The outcome is the same — those runs
 #: exceed the work budget as well, just slowly.
 BU_BUDGET_SECONDS = 45.0
+
+#: When set (``--trace DIR``), every ``run_engine`` call records its
+#: analysis events to ``DIR/<benchmark>_<engine>.jsonl`` alongside the
+#: exhibit's CSVs.  Worker processes inherit the setting through
+#: ``map_rows``'s pool initializer.
+_TRACE_DIR: Optional[Path] = None
+
+
+def set_trace_dir(path: Optional[Union[str, Path]]) -> None:
+    """Enable (or disable, with ``None``) per-run JSONL trace dumps."""
+    global _TRACE_DIR
+    _TRACE_DIR = Path(path) if path is not None else None
+
+
+def trace_dir() -> Optional[Path]:
+    return _TRACE_DIR
+
+
+def _init_worker_trace(path: Optional[Path]) -> None:
+    """Pool initializer: re-establish the trace dir in worker processes."""
+    set_trace_dir(path)
+
+
+def open_trace_sink(benchmark: str, engine: str) -> Optional[JsonlSink]:
+    """A ``JsonlSink`` under the ``--trace`` dir, or ``None`` when off.
+
+    Callers own the sink and must ``close()`` it (or use it as a
+    context manager) once the run completes.
+    """
+    if _TRACE_DIR is None:
+        return None
+    return JsonlSink(_TRACE_DIR / f"{benchmark}_{engine}.jsonl")
 
 
 @dataclass
@@ -81,17 +116,26 @@ def run_engine(
     """Run one engine over one benchmark with the experiment budget."""
     wall_cap = BU_BUDGET_SECONDS if engine == "bu" else DEFAULT_BUDGET_SECONDS
     budget = Budget(max_work=budget_work, max_seconds=wall_cap)
+    sink = None
+    if "sink" not in engine_kwargs:
+        sink = open_trace_sink(benchmark.name, engine)
+        if sink is not None:
+            engine_kwargs["sink"] = sink
     started = time.perf_counter()
-    report = run_typestate(
-        benchmark.program,
-        prop,
-        engine=engine,
-        k=k,
-        theta=theta,
-        budget=budget,
-        domain="full",
-        **engine_kwargs,
-    )
+    try:
+        report = run_typestate(
+            benchmark.program,
+            prop,
+            engine=engine,
+            k=k,
+            theta=theta,
+            budget=budget,
+            domain="full",
+            **engine_kwargs,
+        )
+    finally:
+        if sink is not None:
+            sink.close()
     elapsed = time.perf_counter() - started
     metrics = report.result.metrics
     return EngineRun(
@@ -118,39 +162,87 @@ def aggregate_metrics(runs: Iterable[EngineRun]) -> Metrics:
     return total
 
 
+#: Placeholder for rows a broken/failed pool attempt has not produced.
+_PENDING = object()
+
+
+class _FailedRow:
+    """Marks a row whose worker raised; retried serially by map_rows."""
+
+    __slots__ = ("error",)
+
+    def __init__(self, error: BaseException) -> None:
+        self.error = error
+
+
 def map_rows(
     fn: Callable[[_ItemT], _RowT], items: Iterable[_ItemT], parallel: int = 0
 ) -> List[_RowT]:
     """Run ``fn`` over ``items``, optionally in a process pool.
 
     With ``parallel > 1`` the rows are computed in a
-    ``ProcessPoolExecutor``; ``pool.map`` yields results in submission
-    order, and the engines' work counters are deterministic, so a
-    parallel table is identical to the serial one — only wall clock
-    changes.  ``fn`` and the items must be picklable (pass benchmark
-    *names* and reload in the worker, not ``Program`` objects).
+    ``ProcessPoolExecutor``.  Futures are keyed by item index and rows
+    are reassembled in submission order, so a parallel table is
+    identical to the serial one (the engines' work counters are
+    deterministic) — only wall clock changes.  ``fn`` and the items
+    must be picklable (pass benchmark *names* and reload in the worker,
+    not ``Program`` objects).
+
+    Failure handling: a worker exception or a broken pool (a worker
+    killed by the OOM killer, a crashed interpreter) no longer discards
+    the rows that *did* complete.  Completed rows are kept; only the
+    failed or unfinished items are re-run serially in the parent, in
+    item order — a deterministically failing ``fn`` then raises with a
+    full serial traceback.
     """
     items = list(items)
-    if parallel and parallel > 1 and len(items) > 1:
-        with ProcessPoolExecutor(max_workers=parallel) as pool:
-            return list(pool.map(fn, items))
-    return [fn(item) for item in items]
+    if not (parallel and parallel > 1 and len(items) > 1):
+        return [fn(item) for item in items]
+    results: List = [_PENDING] * len(items)
+    try:
+        with ProcessPoolExecutor(
+            max_workers=parallel,
+            initializer=_init_worker_trace,
+            initargs=(_TRACE_DIR,),
+        ) as pool:
+            future_index = {
+                pool.submit(fn, item): index for index, item in enumerate(items)
+            }
+            for future in as_completed(future_index):
+                index = future_index[future]
+                try:
+                    results[index] = future.result()
+                except BrokenProcessPool:
+                    raise
+                except Exception as exc:  # noqa: BLE001 - retried serially
+                    results[index] = _FailedRow(exc)
+    except BrokenProcessPool:
+        # The pool died (not an ordinary fn exception): fall through and
+        # recompute whatever is still pending serially.
+        pass
+    for index, item in enumerate(items):
+        if results[index] is _PENDING or isinstance(results[index], _FailedRow):
+            results[index] = fn(item)
+    return results
 
 
 def speedup_label(baseline: EngineRun, swift: EngineRun) -> str:
     """Speedup of SWIFT over a baseline, as the paper reports it.
 
     Reported from the deterministic work counters (wall-clock ratios on
-    CPython are noisy at this scale); "-" when the baseline timed out,
-    matching Table 2's convention.
+    CPython are noisy at this scale); "-" when *either* side timed out
+    — a ratio against a truncated run is meaningless — matching
+    Table 2's convention.
     """
-    if baseline.timed_out or swift.work == 0:
+    if baseline.timed_out or swift.timed_out or swift.work == 0:
         return "-"
     ratio = baseline.work / swift.work
     return f"{ratio:.1f}X"
 
 
 def drop_label(baseline_count: int, swift_count: int, timed_out: bool) -> str:
+    """Summary-count drop; pass ``timed_out`` true when either run
+    involved timed out (the counts of a truncated run are partial)."""
     if timed_out or baseline_count <= 0:
         return "-"
     return f"{100.0 * (1 - swift_count / baseline_count):.0f}%"

@@ -65,10 +65,18 @@ class Table2Row:
             speedup_label(self.bu, self.swift),
             "-" if self.td.timed_out else self.td.td_summaries,
             self.swift.td_summaries,
-            drop_label(self.td.td_summaries, self.swift.td_summaries, self.td.timed_out),
+            drop_label(
+                self.td.td_summaries,
+                self.swift.td_summaries,
+                self.td.timed_out or self.swift.timed_out,
+            ),
             "-" if self.bu.timed_out else self.bu.bu_summaries,
             self.swift.bu_summaries,
-            drop_label(self.bu.bu_summaries, self.swift.bu_summaries, self.bu.timed_out),
+            drop_label(
+                self.bu.bu_summaries,
+                self.swift.bu_summaries,
+                self.bu.timed_out or self.swift.timed_out,
+            ),
         ]
 
 

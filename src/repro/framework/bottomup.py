@@ -31,6 +31,7 @@ from repro.framework.ignored import IgnoredStates
 from repro.framework.interfaces import BottomUpAnalysis
 from repro.framework.metrics import Budget, BudgetExceededError, Metrics
 from repro.framework.pruning import NoPruner, PruneOperator, clean, excl
+from repro.framework.tracing import NULL_SINK, TraceEvent, TraceSink
 from repro.ir.commands import Call, Choice, Command, Prim, Seq, Star
 from repro.ir.program import Program
 
@@ -126,11 +127,19 @@ class BottomUpEngine:
         restart_clock: bool = True,
         rtransfer_cache: Optional[RTransferCache] = None,
         rcompose_cache: Optional[RComposeCache] = None,
+        sink: Optional[TraceSink] = None,
     ) -> None:
         self.program = program
         self.analysis = analysis
         self.pruner = pruner if pruner is not None else NoPruner(analysis)
         self.budget = budget
+        # Tracing sink (see repro.framework.tracing); the pruner emits
+        # its prune_drop events through the same sink unless the caller
+        # already gave it one.
+        self._sink = sink if sink is not None else NULL_SINK
+        self._tracing = bool(self._sink.enabled)
+        if self._tracing and getattr(self.pruner, "sink", None) is None:
+            self.pruner.sink = self._sink
         # SWIFT shares one Metrics across its top-down and bottom-up
         # parts so a single budget bounds their combined work.
         self.metrics = metrics if metrics is not None else Metrics()
@@ -210,8 +219,21 @@ class BottomUpEngine:
                     if new_summary != eta[proc]:
                         eta[proc] = new_summary
                         changed = True
-        except BudgetExceededError:
+        except BudgetExceededError as exc:
             timed_out = True
+            if self._tracing:
+                self._sink.emit(
+                    TraceEvent(
+                        "budget_exceeded",
+                        "",
+                        {
+                            "engine": "bu",
+                            "what": exc.what,
+                            "spent": exc.spent,
+                            "limit": exc.limit,
+                        },
+                    )
+                )
         computed = {proc: eta[proc] for proc in targets}
         return BottomUpResult(self.program, self.analysis, computed, self.metrics, timed_out)
 

@@ -20,10 +20,25 @@ describes).
 
 The ranking data (the incoming-state multisets ``M``) is snapshotted at
 submission time so the worker never races the tabulation loop.
+
+Error handling: a worker that raises must never mask the tabulation
+result or an in-flight exception.  Harvesting therefore *collects*
+worker exceptions (folding whatever metrics are recoverable) and, only
+after the executor is fully shut down and only if the run itself
+succeeded, raises one :class:`ConcurrentHarvestError` aggregating
+them.  A worker failure observed mid-run (at a drain point) raises the
+same aggregate immediately — outside any ``finally`` block.
+
+Tracing: the engine hands its sink to every worker; all sinks in
+:mod:`repro.framework.tracing` are thread-safe, so worker events
+(``prune_drop``, ``budget_exceeded``) interleave safely with the
+tabulation thread's.  Trace event *order* is not deterministic in
+concurrent mode — only serial traces are a regression oracle.
 """
 
 from __future__ import annotations
 
+import time
 from collections import Counter
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Dict, List, Optional, Tuple
@@ -32,7 +47,24 @@ from repro.framework.bottomup import BottomUpEngine
 from repro.framework.metrics import Metrics
 from repro.framework.pruning import FrequencyPruner
 from repro.framework.swift import SwiftEngine
+from repro.framework.tracing import TraceEvent
 from repro.ir.cfg import CFGEdge
+
+
+class ConcurrentHarvestError(RuntimeError):
+    """One or more bottom-up workers raised; their errors, aggregated.
+
+    Raised by :class:`ConcurrentSwiftEngine` *after* the failing
+    futures have been harvested (metrics folded, pending bookkeeping
+    cleared) so it never masks the engine's own result or exception.
+    """
+
+    def __init__(self, errors: List[BaseException]) -> None:
+        self.errors = list(errors)
+        detail = "; ".join(f"{type(e).__name__}: {e}" for e in self.errors)
+        super().__init__(
+            f"{len(self.errors)} bottom-up worker(s) failed: {detail}"
+        )
 
 
 class ConcurrentSwiftEngine(SwiftEngine):
@@ -42,7 +74,8 @@ class ConcurrentSwiftEngine(SwiftEngine):
         super().__init__(*args, **kwargs)
         self._max_workers = max_workers
         self._executor: Optional[ThreadPoolExecutor] = None
-        self._in_flight: List[Tuple[frozenset, Future]] = []
+        # (root, targets, future) triples for submitted run_bu jobs.
+        self._in_flight: List[Tuple[str, frozenset, Future]] = []
         self._pending_procs: set = set()
 
     # -- lifecycle ---------------------------------------------------------------------
@@ -50,19 +83,28 @@ class ConcurrentSwiftEngine(SwiftEngine):
         self._executor = ThreadPoolExecutor(
             max_workers=self._max_workers, thread_name_prefix="swift-bu"
         )
+        harvest_errors: List[BaseException] = []
         try:
-            return super().run(initial_states)
+            result = super().run(initial_states)
         finally:
             # Whatever is still in flight cannot help anymore (the
             # workset is empty) — wait for it so resources are released,
-            # then fold the workers' metrics in.
-            for _, future in self._in_flight:
+            # then fold the workers' metrics in.  Worker exceptions are
+            # *collected*, never raised from this finally block: raising
+            # here would mask the result (or the in-flight exception)
+            # of the run itself.
+            for _, _, future in self._in_flight:
                 future.cancel()
             self._executor.shutdown(wait=True)
-            for targets, future in self._in_flight:
-                self._harvest(targets, future, install=False)
+            for root, targets, future in self._in_flight:
+                error = self._harvest(root, targets, future, install=False)
+                if error is not None:
+                    harvest_errors.append(error)
             self._in_flight.clear()
             self._executor = None
+        if harvest_errors:
+            raise ConcurrentHarvestError(harvest_errors)
+        return result
 
     # -- trigger handling ------------------------------------------------------------------
     def _handle_call(self, edge: CFGEdge, entry_sigma, sigma) -> None:
@@ -72,11 +114,15 @@ class ConcurrentSwiftEngine(SwiftEngine):
     def _run_bu(self, root: str) -> None:
         """Submit the bottom-up job instead of running it inline."""
         reachable = self._reachable(root)
-        if self.postpone_unseen and any(
-            not self._entry_counts.get(proc) for proc in reachable
-        ):
-            self.metrics.bu_postponements += 1
-            return
+        if self.postpone_unseen:
+            unseen = [proc for proc in reachable if not self._entry_counts.get(proc)]
+            if unseen:
+                self.metrics.bu_postponements += 1
+                if self._tracing:
+                    self._sink.emit(
+                        TraceEvent("bu_postponed", root, {"unseen": sorted(unseen)})
+                    )
+                return
         if reachable & self._pending_procs:
             # Another in-flight job owns part of this subgraph.  The
             # fixpoint must be closed over every procedure without a
@@ -101,6 +147,14 @@ class ConcurrentSwiftEngine(SwiftEngine):
             incoming=incoming_snapshot,
             metrics=worker_metrics,
         )
+        if self._tracing:
+            # Thread-safe sink handoff: all tracing sinks lock their
+            # mutable state, so the worker's prune/budget events may
+            # interleave with the tabulation thread's.
+            pruner.sink = self._sink
+            self._sink.emit(
+                TraceEvent("bu_trigger", root, {"targets": sorted(targets)})
+            )
         # The worker builds its own operator caches: SWIFT's shared ones
         # are not touched off the tabulation thread.
         engine = BottomUpEngine(
@@ -111,34 +165,66 @@ class ConcurrentSwiftEngine(SwiftEngine):
             metrics=worker_metrics,
             enable_caches=self.enable_caches,
             restart_clock=False,
+            sink=self._sink if self._tracing else None,
         )
         self.metrics.bu_triggers += 1
-        future = self._executor.submit(engine.analyze, targets, external=bu_snapshot)
-        self._in_flight.append((targets, future))
+        future = self._executor.submit(self._timed_analyze, engine, targets, bu_snapshot)
+        self._in_flight.append((root, targets, future))
+
+    @staticmethod
+    def _timed_analyze(engine: BottomUpEngine, targets: frozenset, external: dict):
+        started = time.perf_counter()
+        result = engine.analyze(targets, external=external)
+        return result, time.perf_counter() - started
 
     # -- installing finished summaries --------------------------------------------------------
     def _drain_completed(self) -> None:
         still_running = []
-        for targets, future in self._in_flight:
+        errors: List[BaseException] = []
+        for root, targets, future in self._in_flight:
             if future.done():
-                self._harvest(targets, future, install=True)
+                error = self._harvest(root, targets, future, install=True)
+                if error is not None:
+                    errors.append(error)
             else:
-                still_running.append((targets, future))
+                still_running.append((root, targets, future))
         self._in_flight = still_running
+        if errors:
+            raise ConcurrentHarvestError(errors)
 
-    def _harvest(self, targets: frozenset, future: Future, install: bool) -> None:
+    def _harvest(
+        self, root: str, targets: frozenset, future: Future, install: bool
+    ) -> Optional[BaseException]:
+        """Fold one finished job in; return its exception, never raise."""
         self._pending_procs -= targets
         if future.cancelled():
-            return
-        exc = future.exception()
-        if exc is not None:
-            raise exc
-        result = future.result()
+            return None
+        error = future.exception()
+        if error is not None:
+            return error
+        result, seconds = future.result()
         self.metrics.merge(result.metrics)
+        if self.profile is not None:
+            self.profile.add_bu_wall(root, seconds)
         if not install:
-            return
+            return None
         if result.timed_out:
             self._bu_disabled.update(targets)
-            return
+            return None
         self.bu.update(result.summaries)
+        if self._tracing:
+            for proc in sorted(result.summaries):
+                summary = result.summaries[proc]
+                self._sink.emit(
+                    TraceEvent(
+                        "bu_installed",
+                        proc,
+                        {
+                            "root": root,
+                            "cases": summary.case_count(),
+                            "ignored": len(summary.ignored),
+                        },
+                    )
+                )
         self._apply_cache.clear()
+        return None

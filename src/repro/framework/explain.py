@@ -9,13 +9,22 @@ tuning k and theta on a new analysis:
   fraction of their incoming states the summaries cover?
 * for one procedure: the retained cases, the ignored-set size, and a
   sample of incoming states that fell back to the top-down analysis.
+
+:class:`TraceExplainer` is the trace-backed mode: given the event
+stream of a run (a :class:`~repro.framework.tracing.RingSink`'s
+events, or a JSONL trace read back), it answers "why is this state at
+this point?" by citing the exact ``propagate`` events — each new path
+edge records its cause (``seed``/``prim``/``call``/``return``/
+``reuse``/``summary``) and source, so provenance is a deterministic
+walk back to the initial state.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.framework.swift import SwiftResult
+from repro.framework.tracing import TraceEvent
 
 
 class SummaryExplorer:
@@ -95,6 +104,15 @@ class SummaryExplorer:
                 lines.append(f"    {sigma}")
         return "\n".join(lines)
 
+    def explain_with_trace(
+        self, explainer: "TraceExplainer", point, sigma, entry=None
+    ) -> str:
+        """``explain`` plus the propagation provenance from a trace."""
+        proc = getattr(point, "proc", str(point).split(":")[0])
+        lines = [self.explain(proc), "", "provenance (from trace):"]
+        lines.append(explainer.render_provenance(point, sigma, entry))
+        return "\n".join(lines)
+
     def report(self, limit: int = 10) -> str:
         """Program-wide summary: the hottest procedures and how well
         their summaries absorb the traffic."""
@@ -108,4 +126,71 @@ class SummaryExplorer:
             cov = self.coverage(proc)
             cov_text = "no summary" if cov is None else f"{cov:.0%} covered"
             lines.append(f"  {proc}: {count} contexts ({cov_text})")
+        return "\n".join(lines)
+
+
+class TraceExplainer:
+    """Answer "why does this abstract state arise here?" from a trace.
+
+    Every ``propagate`` event records the path edge it discovered
+    (``point``, ``entry``, ``state``) and its cause (``via`` plus the
+    source triple), and only *new* path edges emit events — so the
+    first event for a triple is its unique discovery record, and
+    walking ``src`` pointers always reaches a ``seed`` event (a
+    discovery's source was discovered strictly earlier).
+    """
+
+    def __init__(self, events: Iterable[TraceEvent]) -> None:
+        # (point, entry, state) -> discovery event; first event wins.
+        self._by_edge: Dict[Tuple[str, str, str], TraceEvent] = {}
+        for event in events:
+            if event.kind != "propagate":
+                continue
+            key = (event.get("point"), event.get("entry"), event.get("state"))
+            self._by_edge.setdefault(key, event)
+
+    def __len__(self) -> int:
+        return len(self._by_edge)
+
+    def discovery(self, point, state, entry=None) -> Optional[TraceEvent]:
+        """The event that discovered ``(entry, state)`` at ``point``.
+
+        ``entry=None`` matches any entry state (first discovery wins).
+        """
+        point_s, state_s = str(point), str(state)
+        if entry is not None:
+            return self._by_edge.get((point_s, str(entry), state_s))
+        for (p, _, s), event in self._by_edge.items():
+            if p == point_s and s == state_s:
+                return event
+        return None
+
+    def provenance(self, point, state, entry=None) -> List[TraceEvent]:
+        """The chain of propagate events from the seed to this state.
+
+        Returned seed-first.  Empty when the triple never arose (or the
+        trace does not cover it, e.g. it was evicted from a RingSink).
+        """
+        chain: List[TraceEvent] = []
+        event = self.discovery(point, state, entry)
+        while event is not None:
+            chain.append(event)
+            if event.get("via") == "seed":
+                break
+            event = self._by_edge.get(
+                (event.get("src"), event.get("src_entry"), event.get("src_state"))
+            )
+        chain.reverse()
+        return chain
+
+    def render_provenance(self, point, state, entry=None) -> str:
+        chain = self.provenance(point, state, entry)
+        if not chain:
+            return f"  (no propagate event for {state} at {point} in this trace)"
+        lines = []
+        for event in chain:
+            via = event.get("via")
+            src = event.get("src") or "-"
+            arrow = "seeded" if via == "seed" else f"via {via} from {src}"
+            lines.append(f"  {event.get('point')}: {event.get('state')}  [{arrow}]")
         return "\n".join(lines)

@@ -22,7 +22,7 @@ class BudgetExceededError(RuntimeError):
     The experiment harness treats this as the paper's "timeout" outcome.
     """
 
-    def __init__(self, what: str, spent: int, limit: int) -> None:
+    def __init__(self, what: str, spent: float, limit: float) -> None:
         super().__init__(f"budget exceeded: {what} = {spent} > {limit}")
         self.what = what
         self.spent = spent
@@ -143,6 +143,8 @@ class Budget:
         if self.max_seconds is not None:
             elapsed = time.monotonic() - self._started_at
             if elapsed > self.max_seconds:
+                # Report the measured float, not a truncated int: a
+                # 0.9s overrun used to surface as "0 > 0" noise.
                 raise BudgetExceededError(
-                    "seconds", int(elapsed), int(self.max_seconds)
+                    "seconds", round(elapsed, 3), self.max_seconds
                 )

@@ -36,6 +36,11 @@ class PruneOperator:
     """Base class: a per-procedure pruning operator (Section 3.5 allows
     the operator to be parametrized by the procedure name)."""
 
+    #: Optional tracing sink (repro.framework.tracing).  Engines hand
+    #: their sink over after construction so custom pruner factories
+    #: keep the 4-argument signature; ``None`` means no tracing.
+    sink = None
+
     def prune(
         self, proc: str, relations: FrozenSet, ignored: IgnoredStates
     ) -> Tuple[FrozenSet, IgnoredStates]:
@@ -131,6 +136,19 @@ class FrequencyPruner(PruneOperator):
         dropped = [r for r in ranked[self.theta :]]
         if self.metrics is not None:
             self.metrics.pruned_relations += len(dropped)
+        if self.sink is not None and self.sink.enabled:
+            from repro.framework.tracing import TraceEvent
+
+            self.sink.emit(
+                TraceEvent(
+                    "prune_drop",
+                    proc,
+                    {
+                        "kept": sorted(str(r) for r in kept),
+                        "dropped": sorted(str(r) for r in dropped),
+                    },
+                )
+            )
         widened = ignored.union(
             self.analysis.domain_predicate(r) for r in dropped
         )

@@ -26,6 +26,7 @@ procedure (not the per-context one).
 
 from __future__ import annotations
 
+import time
 from collections import Counter
 from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple
 
@@ -35,6 +36,7 @@ from repro.framework.interfaces import BottomUpAnalysis, TopDownAnalysis
 from repro.framework.metrics import Budget, Metrics
 from repro.framework.pruning import FrequencyPruner
 from repro.framework.topdown import TopDownEngine, TopDownResult
+from repro.framework.tracing import TraceEvent, TraceSink
 from repro.ir.cfg import CFGEdge, ControlFlowGraphs
 from repro.ir.program import Program
 
@@ -57,6 +59,7 @@ class SwiftResult(TopDownResult):
             base.entry_counts,
             base.metrics,
             timed_out=base.timed_out,
+            profile=base.profile,
         )
         self.bu = bu
 
@@ -106,6 +109,7 @@ class SwiftEngine(TopDownEngine):
         order: str = "lifo",
         enable_caches: bool = True,
         indexed_summaries: bool = True,
+        sink: Optional[TraceSink] = None,
     ) -> None:
         super().__init__(
             program,
@@ -115,6 +119,7 @@ class SwiftEngine(TopDownEngine):
             order=order,
             enable_caches=enable_caches,
             indexed_summaries=indexed_summaries,
+            sink=sink,
         )
         if k < 1:
             raise ValueError("k must be at least 1")
@@ -158,7 +163,8 @@ class SwiftEngine(TopDownEngine):
         if summary is not None:
             key = (callee, sigma)
             outputs = self._apply_cache.get(key, _CACHE_MISS)
-            if outputs is _CACHE_MISS:
+            cached = outputs is not _CACHE_MISS
+            if not cached:
                 if sigma in summary.ignored:
                     outputs = None
                 else:
@@ -170,6 +176,19 @@ class SwiftEngine(TopDownEngine):
                     outputs = frozenset(collected)
                 self._apply_cache[key] = outputs
             if outputs is not None:
+                if self._tracing:
+                    self._sink.emit(
+                        TraceEvent(
+                            "summary_instantiated",
+                            callee,
+                            {
+                                "state": str(sigma),
+                                "outs": len(outputs),
+                                "cached": cached,
+                            },
+                        )
+                    )
+                    self._cause = ("summary", edge.source, sigma, entry_sigma)
                 for sigma_out in outputs:
                     self._propagate(edge.target, entry_sigma, sigma_out)
                 return
@@ -194,15 +213,19 @@ class SwiftEngine(TopDownEngine):
     def _run_bu(self, root: str) -> None:
         """``bu := run_bu(Γ, θ, f, bu)`` over procedures reachable from ``root``."""
         reachable = self._reachable(root)
-        if self.postpone_unseen and any(
-            not self._entry_counts.get(proc) for proc in reachable
-        ):
-            # Section 4, first difficult scenario: without top-down data
-            # for some reachable procedure the pruner cannot identify its
-            # common cases — postpone until every procedure has been
-            # entered at least once.
-            self.metrics.bu_postponements += 1
-            return
+        if self.postpone_unseen:
+            unseen = [proc for proc in reachable if not self._entry_counts.get(proc)]
+            if unseen:
+                # Section 4, first difficult scenario: without top-down
+                # data for some reachable procedure the pruner cannot
+                # identify its common cases — postpone until every
+                # procedure has been entered at least once.
+                self.metrics.bu_postponements += 1
+                if self._tracing:
+                    self._sink.emit(
+                        TraceEvent("bu_postponed", root, {"unseen": sorted(unseen)})
+                    )
+                return
         targets = (
             reachable
             if self.refresh_existing
@@ -216,6 +239,13 @@ class SwiftEngine(TopDownEngine):
             incoming=self._entry_counts,
             metrics=self.metrics,
         )
+        if self._tracing:
+            # Custom pruner factories keep their 4-arg signature; the
+            # sink is handed over post-construction (PruneOperator.sink).
+            pruner.sink = self._sink
+            self._sink.emit(
+                TraceEvent("bu_trigger", root, {"targets": sorted(targets)})
+            )
         engine = BottomUpEngine(
             self.program,
             self.bu_analysis,
@@ -226,9 +256,13 @@ class SwiftEngine(TopDownEngine):
             restart_clock=False,
             rtransfer_cache=self._bu_rtransfer_cache,
             rcompose_cache=self._bu_rcompose_cache,
+            sink=self._sink,
         )
         self.metrics.bu_triggers += 1
+        bu_started = time.perf_counter() if self._tracing else 0.0
         result = engine.analyze(targets, external=self.bu)
+        if self.profile is not None:
+            self.profile.add_bu_wall(root, time.perf_counter() - bu_started)
         if result.timed_out:
             # Budget ran out mid-run: the partial summaries are not at
             # fixpoint and must not be applied.  Disable the trigger for
@@ -236,6 +270,20 @@ class SwiftEngine(TopDownEngine):
             self._bu_disabled.update(reachable)
             return
         self.bu.update(result.summaries)
+        if self._tracing:
+            for proc in sorted(result.summaries):
+                summary = result.summaries[proc]
+                self._sink.emit(
+                    TraceEvent(
+                        "bu_installed",
+                        proc,
+                        {
+                            "root": root,
+                            "cases": summary.case_count(),
+                            "ignored": len(summary.ignored),
+                        },
+                    )
+                )
         self._apply_cache.clear()
 
     # -- driver -----------------------------------------------------------------------

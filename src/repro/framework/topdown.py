@@ -22,15 +22,20 @@ subclass it and override only the handling of call edges.
 
 from __future__ import annotations
 
+import time
 from collections import Counter, deque
 from typing import Deque, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.framework.caching import TransferCache
 from repro.framework.interfaces import TopDownAnalysis
 from repro.framework.metrics import Budget, BudgetExceededError, Metrics
+from repro.framework.tracing import NULL_SINK, Profile, TeeSink, TraceEvent, TraceSink
 from repro.ir.cfg import CFGEdge, ControlFlowGraphs, ProgramPoint
 from repro.ir.commands import Call
 from repro.ir.program import Program
+
+#: Cause of a propagation when none was recorded (seeding).
+_SEED_CAUSE = ("seed", None, None, None)
 
 
 class TopDownResult:
@@ -44,6 +49,7 @@ class TopDownResult:
         entry_counts: Dict[str, Counter],
         metrics: Metrics,
         timed_out: bool = False,
+        profile: Optional[Profile] = None,
     ) -> None:
         self.program = program
         self.cfgs = cfgs
@@ -51,6 +57,9 @@ class TopDownResult:
         self.entry_counts = entry_counts  # proc -> Counter of incoming states
         self.metrics = metrics
         self.timed_out = timed_out
+        # Per-procedure work/wall-time attribution; only populated when
+        # the engine ran with a tracing sink (None otherwise).
+        self.profile = profile
 
     # -- state queries ------------------------------------------------------------
     def states_at(self, point: ProgramPoint) -> FrozenSet:
@@ -107,6 +116,7 @@ class TopDownEngine:
         order: str = "lifo",
         enable_caches: bool = True,
         indexed_summaries: bool = True,
+        sink: Optional[TraceSink] = None,
     ) -> None:
         if order not in ("lifo", "fifo"):
             raise ValueError("order must be 'lifo' or 'fifo'")
@@ -118,6 +128,24 @@ class TopDownEngine:
         self.metrics = Metrics()
         self.enable_caches = enable_caches
         self.indexed_summaries = indexed_summaries
+        # Tracing: with the default NullSink the engines skip event
+        # construction entirely (one `if self._tracing` test per site).
+        # With a real sink, every event also feeds the per-procedure
+        # Profile, and nested components (run_bu, the pruner) receive
+        # the same tee so their events land in both places.
+        user_sink = sink if sink is not None else NULL_SINK
+        self._tracing = bool(user_sink.enabled)
+        if self._tracing:
+            self.profile: Optional[Profile] = Profile()
+            self._sink: TraceSink = TeeSink(user_sink, self.profile)
+        else:
+            self.profile = None
+            self._sink = user_sink
+        # Cause of the propagations currently being produced, recorded
+        # by the edge handlers just before calling _propagate (only
+        # when tracing): (via, source point, source state, source entry).
+        self._cause = _SEED_CAUSE
+        self._td_wall: Dict[str, float] = {}
         self._transfer = (
             TransferCache(analysis, self.metrics)
             if enable_caches
@@ -148,13 +176,31 @@ class TopDownEngine:
         if self.budget is not None:
             self.budget.restart_clock()
         main_entry, _ = self._proc_points(self.program.main)
+        self._cause = _SEED_CAUSE
         for sigma in initial_states:
             self._record_entry(self.program.main, sigma)
             self._propagate(main_entry, sigma, sigma)
         try:
             self._solve()
-        except BudgetExceededError:
+        except BudgetExceededError as exc:
             self._timed_out = True
+            if self._tracing:
+                self._sink.emit(
+                    TraceEvent(
+                        "budget_exceeded",
+                        "",
+                        {
+                            "engine": "td",
+                            "what": exc.what,
+                            "spent": exc.spent,
+                            "limit": exc.limit,
+                        },
+                    )
+                )
+        if self.profile is not None:
+            for proc, seconds in self._td_wall.items():
+                self.profile.add_td_wall(proc, seconds)
+            self._td_wall.clear()
         return TopDownResult(
             self.program,
             self.cfgs,
@@ -162,9 +208,11 @@ class TopDownEngine:
             self._entry_counts,
             self.metrics,
             timed_out=self._timed_out,
+            profile=self.profile,
         )
 
     def _solve(self) -> None:
+        tracing = self._tracing
         while self._workset:
             if self.budget is not None:
                 self.budget.check(self.metrics)
@@ -177,6 +225,8 @@ class TopDownEngine:
                 point, entry_sigma, sigma = self._workset.pop()
             else:
                 point, entry_sigma, sigma = self._workset.popleft()
+            if tracing:
+                pop_started = time.perf_counter()
             succs = self._succ_cache.get(point)
             if succs is None:
                 succs = self.cfgs[point.proc].successors(point)
@@ -187,10 +237,19 @@ class TopDownEngine:
                 else:
                     self._handle_prim(edge, entry_sigma, sigma)
             self._after_exit(point, entry_sigma, sigma)
+            if tracing:
+                # Wall-time attribution at pop granularity: everything
+                # this path edge caused (transfers, call handling,
+                # inline run_bu) is billed to its procedure.
+                self._td_wall[point.proc] = self._td_wall.get(
+                    point.proc, 0.0
+                ) + (time.perf_counter() - pop_started)
 
     # -- edge handling ------------------------------------------------------------------
     def _handle_prim(self, edge: CFGEdge, entry_sigma, sigma) -> None:
         self.metrics.transfers += 1
+        if self._tracing:
+            self._cause = ("prim", edge.source, sigma, entry_sigma)
         for sigma_prime in self._transfer(edge.label, sigma):
             self._propagate(edge.target, entry_sigma, sigma_prime)
 
@@ -211,9 +270,21 @@ class TopDownEngine:
         if (sigma, sigma) in self._td.get(callee_entry, ()):
             # The callee context exists already: reuse its summaries.
             self.metrics.td_summary_reuses += 1
-            for sigma_out in self._exit_summaries(callee, callee_exit, sigma):
+            outs = self._exit_summaries(callee, callee_exit, sigma)
+            if self._tracing:
+                self._sink.emit(
+                    TraceEvent(
+                        "td_summary_reuse",
+                        callee,
+                        {"state": str(sigma), "outs": len(outs)},
+                    )
+                )
+                self._cause = ("reuse", edge.source, sigma, entry_sigma)
+            for sigma_out in outs:
                 self._propagate(edge.target, entry_sigma, sigma_out)
         else:
+            if self._tracing:
+                self._cause = ("call", edge.source, sigma, entry_sigma)
             self._propagate(callee_entry, sigma, sigma)
 
     def _exit_summaries(self, callee: str, callee_exit: ProgramPoint, sigma) -> List:
@@ -237,6 +308,8 @@ class TopDownEngine:
         """If a path edge reached a procedure exit, return to callers."""
         if point not in self._exit_point_set:
             return
+        if self._tracing:
+            self._cause = ("return", point, sigma, entry_sigma)
         for (return_point, caller_entry) in list(
             self._call_records.get((point.proc, entry_sigma), ())
         ):
@@ -273,6 +346,23 @@ class TopDownEngine:
             if outs is None:
                 outs = by_entry[entry_sigma] = set()
             outs.add(sigma)
+        if self._tracing:
+            via, src, src_state, src_entry = self._cause
+            self._sink.emit(
+                TraceEvent(
+                    "propagate",
+                    point.proc,
+                    {
+                        "point": str(point),
+                        "entry": str(entry_sigma),
+                        "state": str(sigma),
+                        "via": via,
+                        "src": "" if src is None else str(src),
+                        "src_state": "" if src_state is None else str(src_state),
+                        "src_entry": "" if src_entry is None else str(src_entry),
+                    },
+                )
+            )
         self._workset.append((point, entry_sigma, sigma))
 
     def _record_entry(self, proc: str, sigma) -> None:

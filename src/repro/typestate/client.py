@@ -103,6 +103,7 @@ def run_typestate(
     oracle=None,
     enable_caches: bool = True,
     indexed_summaries: bool = True,
+    sink=None,
 ) -> TypestateReport:
     """Verify ``prop`` over ``program`` with the chosen engine.
 
@@ -111,7 +112,9 @@ def run_typestate(
     see :func:`make_analyses` for ``domain``.  ``enable_caches`` and
     ``indexed_summaries`` toggle the hot-path optimizations (see
     :mod:`repro.framework.caching`); neither affects results or the
-    deterministic work counters.
+    deterministic work counters.  ``sink`` is an optional
+    :class:`repro.framework.tracing.TraceSink` receiving the engine's
+    analysis events (default: none, zero overhead).
     """
     td_analysis, bu_analysis, init = make_analyses(
         program, prop, domain, tracked_sites, oracle
@@ -124,6 +127,7 @@ def run_typestate(
             budget=budget,
             enable_caches=enable_caches,
             indexed_summaries=indexed_summaries,
+            sink=sink,
         )
         result = td_engine.run(initial)
         return TypestateReport(
@@ -145,6 +149,7 @@ def run_typestate(
             budget=budget,
             enable_caches=enable_caches,
             indexed_summaries=indexed_summaries,
+            sink=sink,
         )
         result = swift.run(initial)
         return TypestateReport(
@@ -163,6 +168,7 @@ def run_typestate(
             pruner=NoPruner(bu_analysis),
             budget=budget,
             enable_caches=enable_caches,
+            sink=sink,
         )
         bu_result = bu_engine.analyze()
         errors: Set[Tuple[ProgramPoint, str]] = set()

@@ -94,3 +94,32 @@ def test_parser_requires_command():
 def test_bench_unknown_name(capsys):
     assert main(["bench", "not-a-benchmark"]) == 2
     assert "unknown benchmark" in capsys.readouterr().out
+
+
+def test_trace_record_and_summarize(mini_file, tmp_path, capsys):
+    out = str(tmp_path / "trace.jsonl")
+    code = main(["trace", "record", mini_file(BAD_MINI), "--out", out])
+    assert code == 0
+    assert "recorded" in capsys.readouterr().out
+    from repro.framework.tracing import read_jsonl
+
+    events = read_jsonl(out)
+    assert events and all(e.kind for e in events)
+    assert main(["trace", "summarize", out]) == 0
+    text = capsys.readouterr().out
+    assert "propagations" in text and "main" in text
+
+
+def test_trace_diff(mini_file, tmp_path, capsys):
+    path = mini_file(BAD_MINI)
+    a, b = str(tmp_path / "a.jsonl"), str(tmp_path / "b.jsonl")
+    assert main(["trace", "record", path, "--out", a]) == 0
+    assert main(["trace", "record", path, "--out", b]) == 0
+    assert main(["trace", "diff", a, b]) == 0
+    assert "agree" in capsys.readouterr().out
+    # A different engine's trace differs (td has no bu events but also a
+    # different propagation pattern is possible; budget-truncate instead).
+    c = str(tmp_path / "c.jsonl")
+    assert main(["trace", "record", path, "--out", c, "--budget", "3"]) == 0
+    assert main(["trace", "diff", a, c]) == 1
+    assert "differing" in capsys.readouterr().out

@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.framework.concurrent import ConcurrentSwiftEngine
+from repro.framework.concurrent import ConcurrentHarvestError, ConcurrentSwiftEngine
+from repro.framework.swift import SwiftEngine
 from repro.framework.topdown import TopDownEngine
 from repro.typestate.bu_analysis import SimpleTypestateBU
 from repro.typestate.properties import FILE_PROPERTY
@@ -69,5 +70,70 @@ def test_concurrent_executor_cleaned_up():
     bu_analysis = SimpleTypestateBU(FILE_PROPERTY)
     engine = ConcurrentSwiftEngine(program, td_analysis, bu_analysis, k=1)
     engine.run([bootstrap_state(FILE_PROPERTY)])
+    assert engine._executor is None
+    assert not engine._in_flight
+
+
+# -- worker failure handling ---------------------------------------------------------
+class _ExplodingWorkerEngine(ConcurrentSwiftEngine):
+    """Every bottom-up worker dies with the same ValueError."""
+
+    @staticmethod
+    def _timed_analyze(engine, targets, external):
+        raise ValueError("worker boom")
+
+
+def _exploding_engine(k=1):
+    return _ExplodingWorkerEngine(
+        figure1_program(),
+        SimpleTypestateTD(FILE_PROPERTY),
+        SimpleTypestateBU(FILE_PROPERTY),
+        k=k,
+    )
+
+
+def test_worker_exception_raises_aggregate():
+    """A failing bottom-up worker must surface as ConcurrentHarvestError
+    carrying the original exception (previously it could be raised from
+    inside run()'s finally block, masking the run's own outcome)."""
+    engine = _exploding_engine()
+    with pytest.raises(ConcurrentHarvestError) as info:
+        engine.run([bootstrap_state(FILE_PROPERTY)])
+    assert info.value.errors
+    assert all(isinstance(e, ValueError) for e in info.value.errors)
+    assert "worker boom" in str(info.value)
+
+
+def test_worker_exception_still_cleans_up_executor():
+    engine = _exploding_engine()
+    with pytest.raises(ConcurrentHarvestError):
+        engine.run([bootstrap_state(FILE_PROPERTY)])
+    assert engine._executor is None
+    assert not engine._in_flight
+    assert not engine._pending_procs
+
+
+def test_run_exception_not_masked_by_worker_failure(monkeypatch):
+    """When the tabulation itself raises, a simultaneously failing
+    worker must not replace that exception (the finally-block bug)."""
+
+    class TabulationBoom(Exception):
+        pass
+
+    engine = _exploding_engine()
+
+    def failing_run(initial_states):
+        # Simulate a trigger having submitted a doomed job, then the
+        # tabulation loop dying: the doomed future is in flight when
+        # run()'s cleanup executes.
+        future = engine._executor.submit(engine._timed_analyze, None, frozenset(), {})
+        engine._in_flight.append(("foo", frozenset({"foo"}), future))
+        raise TabulationBoom()
+
+    monkeypatch.setattr(SwiftEngine, "run", lambda self, init: failing_run(init))
+    with pytest.raises(TabulationBoom):
+        engine.run([bootstrap_state(FILE_PROPERTY)])
+    # Cleanup still happened even though the worker error was dropped in
+    # favour of the run's own exception.
     assert engine._executor is None
     assert not engine._in_flight

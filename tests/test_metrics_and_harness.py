@@ -1,5 +1,7 @@
 """Unit tests for metrics/budgets and the experiment harness."""
 
+import multiprocessing
+import os
 import time
 
 import pytest
@@ -53,6 +55,19 @@ def test_budget_unlimited_by_default():
     Budget().check(Metrics(transfers=10**9))  # no limits, no raise
 
 
+def test_budget_seconds_error_reports_float():
+    """Sub-second overruns used to be truncated by int(): a 0.6s overrun
+    of a 0.05s budget reported spent=0."""
+    budget = Budget(max_seconds=0.05)
+    budget._started_at = time.monotonic() - 0.6
+    with pytest.raises(BudgetExceededError) as info:
+        budget.check(Metrics())
+    assert info.value.what == "seconds"
+    assert isinstance(info.value.spent, float)
+    assert info.value.spent >= 0.5
+    assert info.value.limit == 0.05
+
+
 def _run(engine="td", work=100, timed_out=False, td=10, bu=0):
     return EngineRun(
         benchmark="x",
@@ -79,6 +94,18 @@ def test_speedup_label():
     assert speedup_label(baseline, swift) == "10.0X"
     assert speedup_label(_run(timed_out=True), swift) == "-"
     assert speedup_label(baseline, _run(work=0)) == "-"
+
+
+def test_speedup_label_swift_timeout():
+    """A ratio against a truncated SWIFT run is meaningless: "-" when
+    *either* side timed out (previously only the baseline was checked,
+    so a timed-out SWIFT run printed a bogus <1X speedup)."""
+    baseline = _run(work=1000)
+    truncated = _run(engine="swift", work=100, timed_out=True)
+    assert speedup_label(baseline, truncated) == "-"
+    assert speedup_label(
+        _run(timed_out=True), _run(engine="swift", timed_out=True)
+    ) == "-"
 
 
 def test_drop_label():
@@ -173,12 +200,91 @@ def test_topdown_run_restarts_stale_clock():
 
 
 # -- parallel harness ----------------------------------------------------------------
+def _in_worker() -> bool:
+    return multiprocessing.parent_process() is not None
+
+
+def _fail_in_worker_on_two(x):
+    """Picklable row fn: raises for x == 2 only inside pool workers."""
+    if x == 2 and _in_worker():
+        raise ValueError("transient worker failure")
+    return x * 10
+
+
+def _kill_worker_on_three(x):
+    """Picklable row fn: hard-kills its worker process for x == 3."""
+    if x == 3 and _in_worker():
+        os._exit(1)  # breaks the pool (no exception, no result)
+    return x * 10
+
+
+def _always_fail(x):
+    raise KeyError(x)
+
+
 def test_map_rows_preserves_order():
     from repro.experiments.harness import map_rows
 
     items = ["aaa", "b", "cc"]
     assert map_rows(len, items) == [3, 1, 2]
     assert map_rows(len, items, parallel=2) == [3, 1, 2]
+
+
+def test_map_rows_recovers_failed_row():
+    """A worker exception must not discard the completed rows: the
+    failed item is re-run serially and order is preserved (previously
+    pool.map dropped the whole table)."""
+    from repro.experiments.harness import map_rows
+
+    assert map_rows(_fail_in_worker_on_two, [1, 2, 3, 4], parallel=2) == [
+        10,
+        20,
+        30,
+        40,
+    ]
+
+
+def test_map_rows_recovers_from_broken_pool():
+    """A worker killed outright (OOM killer, crashed interpreter) breaks
+    the pool; completed rows are kept and the rest re-run serially."""
+    from repro.experiments.harness import map_rows
+
+    assert map_rows(_kill_worker_on_three, [1, 2, 3, 4], parallel=2) == [
+        10,
+        20,
+        30,
+        40,
+    ]
+
+
+def test_map_rows_deterministic_failure_raises_serially():
+    """An fn that fails everywhere still raises — with the parent's
+    traceback, after the serial retry."""
+    from repro.experiments.harness import map_rows
+
+    with pytest.raises(KeyError):
+        map_rows(_always_fail, [1, 2], parallel=2)
+
+
+def test_run_engine_records_trace(tmp_path):
+    """With a trace dir set (--trace DIR), run_engine dumps per-run
+    JSONL without perturbing the deterministic work counters."""
+    from repro.bench import load_benchmark
+    from repro.experiments import harness
+    from repro.framework.tracing import read_jsonl
+
+    bench = load_benchmark("jpat-p")
+    harness.set_trace_dir(tmp_path)
+    try:
+        traced = harness.run_engine(bench, "swift")
+    finally:
+        harness.set_trace_dir(None)
+    path = tmp_path / "jpat-p_swift.jsonl"
+    assert path.exists()
+    assert read_jsonl(path)
+    plain = harness.run_engine(bench, "swift")
+    assert traced.work == plain.work
+    assert traced.error_sites == plain.error_sites
 
 
 def test_parallel_table2_rows_match_serial():

@@ -4,6 +4,10 @@
 
     repro-swift verify prog.mini --property File --engine swift
     repro-swift verify prog.ir --all-properties
+    repro-swift analyze prog.mini --store .repro-store
+    repro-swift store stats .repro-store
+    repro-swift store gc .repro-store --keep 4
+    repro-swift store clear .repro-store
     repro-swift dump-ir prog.mini
     repro-swift dot prog.mini --proc main
     repro-swift bench hedc
@@ -182,6 +186,78 @@ def cmd_trace(args: argparse.Namespace) -> int:
     raise AssertionError(f"unknown trace subcommand {args.trace_command!r}")
 
 
+def cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.framework.metrics import Budget
+    from repro.incremental import SummaryStore, analyze_with_store
+    from repro.typestate.properties import property_by_name
+
+    program = load_program(args.file)
+    budget = Budget(max_work=args.budget) if args.budget else None
+    outcome = analyze_with_store(
+        program,
+        property_by_name(args.property),
+        SummaryStore(args.store),
+        engine=args.engine,
+        k=args.k,
+        theta=args.theta,
+        budget=budget,
+        domain=args.domain,
+        meta={"file": args.file},
+    )
+    report = outcome.report
+    start = "cold" if outcome.cold else "warm"
+    print(
+        f"{args.property}: {start} start, "
+        f"hits={outcome.store_hits} misses={outcome.store_misses} "
+        f"invalidated={outcome.store_invalidated} "
+        f"work={report.result.metrics.total_work}"
+    )
+    if outcome.saved:
+        print(f"snapshot: {outcome.snapshot_path}")
+    elif report.timed_out:
+        print("snapshot not saved (run exceeded its budget)")
+    if report.timed_out:
+        print(f"{args.property}: analysis exceeded its budget")
+        return 2
+    if not report.errors:
+        print(f"{args.property}: ok ({report.td_summaries} top-down summaries)")
+        return 0
+    print(f"{args.property}: {len(report.errors)} possible protocol violation(s)")
+    for point, site in sorted(report.errors, key=str):
+        print(f"  object from {site} may be in the error state at {point}")
+    return 1
+
+
+def cmd_store(args: argparse.Namespace) -> int:
+    from repro.incremental import SummaryStore
+
+    store = SummaryStore(args.dir)
+    if args.store_command == "stats":
+        rows = store.stats()
+        if not rows:
+            print(f"no snapshots under {args.dir}")
+            return 0
+        for row in rows:
+            if row.get("corrupt"):
+                print(f"{row['file']}: CORRUPT ({row['bytes']} bytes)")
+                continue
+            print(
+                f"{row['file']}: {row['engine']}/{row['domain']} "
+                f"property={row['property']} procs={row['procedures']} "
+                f"contexts={row['contexts']} td-rows={row['td_rows']} "
+                f"bu-summaries={row['bu_summaries']} ({row['bytes']} bytes)"
+            )
+        return 0
+    if args.store_command == "gc":
+        removed = store.gc(keep=args.keep)
+        print(f"removed {len(removed)} file(s), kept {len(store.snapshot_paths())}")
+        return 0
+    if args.store_command == "clear":
+        print(f"removed {store.clear()} file(s)")
+        return 0
+    raise AssertionError(f"unknown store subcommand {args.store_command!r}")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-swift",
@@ -199,6 +275,32 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--theta", type=int, default=1)
     verify.add_argument("--budget", type=int, default=None, help="work budget")
     verify.set_defaults(fn=cmd_verify)
+
+    analyze = sub.add_parser(
+        "analyze", help="verify with a persistent summary store (incremental)"
+    )
+    analyze.add_argument("file")
+    analyze.add_argument("--store", required=True, metavar="DIR", help="store directory")
+    analyze.add_argument("--property", default="File")
+    analyze.add_argument("--engine", choices=["td", "swift"], default="swift")
+    analyze.add_argument("--domain", choices=["simple", "full"], default="full")
+    analyze.add_argument("--k", type=int, default=5)
+    analyze.add_argument("--theta", type=int, default=1)
+    analyze.add_argument("--budget", type=int, default=None, help="work budget")
+    analyze.set_defaults(fn=cmd_analyze)
+
+    store = sub.add_parser("store", help="inspect or maintain a summary store")
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    stats = store_sub.add_parser("stats", help="one line per snapshot")
+    stats.add_argument("dir")
+    stats.set_defaults(fn=cmd_store)
+    gc = store_sub.add_parser("gc", help="drop all but the newest snapshots")
+    gc.add_argument("dir")
+    gc.add_argument("--keep", type=int, default=8)
+    gc.set_defaults(fn=cmd_store)
+    clear = store_sub.add_parser("clear", help="remove every snapshot")
+    clear.add_argument("dir")
+    clear.set_defaults(fn=cmd_store)
 
     dump = sub.add_parser("dump-ir", help="compile/parse and print the IR")
     dump.add_argument("file")

@@ -108,6 +108,23 @@ def export_hotpath(rows: Iterable[dict], path: str = "BENCH_hotpath.json") -> Pa
     return out
 
 
+def export_incremental(
+    rows: Iterable[dict], path: str = "BENCH_incremental.json"
+) -> Path:
+    """Write the summary-store benchmark rows
+    (benchmarks/bench_incremental.py) as JSON."""
+    import json
+
+    out = Path(path)
+    payload = {
+        "benchmark": "bench_incremental",
+        "description": "cold vs warm vs one-procedure-edit runs over the summary store",
+        "rows": list(rows),
+    }
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return out
+
+
 def export_all(directory: str = "results") -> List[Path]:
     """Export every exhibit; returns the written paths."""
     base = Path(directory)

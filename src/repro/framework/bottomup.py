@@ -185,7 +185,9 @@ class BottomUpEngine:
         """
         if self.budget is not None and self._restart_clock:
             self.budget.restart_clock()
-        targets = list(procs) if procs is not None else sorted(self.program.reachable())
+        # Sorted so a frozenset argument (SWIFT's reachable cone) yields
+        # the same evaluation order under every interpreter hash seed.
+        targets = sorted(procs) if procs is not None else sorted(self.program.reachable())
         target_set = set(targets)
         # Process callees before callers within each round for speed.
         order = [p for p in reversed(self.program.topological_order()) if p in target_set]

@@ -12,14 +12,24 @@ paper's timeout rows reproduce deterministically and quickly.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass, field, fields
+from typing import Dict, Optional
+
+#: Canonical budget-kind names, shared by ``Budget.check`` (via
+#: ``BudgetExceededError.kind``) and ``Budget.remaining`` so callers
+#: can match the two without string guessing.
+KIND_WORK = "total_work"
+KIND_RELATIONS = "relations_created"
+KIND_SECONDS = "seconds"
+
+BUDGET_KINDS = (KIND_WORK, KIND_RELATIONS, KIND_SECONDS)
 
 
 class BudgetExceededError(RuntimeError):
     """Raised by an engine when its work budget is exhausted.
 
     The experiment harness treats this as the paper's "timeout" outcome.
+    ``what`` (alias ``kind``) is one of :data:`BUDGET_KINDS`.
     """
 
     def __init__(self, what: str, spent: float, limit: float) -> None:
@@ -27,6 +37,11 @@ class BudgetExceededError(RuntimeError):
         self.what = what
         self.spent = spent
         self.limit = limit
+
+    @property
+    def kind(self) -> str:
+        """The exhausted budget's kind, one of :data:`BUDGET_KINDS`."""
+        return self.what
 
 
 @dataclass
@@ -55,24 +70,26 @@ class Metrics:
     rtransfer_cache_misses: int = 0
     rcompose_cache_hits: int = 0
     rcompose_cache_misses: int = 0
+    # Summary-store traffic (repro.incremental).  Same rule as the memo
+    # counters above: *not* part of total_work — a store hit means a
+    # whole tabulation context was reconstructed instead of recomputed,
+    # and warm/cold equivalence is asserted on the raw work counters.
+    store_hits: int = 0  # preloaded contexts/summaries installed
+    store_misses: int = 0  # lookups the store could not serve
+    store_invalidated: int = 0  # procedures whose entries were discarded
 
     def merge(self, other: "Metrics") -> None:
-        self.transfers += other.transfers
-        self.rtransfers += other.rtransfers
-        self.compositions += other.compositions
-        self.relations_created += other.relations_created
-        self.propagations += other.propagations
-        self.summary_instantiations += other.summary_instantiations
-        self.td_summary_reuses += other.td_summary_reuses
-        self.bu_triggers += other.bu_triggers
-        self.bu_postponements += other.bu_postponements
-        self.pruned_relations += other.pruned_relations
-        self.transfer_cache_hits += other.transfer_cache_hits
-        self.transfer_cache_misses += other.transfer_cache_misses
-        self.rtransfer_cache_hits += other.rtransfer_cache_hits
-        self.rtransfer_cache_misses += other.rtransfer_cache_misses
-        self.rcompose_cache_hits += other.rcompose_cache_hits
-        self.rcompose_cache_misses += other.rcompose_cache_misses
+        """Fold ``other``'s counters into this one.
+
+        Iterates the dataclass fields so a newly added counter family
+        (the PR-1 cache counters and the store counters both postdate
+        the original hand-written fold) can never be silently dropped
+        by ``ConcurrentSwiftEngine``'s harvest or ``aggregate_metrics``.
+        """
+        for spec in fields(self):
+            setattr(
+                self, spec.name, getattr(self, spec.name) + getattr(other, spec.name)
+            )
 
     @property
     def total_work(self) -> int:
@@ -132,13 +149,13 @@ class Budget:
 
     def check(self, metrics: Metrics) -> None:
         if self.max_work is not None and metrics.total_work > self.max_work:
-            raise BudgetExceededError("total_work", metrics.total_work, self.max_work)
+            raise BudgetExceededError(KIND_WORK, metrics.total_work, self.max_work)
         if (
             self.max_relations is not None
             and metrics.relations_created > self.max_relations
         ):
             raise BudgetExceededError(
-                "relations_created", metrics.relations_created, self.max_relations
+                KIND_RELATIONS, metrics.relations_created, self.max_relations
             )
         if self.max_seconds is not None:
             elapsed = time.monotonic() - self._started_at
@@ -146,5 +163,21 @@ class Budget:
                 # Report the measured float, not a truncated int: a
                 # 0.9s overrun used to surface as "0 > 0" noise.
                 raise BudgetExceededError(
-                    "seconds", round(elapsed, 3), self.max_seconds
+                    KIND_SECONDS, round(elapsed, 3), self.max_seconds
                 )
+
+    def remaining(self, metrics: Metrics) -> Dict[str, Optional[float]]:
+        """Headroom left per budget kind, keyed like
+        :class:`BudgetExceededError.kind` (:data:`BUDGET_KINDS`).
+
+        ``None`` marks a disabled limit; exhausted kinds clamp at 0.
+        """
+        out: Dict[str, Optional[float]] = dict.fromkeys(BUDGET_KINDS)
+        if self.max_work is not None:
+            out[KIND_WORK] = max(0, self.max_work - metrics.total_work)
+        if self.max_relations is not None:
+            out[KIND_RELATIONS] = max(0, self.max_relations - metrics.relations_created)
+        if self.max_seconds is not None:
+            elapsed = time.monotonic() - self._started_at
+            out[KIND_SECONDS] = max(0.0, round(self.max_seconds - elapsed, 3))
+        return out

@@ -127,10 +127,12 @@ class FrequencyPruner(PruneOperator):
     ) -> Tuple[FrozenSet, IgnoredStates]:
         if len(relations) <= self.theta:
             return clean(self.analysis, relations, ignored)
-        # best_theta: rank each relation against M; deterministic
-        # tie-break on the relation's string form.
+        # best_theta: rank each relation against M; the tie-break is a
+        # total order (type name, then the canonical string form — all
+        # relation/atom strings print every identity-bearing field), so
+        # the kept set never depends on set-iteration order.
         ranked = sorted(
-            relations, key=lambda r: (-self.rank(proc, r), str(r))
+            relations, key=lambda r: (-self.rank(proc, r), type(r).__name__, str(r))
         )
         kept = frozenset(ranked[: self.theta])
         dropped = [r for r in ranked[self.theta :]]

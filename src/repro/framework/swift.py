@@ -35,7 +35,7 @@ from repro.framework.caching import RComposeCache, RTransferCache
 from repro.framework.interfaces import BottomUpAnalysis, TopDownAnalysis
 from repro.framework.metrics import Budget, Metrics
 from repro.framework.pruning import FrequencyPruner
-from repro.framework.topdown import TopDownEngine, TopDownResult
+from repro.framework.topdown import TopDownEngine, TopDownResult, sorted_states
 from repro.framework.tracing import TraceEvent, TraceSink
 from repro.ir.cfg import CFGEdge, ControlFlowGraphs
 from repro.ir.program import Program
@@ -60,6 +60,7 @@ class SwiftResult(TopDownResult):
             base.metrics,
             timed_out=base.timed_out,
             profile=base.profile,
+            call_records=base.call_records,
         )
         self.bu = bu
 
@@ -110,6 +111,7 @@ class SwiftEngine(TopDownEngine):
         enable_caches: bool = True,
         indexed_summaries: bool = True,
         sink: Optional[TraceSink] = None,
+        preload=None,
     ) -> None:
         super().__init__(
             program,
@@ -120,6 +122,7 @@ class SwiftEngine(TopDownEngine):
             enable_caches=enable_caches,
             indexed_summaries=indexed_summaries,
             sink=sink,
+            preload=preload,
         )
         if k < 1:
             raise ValueError("k must be at least 1")
@@ -155,6 +158,16 @@ class SwiftEngine(TopDownEngine):
         # Entries are only valid for the summary they were computed
         # against, so the cache is cleared whenever bu is updated.
         self._apply_cache: Dict[Tuple[str, object], Optional[FrozenSet]] = {}
+        # Warm start: install stored bottom-up summaries immediately
+        # (they answer call edges from the very first pop) and overlay
+        # the stored incoming multisets onto the live ones so a freshly
+        # triggered pruner ranks against realistic traffic.
+        if preload is not None and preload.bu:
+            self.bu.update(preload.bu)
+        if preload is not None and preload.ranks:
+            self._rank_counts = _MergedCounts(self._entry_counts, preload.ranks)
+        else:
+            self._rank_counts = self._entry_counts
 
     # -- Algorithm 1, lines 9-20 -----------------------------------------------------
     def _handle_call(self, edge: CFGEdge, entry_sigma, sigma) -> None:
@@ -173,7 +186,9 @@ class SwiftEngine(TopDownEngine):
                     for r in summary.relations:
                         self.metrics.summary_instantiations += 1
                         collected.update(self.bu_analysis.apply(r, sigma))
-                    outputs = frozenset(collected)
+                    # Cached in canonical order so propagation order is
+                    # hash-seed independent (see topdown.sorted_states).
+                    outputs = tuple(sorted_states(collected))
                 self._apply_cache[key] = outputs
             if outputs is not None:
                 if self._tracing:
@@ -236,7 +251,7 @@ class SwiftEngine(TopDownEngine):
         pruner = self.pruner_factory(
             self.bu_analysis,
             self.theta,
-            incoming=self._entry_counts,
+            incoming=self._rank_counts,
             metrics=self.metrics,
         )
         if self._tracing:
@@ -286,7 +301,56 @@ class SwiftEngine(TopDownEngine):
                 )
         self._apply_cache.clear()
 
+    # -- warm start ---------------------------------------------------------------------
+    def _preload_install(self) -> None:
+        super()._preload_install()
+        if self._preload is None or not self._preload.bu:
+            return
+        self.metrics.store_hits += len(self._preload.bu)
+        if self._tracing:
+            for proc in sorted(self._preload.bu):
+                summary = self._preload.bu[proc]
+                self._sink.emit(
+                    TraceEvent(
+                        "store_hit",
+                        proc,
+                        {"what": "bu", "cases": summary.case_count()},
+                    )
+                )
+
     # -- driver -----------------------------------------------------------------------
     def run(self, initial_states: Iterable) -> SwiftResult:
         base = super().run(initial_states)
         return SwiftResult(base, dict(self.bu))
+
+
+class _MergedCounts:
+    """Read view merging live entry counts with stored ranking data.
+
+    ``get(proc)`` is the per-state *maximum* of the two multisets: the
+    live counter of a warm run already re-counts every replayed call
+    record, so summing would double-count; the stored multiset fills in
+    traffic the warm run no longer sees (calls its preloaded bottom-up
+    summaries answer).  Quacks like the mapping ``FrequencyPruner``
+    expects.
+    """
+
+    __slots__ = ("_observed", "_stored")
+
+    def __init__(
+        self, observed: Dict[str, Counter], stored: Dict[str, Counter]
+    ) -> None:
+        self._observed = observed
+        self._stored = stored
+
+    def get(self, proc: str, default=None):
+        observed = self._observed.get(proc)
+        stored = self._stored.get(proc)
+        if not stored:
+            return observed if observed else default
+        merged = Counter(stored)
+        if observed:
+            for sigma, n in observed.items():
+                if n > merged[sigma]:
+                    merged[sigma] = n
+        return merged

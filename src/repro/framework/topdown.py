@@ -38,6 +38,22 @@ from repro.ir.program import Program
 _SEED_CAUSE = ("seed", None, None, None)
 
 
+def sorted_states(states):
+    """Canonical iteration order for a collection of abstract states.
+
+    Frozenset iteration order varies with the interpreter hash seed,
+    and the order in which states reach the workset decides *when*
+    SWIFT's bottom-up trigger fires — hence which incoming multiset the
+    pruner ranks against, and ultimately the work counters.  Every site
+    that feeds ``_propagate`` from a set therefore sorts by the states'
+    canonical string form first, making whole runs independent of
+    ``PYTHONHASHSEED``.
+    """
+    if len(states) <= 1:
+        return states
+    return sorted(states, key=str)
+
+
 class TopDownResult:
     """Read-only view over the tables computed by a top-down run."""
 
@@ -50,6 +66,7 @@ class TopDownResult:
         metrics: Metrics,
         timed_out: bool = False,
         profile: Optional[Profile] = None,
+        call_records: Optional[Dict[Tuple[str, object], Set[Tuple]]] = None,
     ) -> None:
         self.program = program
         self.cfgs = cfgs
@@ -60,6 +77,10 @@ class TopDownResult:
         # Per-procedure work/wall-time attribution; only populated when
         # the engine ran with a tracing sink (None otherwise).
         self.profile = profile
+        # (callee, entry state) -> {(return point, caller entry)}; the
+        # summary store needs these to attach spawned contexts to their
+        # creating context (repro.incremental).
+        self.call_records = call_records if call_records is not None else {}
 
     # -- state queries ------------------------------------------------------------
     def states_at(self, point: ProgramPoint) -> FrozenSet:
@@ -117,6 +138,7 @@ class TopDownEngine:
         enable_caches: bool = True,
         indexed_summaries: bool = True,
         sink: Optional[TraceSink] = None,
+        preload=None,
     ) -> None:
         if order not in ("lifo", "fifo"):
             raise ValueError("order must be 'lifo' or 'fifo'")
@@ -169,6 +191,12 @@ class TopDownEngine:
         self._succ_cache: Dict[ProgramPoint, List[CFGEdge]] = {}
         # Exit-summary index: proc -> sigma_in -> set of sigma_out.
         self._exit_index: Dict[str, Dict[object, Set[object]]] = {}
+        # Warm start (repro.incremental.invalidate.WarmStart): stored
+        # tabulation contexts, lazily activated when a call edge demands
+        # them.  Every entry was fingerprint-verified by the caller, so
+        # activation installs it without re-deriving anything.
+        self._preload = preload
+        self._activated: Set[Tuple[str, object]] = set()
 
     # -- driver -----------------------------------------------------------------------
     def run(self, initial_states: Iterable) -> TopDownResult:
@@ -177,8 +205,14 @@ class TopDownEngine:
             self.budget.restart_clock()
         main_entry, _ = self._proc_points(self.program.main)
         self._cause = _SEED_CAUSE
+        self._preload_install()
         for sigma in initial_states:
             self._record_entry(self.program.main, sigma)
+            if self._preload is not None:
+                # A stored main context pre-installs its rows; the seed
+                # propagation below then finds the entry row present
+                # and falls through without queueing any work.
+                self._activate(self.program.main, sigma)
             self._propagate(main_entry, sigma, sigma)
         try:
             self._solve()
@@ -209,6 +243,7 @@ class TopDownEngine:
             self.metrics,
             timed_out=self._timed_out,
             profile=self.profile,
+            call_records=self._call_records,
         )
 
     def _solve(self) -> None:
@@ -250,7 +285,7 @@ class TopDownEngine:
         self.metrics.transfers += 1
         if self._tracing:
             self._cause = ("prim", edge.source, sigma, entry_sigma)
-        for sigma_prime in self._transfer(edge.label, sigma):
+        for sigma_prime in sorted_states(self._transfer(edge.label, sigma)):
             self._propagate(edge.target, entry_sigma, sigma_prime)
 
     def _handle_call(self, edge: CFGEdge, entry_sigma, sigma) -> None:
@@ -280,12 +315,28 @@ class TopDownEngine:
                     )
                 )
                 self._cause = ("reuse", edge.source, sigma, entry_sigma)
-            for sigma_out in outs:
+            for sigma_out in sorted_states(outs):
                 self._propagate(edge.target, entry_sigma, sigma_out)
-        else:
+            return
+        if self._preload is not None:
+            if self._activate(callee, sigma):
+                # The store held this whole context: its rows (and its
+                # children's) are installed, so serve the exit
+                # summaries exactly like the reuse path above.
+                outs = self._exit_summaries(callee, callee_exit, sigma)
+                if self._tracing:
+                    self._cause = ("store", edge.source, sigma, entry_sigma)
+                for sigma_out in sorted_states(outs):
+                    self._propagate(edge.target, entry_sigma, sigma_out)
+                return
+            self.metrics.store_misses += 1
             if self._tracing:
-                self._cause = ("call", edge.source, sigma, entry_sigma)
-            self._propagate(callee_entry, sigma, sigma)
+                self._sink.emit(
+                    TraceEvent("store_miss", callee, {"state": str(sigma)})
+                )
+        if self._tracing:
+            self._cause = ("call", edge.source, sigma, entry_sigma)
+        self._propagate(callee_entry, sigma, sigma)
 
     def _exit_summaries(self, callee: str, callee_exit: ProgramPoint, sigma) -> List:
         """Exit states of ``callee`` for the incoming state ``sigma``.
@@ -310,9 +361,10 @@ class TopDownEngine:
             return
         if self._tracing:
             self._cause = ("return", point, sigma, entry_sigma)
-        for (return_point, caller_entry) in list(
-            self._call_records.get((point.proc, entry_sigma), ())
-        ):
+        records = list(self._call_records.get((point.proc, entry_sigma), ()))
+        if len(records) > 1:
+            records.sort(key=_record_sort_key)
+        for (return_point, caller_entry) in records:
             self._propagate(return_point, caller_entry, sigma)
 
     # -- low-level table updates -----------------------------------------------------------
@@ -367,6 +419,85 @@ class TopDownEngine:
 
     def _record_entry(self, proc: str, sigma) -> None:
         self._entry_counts.setdefault(proc, Counter())[sigma] += 1
+
+    # -- warm start (repro.incremental) --------------------------------------------------
+    def _preload_install(self) -> None:
+        """Account for the warm start once, at the beginning of a run."""
+        if self._preload is None or not self._preload.invalidated:
+            return
+        self.metrics.store_invalidated += len(self._preload.invalidated)
+        if self._tracing:
+            for proc, reason in sorted(self._preload.invalidated.items()):
+                self._sink.emit(
+                    TraceEvent("store_invalidated", proc, {"reason": reason})
+                )
+
+    def _activate(self, proc: str, entry) -> bool:
+        """Install the stored context ``(proc, entry)`` — and, transitively,
+        every child context its call records spawned — into the tables.
+
+        Installed rows bypass the workset and the ``propagations``
+        counter: a stored context is a finished fixpoint, so there is
+        nothing left to explore inside it (store traffic is excluded
+        from ``total_work``, like the memo caches).  Replaying the call
+        records reproduces the entry-count multisets exactly, and the
+        exit-summary index is maintained so callers read summaries the
+        normal way.  Returns False when the store has no such context
+        (the caller then tabulates it cold).
+        """
+        first = self._preload.contexts.get((proc, entry))
+        if first is None:
+            return False
+        stack = [first]
+        while stack:
+            ctx = stack.pop()
+            key = (ctx.proc, ctx.entry)
+            if key in self._activated:
+                continue
+            self._activated.add(key)
+            self.metrics.store_hits += 1
+            self._proc_points(ctx.proc)  # register the exit point
+            for point, sigma in ctx.rows:
+                edges = self._td.setdefault(point, set())
+                pair = (ctx.entry, sigma)
+                if pair in edges:
+                    continue
+                edges.add(pair)
+                if self.indexed_summaries and point in self._exit_point_set:
+                    by_entry = self._exit_index.setdefault(point.proc, {})
+                    outs = by_entry.get(ctx.entry)
+                    if outs is None:
+                        outs = by_entry[ctx.entry] = set()
+                    outs.add(sigma)
+            for callee, sigma_in, return_point in ctx.records:
+                records = self._call_records.setdefault((callee, sigma_in), set())
+                record = (return_point, ctx.entry)
+                if record not in records:
+                    records.add(record)
+                    self._record_entry(callee, sigma_in)
+                child = self._preload.contexts.get((callee, sigma_in))
+                if child is not None:
+                    stack.append(child)
+            if self._tracing:
+                self._sink.emit(
+                    TraceEvent(
+                        "store_hit",
+                        ctx.proc,
+                        {
+                            "what": "context",
+                            "entry": str(ctx.entry),
+                            "rows": len(ctx.rows),
+                            "records": len(ctx.records),
+                        },
+                    )
+                )
+        return True
+
+
+def _record_sort_key(record: Tuple[ProgramPoint, object]) -> Tuple[str, int, str]:
+    """Canonical order for call records (see :func:`sorted_states`)."""
+    return_point, caller_entry = record
+    return (return_point.proc, return_point.index, str(caller_entry))
 
 
 #: Shared empty mapping for index misses (avoids allocating per lookup).

@@ -17,6 +17,9 @@ kind                      emitted when
 ``summary_instantiated``  a bottom-up summary is applied at a call edge
 ``prune_drop``            the pruner ranks relations out (with the losers)
 ``budget_exceeded``       an engine's budget check raised
+``store_hit``             a preloaded summary-store entry was installed
+``store_miss``            a warm run demanded a context the store lacked
+``store_invalidated``     invalidation discarded a procedure's stored entries
 ========================  =====================================================
 
 Sinks:
@@ -58,6 +61,9 @@ EVENT_KINDS = frozenset(
         "summary_instantiated",
         "prune_drop",
         "budget_exceeded",
+        "store_hit",
+        "store_miss",
+        "store_invalidated",
     }
 )
 

@@ -1,0 +1,51 @@
+"""Persistent summary store and incremental re-analysis.
+
+Every ``repro-swift`` run today starts cold; summary-based analyses get
+their scalability from reusing summaries *across* runs and program
+versions.  This package adds that layer:
+
+* :mod:`repro.incremental.fingerprint` — canonical, hash-seed-
+  independent fingerprints of procedure bodies, transitive-callee
+  cones, and the analysis configuration;
+* :mod:`repro.incremental.codec` — canonical JSON encoding of abstract
+  states, relations, predicates and summaries (simple + full domains);
+* :mod:`repro.incremental.store` — the versioned on-disk
+  :class:`SummaryStore` (JSONL snapshots, atomic replace, corrupt files
+  fall back to cold);
+* :mod:`repro.incremental.invalidate` — fingerprint diffing, the
+  invalidation rule, and the :class:`WarmStart` the engines accept via
+  their ``preload=`` hook;
+* :mod:`repro.incremental.driver` — the load → diff → warm-run → save
+  loop behind ``repro-swift analyze --store DIR``.
+"""
+
+from repro.incremental.codec import Codec
+from repro.incremental.driver import IncrementalOutcome, analyze_with_store
+from repro.incremental.fingerprint import (
+    ProgramFingerprints,
+    config_fingerprint,
+)
+from repro.incremental.invalidate import (
+    InvalidationPlan,
+    WarmStart,
+    build_snapshot,
+    build_warm_start,
+    diff_fingerprints,
+)
+from repro.incremental.store import Snapshot, StoredContext, SummaryStore
+
+__all__ = [
+    "Codec",
+    "IncrementalOutcome",
+    "InvalidationPlan",
+    "ProgramFingerprints",
+    "Snapshot",
+    "StoredContext",
+    "SummaryStore",
+    "WarmStart",
+    "analyze_with_store",
+    "build_snapshot",
+    "build_warm_start",
+    "config_fingerprint",
+    "diff_fingerprints",
+]

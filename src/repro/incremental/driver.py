@@ -1,0 +1,152 @@
+"""The load → diff → warm-run → save loop.
+
+:func:`analyze_with_store` is the incremental counterpart of
+:func:`repro.typestate.client.run_typestate` and what
+``repro-swift analyze --store DIR`` calls: it fingerprints the program
+and configuration, loads the matching snapshot (if any), invalidates
+stored entries whose body or cone changed, runs the engine with the
+survivors as a warm start, and — when the run finished within budget —
+writes the merged snapshot back.  Timed-out runs are never saved: a
+stored context must be a *finished* fixpoint, and a partial table would
+be trusted as complete by the next warm run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional
+
+from repro.framework.metrics import Budget
+from repro.incremental.codec import Codec
+from repro.incremental.fingerprint import (
+    ProgramFingerprints,
+    alias_facts,
+    config_fingerprint,
+)
+from repro.incremental.invalidate import (
+    InvalidationPlan,
+    build_snapshot,
+    build_warm_start,
+    diff_fingerprints,
+)
+from repro.incremental.store import SummaryStore
+from repro.ir.program import Program
+from repro.typestate.client import TypestateReport, make_analyses, run_typestate
+from repro.typestate.dfa import TypestateProperty
+
+
+@dataclass
+class IncrementalOutcome:
+    """What one ``analyze --store`` run did, beyond the report itself."""
+
+    report: TypestateReport
+    config_fp: str
+    cold: bool  # no usable snapshot existed
+    store_hits: int
+    store_misses: int
+    store_invalidated: int
+    valid: FrozenSet[str] = frozenset()  # procs whose stored entries survived
+    invalidated: FrozenSet[str] = frozenset()
+    added: FrozenSet[str] = frozenset()
+    saved: bool = False
+    snapshot_path: Optional[str] = None
+    plan: Optional[InvalidationPlan] = field(default=None, repr=False)
+
+
+def analyze_with_store(
+    program: Program,
+    prop: TypestateProperty,
+    store: SummaryStore,
+    engine: str = "swift",
+    k: int = 5,
+    theta: int = 1,
+    budget: Optional[Budget] = None,
+    tracked_sites: Optional[FrozenSet[str]] = None,
+    domain: str = "simple",
+    enable_caches: bool = True,
+    indexed_summaries: bool = True,
+    sink=None,
+    save: bool = True,
+    meta: Optional[dict] = None,
+) -> IncrementalOutcome:
+    """Run ``prop`` over ``program`` with a persistent summary store.
+
+    Accepts the ``td`` and ``swift`` engines; a pure bottom-up run has
+    no preload hook (its whole point is recomputing every summary), so
+    ``engine="bu"`` raises ``ValueError``.
+    """
+    if engine not in ("td", "swift"):
+        raise ValueError(
+            f"analyze_with_store supports td and swift, not {engine!r}"
+        )
+    oracle = None
+    facts = None
+    if domain == "full":
+        from repro.alias import points_to_oracle
+
+        oracle = points_to_oracle(program)
+        facts = alias_facts(program, oracle)
+    fingerprints = ProgramFingerprints(program, facts)
+    config, config_fp = config_fingerprint(
+        prop,
+        domain=domain,
+        engine=engine,
+        k=k if engine == "swift" else None,
+        theta=theta if engine == "swift" else None,
+        tracked_sites=tracked_sites,
+        flags={
+            "enable_caches": enable_caches,
+            "indexed_summaries": indexed_summaries,
+        },
+    )
+    _, bu_analysis, _ = make_analyses(program, prop, domain, tracked_sites, oracle)
+    codec = Codec(domain, bu_analysis)
+
+    snapshot = store.load(config_fp)
+    plan = None
+    warm = None
+    if snapshot is not None:
+        plan = diff_fingerprints(snapshot.fingerprints, fingerprints)
+        warm = build_warm_start(snapshot, plan, codec)
+
+    report = run_typestate(
+        program,
+        prop,
+        engine=engine,
+        k=k,
+        theta=theta,
+        budget=budget,
+        tracked_sites=tracked_sites,
+        domain=domain,
+        oracle=oracle,
+        enable_caches=enable_caches,
+        indexed_summaries=indexed_summaries,
+        sink=sink,
+        preload=warm,
+    )
+    metrics = report.result.metrics
+    outcome = IncrementalOutcome(
+        report=report,
+        config_fp=config_fp,
+        cold=snapshot is None,
+        store_hits=metrics.store_hits,
+        store_misses=metrics.store_misses,
+        store_invalidated=metrics.store_invalidated,
+        valid=plan.valid if plan else frozenset(),
+        invalidated=frozenset(plan.invalidated) if plan else frozenset(),
+        added=plan.added if plan else frozenset(fingerprints.body),
+        plan=plan,
+    )
+    if save and not report.timed_out:
+        new_snapshot = build_snapshot(
+            config,
+            config_fp,
+            fingerprints,
+            report.result,
+            codec,
+            previous=snapshot,
+            meta=meta,
+        )
+        outcome.snapshot_path = str(store.save(new_snapshot))
+        outcome.saved = True
+    return outcome

@@ -1,0 +1,142 @@
+"""Canonical fingerprints of procedures, cones, and configurations.
+
+Three fingerprint families key the summary store:
+
+* **body** — SHA-256 over the canonical printer form of a procedure's
+  command (:func:`repro.ir.printer.format_command`).  The printer text
+  round-trips through the parser and two bodies with equal text build
+  identical CFGs with identical :class:`~repro.ir.cfg.ProgramPoint`
+  numbering, so a body match guarantees that stored per-point rows are
+  still addressable.  For the full domain the body fingerprint also
+  folds in the may-alias facts of the variables the body mentions: the
+  oracle is whole-program, so an edit elsewhere that changes what ``v``
+  may point to must invalidate every body using ``v``.
+* **cone** — SHA-256 over the sorted ``(callee, body fingerprint)``
+  pairs of the procedure's transitive-callee cone *including itself*
+  (``reachable_from``), which handles recursion for free.  A stored
+  context ``(g, σ)`` is a pure function of ``σ``, ``g``'s body, and the
+  bodies in ``g``'s cone, so cone equality is exactly the condition
+  under which a stored entry may be trusted.
+* **config** — SHA-256 over a canonical description of the analysis
+  configuration: property DFA (states, initial, transition table),
+  domain, engine, ``k``/``theta``, tracked sites, engine flags.
+  Snapshots are stored per config fingerprint; nothing is shared across
+  configurations.
+
+All hashing goes through :mod:`hashlib`, so fingerprints are identical
+across processes and ``PYTHONHASHSEED`` values.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
+
+from repro.ir.printer import format_command
+from repro.ir.program import Program
+from repro.typestate.dfa import TypestateProperty
+
+#: Bump when the fingerprint scheme changes; part of every config
+#: description, so old snapshots simply stop matching (cold fallback).
+FINGERPRINT_VERSION = 1
+
+#: Per-variable may-alias facts: ``var -> sites it may point to``.
+AliasFacts = Mapping[str, FrozenSet[str]]
+
+
+def canonical_json(obj) -> str:
+    """Deterministic JSON: sorted keys, no whitespace."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def _sha(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def alias_facts(program: Program, oracle) -> Dict[str, FrozenSet[str]]:
+    """Snapshot the oracle's per-variable site sets for fingerprinting."""
+    return {var: frozenset(oracle.sites_for(var)) for var in program.variables()}
+
+
+def body_fingerprint(
+    program: Program, proc: str, facts: Optional[AliasFacts] = None
+) -> str:
+    """Fingerprint of one procedure body (plus its alias facts, if any)."""
+    text = format_command(program[proc])
+    if facts:
+        rows = [
+            [var, sorted(facts.get(var, ()))]
+            for var in sorted(program[proc].variables())
+        ]
+        if rows:
+            text += "\n#alias " + canonical_json(rows)
+    return _sha(text)
+
+
+class ProgramFingerprints:
+    """Body and cone fingerprints for every procedure of a program."""
+
+    def __init__(
+        self, program: Program, facts: Optional[AliasFacts] = None
+    ) -> None:
+        self.program = program
+        self.body: Dict[str, str] = {
+            proc: body_fingerprint(program, proc, facts) for proc in program
+        }
+        self.cone: Dict[str, str] = {}
+        for proc in program:
+            members = sorted(program.reachable_from(proc) | {proc})
+            self.cone[proc] = _sha(
+                canonical_json([[q, self.body[q]] for q in members])
+            )
+
+    def as_dict(self) -> Dict[str, Dict[str, str]]:
+        """``proc -> {"body": fp, "cone": fp}`` in serializable form."""
+        return {
+            proc: {"body": self.body[proc], "cone": self.cone[proc]}
+            for proc in sorted(self.body)
+        }
+
+
+def property_description(prop: TypestateProperty) -> dict:
+    """The DFA in canonical extensional form."""
+    methods = sorted(prop.methods)
+    return {
+        "name": prop.name,
+        "states": list(prop.states),
+        "initial": prop.initial,
+        "transitions": [
+            [state, method, prop.step(state, method)]
+            for state in sorted(prop.states)
+            for method in methods
+        ],
+    }
+
+
+def config_fingerprint(
+    prop: TypestateProperty,
+    *,
+    domain: str,
+    engine: str,
+    k: Optional[int] = None,
+    theta: Optional[int] = None,
+    tracked_sites: Optional[Iterable[str]] = None,
+    flags: Optional[Mapping[str, object]] = None,
+) -> Tuple[dict, str]:
+    """Describe + fingerprint an analysis configuration.
+
+    Returns ``(description, fingerprint)``; the description is stored in
+    the snapshot header so ``store stats`` can say what a snapshot is.
+    """
+    desc = {
+        "version": FINGERPRINT_VERSION,
+        "property": property_description(prop),
+        "domain": domain,
+        "engine": engine,
+        "k": k,
+        "theta": theta,
+        "tracked_sites": sorted(tracked_sites) if tracked_sites is not None else None,
+        "flags": dict(sorted((flags or {}).items())),
+    }
+    return desc, _sha(canonical_json(desc))

@@ -1,0 +1,212 @@
+"""Fingerprint diffing, the invalidation rule, and warm-start assembly.
+
+The invalidation rule (and why it is sound):
+
+* A **top-down context** ``(g, σ)`` — its path-edge rows and the call
+  records it spawned — is a pure function of ``σ``, ``g``'s body, and
+  the bodies of ``g``'s transitive callees: tabulation explores the
+  context the same way regardless of what the rest of the program
+  does.  So a stored context survives exactly when ``g``'s *cone*
+  fingerprint is unchanged, and dies with ``g``'s body or any body in
+  its cone.
+* A **bottom-up summary** of ``g`` is computed from the same inputs
+  (``rtrans``/``rcomp`` over ``g`` and its callees), so the same rule
+  applies.
+* The **incoming multiset** ``M`` is pure ranking data for the
+  FrequencyPruner — approximate by design — and is kept for surviving
+  procedures only.
+
+Surviving entries are injected through the engines' ``preload=`` hook
+as a :class:`WarmStart`.  Contexts are *lazily activated*: a stored
+context is only installed when the warm run actually demands it at a
+call edge (or as the transitive child of an activated context), so
+contexts that an upstream edit made unreachable are silently skipped
+and a warm top-down run computes *exactly* the cold tables — rows,
+exit index, call records, and entry counts (entry counts are the
+record multiset, and activation replays the stored records).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple
+
+from repro.framework.bottomup import ProcedureSummary
+from repro.incremental.codec import Codec
+from repro.incremental.fingerprint import ProgramFingerprints
+from repro.incremental.store import Snapshot, StoredContext
+from repro.ir.cfg import ProgramPoint
+
+#: Invalidation reasons, stable strings for trace events and tests.
+REASON_BODY = "body-changed"
+REASON_CONE = "cone-changed"
+REASON_REMOVED = "removed"
+
+
+@dataclass
+class InvalidationPlan:
+    """Outcome of diffing stored fingerprints against a new program."""
+
+    valid: FrozenSet[str]  # stored entries may be trusted
+    invalidated: Dict[str, str]  # proc -> reason (REASON_*)
+    added: FrozenSet[str]  # procs with no stored fingerprint
+
+
+def diff_fingerprints(
+    stored: Mapping[str, Mapping[str, str]], current: ProgramFingerprints
+) -> InvalidationPlan:
+    """Classify every procedure under the invalidation rule."""
+    valid = set()
+    invalidated: Dict[str, str] = {}
+    for proc, fps in stored.items():
+        if proc not in current.body:
+            invalidated[proc] = REASON_REMOVED
+        elif fps.get("body") != current.body[proc]:
+            invalidated[proc] = REASON_BODY
+        elif fps.get("cone") != current.cone[proc]:
+            invalidated[proc] = REASON_CONE
+        else:
+            valid.add(proc)
+    added = frozenset(p for p in current.body if p not in stored)
+    return InvalidationPlan(frozenset(valid), invalidated, added)
+
+
+@dataclass
+class WarmContext:
+    """A decoded, trusted tabulation context ready for activation."""
+
+    proc: str
+    entry: object  # decoded entry state
+    rows: List[Tuple[ProgramPoint, object]]
+    records: List[Tuple[str, object, ProgramPoint]]  # (callee, σ_in, return point)
+
+
+@dataclass
+class WarmStart:
+    """What a ``preload=`` hook injects into an engine.
+
+    Only entries of procedures whose full fingerprint matched are ever
+    placed here (``build_warm_start`` filters by the plan), so an
+    engine may trust everything it finds.
+    """
+
+    contexts: Dict[Tuple[str, object], WarmContext] = field(default_factory=dict)
+    bu: Dict[str, ProcedureSummary] = field(default_factory=dict)
+    ranks: Dict[str, Counter] = field(default_factory=dict)
+    invalidated: Dict[str, str] = field(default_factory=dict)
+
+    def context_count(self) -> int:
+        return len(self.contexts)
+
+
+def build_warm_start(
+    snapshot: Snapshot, plan: InvalidationPlan, codec: Codec
+) -> WarmStart:
+    """Decode the surviving parts of a snapshot into a :class:`WarmStart`."""
+    warm = WarmStart(invalidated=dict(plan.invalidated))
+    for ctx in snapshot.contexts:
+        if ctx.proc not in plan.valid:
+            continue
+        entry = codec.decode_state(ctx.entry)
+        rows = [
+            (ProgramPoint(ctx.proc, idx), codec.decode_state(enc))
+            for idx, enc in ctx.rows
+        ]
+        records = [
+            (callee, codec.decode_state(enc), ProgramPoint(ctx.proc, ret_idx))
+            for callee, enc, ret_idx in ctx.records
+        ]
+        warm.contexts[(ctx.proc, entry)] = WarmContext(ctx.proc, entry, rows, records)
+    for proc, enc in snapshot.bu.items():
+        if proc in plan.valid:
+            warm.bu[proc] = codec.decode_summary(enc)
+    for proc, counts in snapshot.m.items():
+        if proc in plan.valid:
+            warm.ranks[proc] = Counter(
+                {codec.decode_state(enc): n for enc, n in counts}
+            )
+    return warm
+
+
+def build_snapshot(
+    config: dict,
+    config_fp: str,
+    fingerprints: ProgramFingerprints,
+    result,
+    codec: Codec,
+    previous: Optional[Snapshot] = None,
+    meta: Optional[dict] = None,
+) -> Snapshot:
+    """Serialize a finished run's tables into a snapshot.
+
+    ``result`` is a :class:`~repro.framework.topdown.TopDownResult`
+    (or ``SwiftResult``) with ``call_records`` populated.  ``previous``
+    supplies the prior incoming multisets; the stored ``M`` is the
+    per-state maximum of old and observed counts, so ranking data
+    degrades gracefully across warm runs that saw only part of the
+    traffic (a warm SWIFT run bypasses calls its bottom-up summaries
+    answer, which would otherwise shrink ``M`` every generation).
+    """
+    snap = Snapshot(
+        config_fp=config_fp,
+        config=config,
+        fingerprints=fingerprints.as_dict(),
+        meta=meta or {},
+    )
+    # Group path edges by context (proc of the point, entry state).
+    by_context: Dict[Tuple[str, object], StoredContext] = {}
+
+    def context_for(proc: str, entry) -> StoredContext:
+        key = (proc, entry)
+        ctx = by_context.get(key)
+        if ctx is None:
+            ctx = by_context[key] = StoredContext(
+                proc, codec.encode_state(entry), [], []
+            )
+            snap.contexts.append(ctx)
+        return ctx
+
+    for point, pairs in result.td.items():
+        for entry, sigma in pairs:
+            context_for(point.proc, entry).rows.append(
+                [point.index, codec.encode_state(sigma)]
+            )
+    # A record ((callee, σ_in) ← (return point, caller entry)) was
+    # created while tabulating the caller's context — attach it there.
+    for (callee, sigma_in), records in (result.call_records or {}).items():
+        enc_in = codec.encode_state(sigma_in)
+        for return_point, caller_entry in records:
+            context_for(return_point.proc, caller_entry).records.append(
+                [callee, enc_in, return_point.index]
+            )
+    bu_map = getattr(result, "bu", None) or {}
+    for proc, summary in bu_map.items():
+        snap.bu[proc] = codec.encode_summary(summary)
+    old_m: Dict[str, Dict[str, list]] = {}
+    if previous is not None:
+        for proc, counts in previous.m.items():
+            old_m[proc] = {codec_key(enc): [enc, n] for enc, n in counts}
+    for proc, counter in result.entry_counts.items():
+        merged: Dict[str, list] = dict(old_m.pop(proc, ()))
+        for sigma, n in counter.items():
+            enc = codec.encode_state(sigma)
+            key = codec_key(enc)
+            if key in merged:
+                merged[key][1] = max(merged[key][1], n)
+            else:
+                merged[key] = [enc, n]
+        snap.m[proc] = list(merged.values())
+    # Procedures the warm run never entered keep their old ranking data
+    # (if still valid for this program).
+    for proc, rows in old_m.items():
+        if proc in fingerprints.body:
+            snap.m[proc] = list(rows.values())
+    snap.canonicalize()
+    return snap
+
+
+def codec_key(enc) -> str:
+    from repro.incremental.fingerprint import canonical_json
+
+    return canonical_json(enc)

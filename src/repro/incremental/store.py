@@ -1,0 +1,246 @@
+"""The versioned on-disk summary store.
+
+Layout: one JSONL snapshot per analysis configuration under the store
+root, named ``snapshot-<config fp prefix>.jsonl``.  Line 1 is a header
+(store version, config fingerprint + description, per-procedure body
+and cone fingerprints, producer metadata); every further line is one
+record:
+
+* ``{"kind": "context", ...}`` — one top-down tabulation context
+  ``(proc, σ_entry)`` with its path-edge rows ``[(point index, σ)]``
+  and the call records it spawned ``[(callee, σ_in, return index)]``;
+* ``{"kind": "bu", ...}`` — one installed bottom-up summary ``(R, Σ)``;
+* ``{"kind": "m", ...}`` — one procedure's incoming-state multiset
+  (the FrequencyPruner's ranking data).
+
+Everything is in the canonical encoded form of
+:mod:`repro.incremental.codec` and every list is sorted by serialized
+text, so ``load`` followed by ``save`` reproduces the file byte for
+byte (property-tested).
+
+Robustness: ``save`` writes to a temp file in the same directory and
+``os.replace``s it into place, so concurrent readers only ever see a
+complete snapshot.  ``load`` returns ``None`` — the cold-start signal —
+for missing files, JSON/structure errors, and version or fingerprint
+mismatches; a corrupt store can cost a warm start, never correctness.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+#: Bump on incompatible layout changes; mismatching snapshots load cold.
+STORE_VERSION = 1
+
+_PREFIX = "snapshot-"
+_SUFFIX = ".jsonl"
+
+
+@dataclass
+class StoredContext:
+    """One tabulation context in encoded form."""
+
+    proc: str
+    entry: list  # encoded entry state
+    rows: List[list]  # [[point index, encoded state], ...]
+    records: List[list]  # [[callee, encoded entry state, return index], ...]
+
+
+@dataclass
+class Snapshot:
+    """One configuration's stored analysis results, fully encoded."""
+
+    config_fp: str
+    config: dict
+    fingerprints: Dict[str, Dict[str, str]]  # proc -> {"body","cone"}
+    contexts: List[StoredContext] = field(default_factory=list)
+    bu: Dict[str, dict] = field(default_factory=dict)  # proc -> encoded summary
+    m: Dict[str, List[list]] = field(default_factory=dict)  # proc -> [[state, n]]
+    meta: dict = field(default_factory=dict)
+
+    def canonicalize(self) -> None:
+        """Sort every section into its canonical serialized order."""
+        key = _canon
+        for ctx in self.contexts:
+            ctx.rows.sort(key=key)
+            ctx.records.sort(key=key)
+        self.contexts.sort(key=lambda c: (c.proc, key(c.entry)))
+        for counts in self.m.values():
+            counts.sort(key=key)
+
+    def to_lines(self) -> List[str]:
+        self.canonicalize()
+        lines = [
+            _canon(
+                {
+                    "kind": "header",
+                    "version": STORE_VERSION,
+                    "config_fp": self.config_fp,
+                    "config": self.config,
+                    "fingerprints": self.fingerprints,
+                    "meta": self.meta,
+                }
+            )
+        ]
+        for ctx in self.contexts:
+            lines.append(
+                _canon(
+                    {
+                        "kind": "context",
+                        "proc": ctx.proc,
+                        "entry": ctx.entry,
+                        "rows": ctx.rows,
+                        "records": ctx.records,
+                    }
+                )
+            )
+        for proc in sorted(self.bu):
+            lines.append(_canon({"kind": "bu", "proc": proc, "summary": self.bu[proc]}))
+        for proc in sorted(self.m):
+            lines.append(_canon({"kind": "m", "proc": proc, "counts": self.m[proc]}))
+        return lines
+
+    def to_bytes(self) -> bytes:
+        return ("\n".join(self.to_lines()) + "\n").encode("utf-8")
+
+    @staticmethod
+    def from_bytes(data: bytes) -> "Snapshot":
+        """Parse a snapshot; raises ``ValueError`` on any malformation."""
+        lines = data.decode("utf-8").splitlines()
+        if not lines:
+            raise ValueError("empty snapshot")
+        header = json.loads(lines[0])
+        if not isinstance(header, dict) or header.get("kind") != "header":
+            raise ValueError("first line is not a snapshot header")
+        if header.get("version") != STORE_VERSION:
+            raise ValueError(f"unsupported store version {header.get('version')!r}")
+        snap = Snapshot(
+            config_fp=header["config_fp"],
+            config=header["config"],
+            fingerprints=header["fingerprints"],
+            meta=header.get("meta", {}),
+        )
+        for line in lines[1:]:
+            row = json.loads(line)
+            kind = row.get("kind")
+            if kind == "context":
+                snap.contexts.append(
+                    StoredContext(
+                        proc=row["proc"],
+                        entry=row["entry"],
+                        rows=row["rows"],
+                        records=row["records"],
+                    )
+                )
+            elif kind == "bu":
+                snap.bu[row["proc"]] = row["summary"]
+            elif kind == "m":
+                snap.m[row["proc"]] = row["counts"]
+            else:
+                raise ValueError(f"unknown snapshot record kind {kind!r}")
+        return snap
+
+
+def _canon(obj) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+class SummaryStore:
+    """Directory of snapshots, one per analysis configuration."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+
+    def path_for(self, config_fp: str) -> Path:
+        return self.root / f"{_PREFIX}{config_fp[:32]}{_SUFFIX}"
+
+    def snapshot_paths(self) -> List[Path]:
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob(f"{_PREFIX}*{_SUFFIX}"))
+
+    # -- load/save ----------------------------------------------------------------------
+    def load(self, config_fp: str) -> Optional[Snapshot]:
+        """The snapshot for a configuration, or ``None`` (cold start).
+
+        Any read/parse problem — a missing, truncated, corrupt, or
+        version-mismatched file, or one whose header fingerprint does
+        not match its name — degrades to a cold start.
+        """
+        path = self.path_for(config_fp)
+        try:
+            data = path.read_bytes()
+        except OSError:
+            return None
+        try:
+            snap = Snapshot.from_bytes(data)
+        except (ValueError, KeyError, TypeError, json.JSONDecodeError):
+            return None
+        if snap.config_fp != config_fp:
+            return None
+        return snap
+
+    def save(self, snapshot: Snapshot) -> Path:
+        """Atomically write ``snapshot`` (readers never see a partial file)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(snapshot.config_fp)
+        tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+        tmp.write_bytes(snapshot.to_bytes())
+        os.replace(tmp, path)
+        return path
+
+    # -- maintenance --------------------------------------------------------------------
+    def stats(self) -> List[dict]:
+        """One row per readable snapshot (unreadable ones are flagged)."""
+        rows = []
+        for path in self.snapshot_paths():
+            row: dict = {"file": path.name, "bytes": path.stat().st_size}
+            try:
+                snap = Snapshot.from_bytes(path.read_bytes())
+            except (ValueError, KeyError, TypeError, json.JSONDecodeError, OSError):
+                row["corrupt"] = True
+                rows.append(row)
+                continue
+            config = snap.config
+            row.update(
+                {
+                    "config_fp": snap.config_fp,
+                    "engine": config.get("engine"),
+                    "domain": config.get("domain"),
+                    "property": (config.get("property") or {}).get("name"),
+                    "procedures": len(snap.fingerprints),
+                    "contexts": len(snap.contexts),
+                    "td_rows": sum(len(c.rows) for c in snap.contexts),
+                    "bu_summaries": len(snap.bu),
+                    "meta": snap.meta,
+                }
+            )
+            rows.append(row)
+        return rows
+
+    def gc(self, keep: int = 8) -> List[Path]:
+        """Drop all but the ``keep`` most recently written snapshots.
+
+        Also removes stranded temp files from interrupted saves.
+        Returns the deleted paths.
+        """
+        removed: List[Path] = []
+        if self.root.is_dir():
+            for tmp in self.root.glob(f"{_PREFIX}*{_SUFFIX}.tmp.*"):
+                tmp.unlink(missing_ok=True)
+                removed.append(tmp)
+        ranked: List[Tuple[float, Path]] = sorted(
+            ((p.stat().st_mtime, p) for p in self.snapshot_paths()), reverse=True
+        )
+        for _, path in ranked[max(keep, 0):]:
+            path.unlink(missing_ok=True)
+            removed.append(path)
+        return removed
+
+    def clear(self) -> int:
+        """Remove every snapshot (and stranded temp file)."""
+        return len(self.gc(keep=0))

@@ -104,6 +104,7 @@ def run_typestate(
     enable_caches: bool = True,
     indexed_summaries: bool = True,
     sink=None,
+    preload=None,
 ) -> TypestateReport:
     """Verify ``prop`` over ``program`` with the chosen engine.
 
@@ -114,8 +115,12 @@ def run_typestate(
     :mod:`repro.framework.caching`); neither affects results or the
     deterministic work counters.  ``sink`` is an optional
     :class:`repro.framework.tracing.TraceSink` receiving the engine's
-    analysis events (default: none, zero overhead).
+    analysis events (default: none, zero overhead).  ``preload`` is an
+    optional :class:`repro.incremental.invalidate.WarmStart` of
+    fingerprint-validated stored summaries (td and swift only).
     """
+    if preload is not None and engine == "bu":
+        raise ValueError("warm starts are not supported for the bu engine")
     td_analysis, bu_analysis, init = make_analyses(
         program, prop, domain, tracked_sites, oracle
     )
@@ -128,6 +133,7 @@ def run_typestate(
             enable_caches=enable_caches,
             indexed_summaries=indexed_summaries,
             sink=sink,
+            preload=preload,
         )
         result = td_engine.run(initial)
         return TypestateReport(
@@ -150,6 +156,7 @@ def run_typestate(
             enable_caches=enable_caches,
             indexed_summaries=indexed_summaries,
             sink=sink,
+            preload=preload,
         )
         result = swift.run(initial)
         return TypestateReport(

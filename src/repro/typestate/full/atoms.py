@@ -172,7 +172,11 @@ class MayAliasAtom(_AliasAtom):
         )
 
     def __str__(self) -> str:
-        return f"mayalias({self.var})"
+        # The site set is part of the atom's identity (two snapshots of
+        # the oracle can disagree), so it must appear in the canonical
+        # form — otherwise string-keyed total orders and the summary
+        # store's serialized relations would conflate distinct atoms.
+        return f"mayalias({self.var}:{{{','.join(sorted(self.sites))}}})"
 
 
 @dataclass(frozen=True)
@@ -196,4 +200,4 @@ class NotMayAliasAtom(_AliasAtom):
         )
 
     def __str__(self) -> str:
-        return f"!mayalias({self.var})"
+        return f"!mayalias({self.var}:{{{','.join(sorted(self.sites))}}})"

@@ -96,6 +96,43 @@ def test_bench_unknown_name(capsys):
     assert "unknown benchmark" in capsys.readouterr().out
 
 
+def test_analyze_cold_then_warm(mini_file, tmp_path, capsys):
+    path = mini_file(GOOD_MINI)
+    store = str(tmp_path / "store")
+    assert main(["analyze", path, "--store", store]) == 0
+    out = capsys.readouterr().out
+    assert "cold start" in out and "snapshot:" in out and "ok" in out
+    assert main(["analyze", path, "--store", store]) == 0
+    out = capsys.readouterr().out
+    assert "warm start" in out and "work=0" in out
+    assert "hits=0" not in out  # the warm run must actually hit
+
+
+def test_analyze_violation_and_timeout(mini_file, tmp_path, capsys):
+    store = str(tmp_path / "store")
+    assert main(["analyze", mini_file(BAD_MINI), "--store", store]) == 1
+    assert "violation" in capsys.readouterr().out
+    code = main(["analyze", mini_file(GOOD_MINI), "--store", store, "--budget", "2"])
+    assert code == 2
+    out = capsys.readouterr().out
+    assert "budget" in out and "not saved" in out
+
+
+def test_store_stats_gc_clear(mini_file, tmp_path, capsys):
+    store = str(tmp_path / "store")
+    assert main(["store", "stats", store]) == 0
+    assert "no snapshots" in capsys.readouterr().out
+    assert main(["analyze", mini_file(GOOD_MINI), "--store", store]) == 0
+    capsys.readouterr()
+    assert main(["store", "stats", store]) == 0
+    out = capsys.readouterr().out
+    assert "swift/full" in out and "property=File" in out
+    assert main(["store", "gc", store, "--keep", "0"]) == 0
+    assert "removed 1" in capsys.readouterr().out
+    assert main(["store", "clear", store]) == 0
+    assert "removed 0" in capsys.readouterr().out
+
+
 def test_trace_record_and_summarize(mini_file, tmp_path, capsys):
     out = str(tmp_path / "trace.jsonl")
     code = main(["trace", "record", mini_file(BAD_MINI), "--out", out])

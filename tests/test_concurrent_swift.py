@@ -137,3 +137,41 @@ def test_run_exception_not_masked_by_worker_failure(monkeypatch):
     # favour of the run's own exception.
     assert engine._executor is None
     assert not engine._in_flight
+
+
+def test_concurrent_accepts_warm_start_and_folds_store_counters(tmp_path):
+    """The harvest's field-iterating Metrics.merge must fold the store
+    counters, and ``preload=`` must pass through the **kwargs path."""
+    from repro.incremental import (
+        Codec,
+        ProgramFingerprints,
+        SummaryStore,
+        build_snapshot,
+        build_warm_start,
+        config_fingerprint,
+        diff_fingerprints,
+    )
+
+    program = figure1_program()
+    td_analysis = SimpleTypestateTD(FILE_PROPERTY)
+    bu_analysis = SimpleTypestateBU(FILE_PROPERTY)
+    initial = [bootstrap_state(FILE_PROPERTY)]
+    codec = Codec("simple", bu_analysis)
+    config, config_fp = config_fingerprint(
+        FILE_PROPERTY, domain="simple", engine="swift", k=1, theta=2
+    )
+    fps = ProgramFingerprints(program)
+    cold = SwiftEngine(program, td_analysis, bu_analysis, k=1, theta=2).run(initial)
+    store = SummaryStore(tmp_path)
+    store.save(build_snapshot(config, config_fp, fps, cold, codec))
+    snapshot = store.load(config_fp)
+    warm = build_warm_start(
+        snapshot, diff_fingerprints(snapshot.fingerprints, fps), codec
+    )
+    engine = ConcurrentSwiftEngine(
+        program, td_analysis, bu_analysis, k=1, theta=2, max_workers=2, preload=warm
+    )
+    result = engine.run(initial)
+    assert result.exit_states() == cold.exit_states()
+    assert result.metrics.store_hits > 0
+    assert result.metrics.total_work <= 0.10 * cold.metrics.total_work

@@ -1,0 +1,233 @@
+"""Fingerprints, codecs, and the on-disk summary store."""
+
+import json
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.alias import points_to_oracle
+from repro.incremental import (
+    Codec,
+    ProgramFingerprints,
+    Snapshot,
+    SummaryStore,
+    config_fingerprint,
+)
+from repro.incremental.fingerprint import alias_facts, body_fingerprint
+from repro.incremental.invalidate import build_snapshot
+from repro.incremental.store import STORE_VERSION
+from repro.ir.parser import parse_program
+from repro.typestate.client import make_analyses, run_typestate
+from repro.typestate.properties import FILE_PROPERTY, property_by_name
+
+from tests.helpers import all_small_programs
+from tests.test_property_based import programs
+
+CHAIN = """
+proc main { v = new h1; v.open(); call mid; }
+proc mid { call leaf; }
+proc leaf { skip; }
+"""
+
+
+def chain():
+    return parse_program(CHAIN)
+
+
+# -- fingerprints -------------------------------------------------------------------
+def test_body_fingerprint_stable_and_sensitive():
+    a, b = chain(), chain()
+    assert body_fingerprint(a, "leaf") == body_fingerprint(b, "leaf")
+    edited = parse_program(CHAIN.replace("proc leaf { skip; }", "proc leaf { skip; skip; }"))
+    assert body_fingerprint(a, "leaf") != body_fingerprint(edited, "leaf")
+
+
+def test_cone_fingerprint_tracks_callees():
+    base = ProgramFingerprints(chain())
+    edited = ProgramFingerprints(
+        parse_program(CHAIN.replace("proc leaf { skip; }", "proc leaf { skip; skip; }"))
+    )
+    # leaf's edit reaches every cone that contains it...
+    for proc in ("main", "mid", "leaf"):
+        assert base.cone[proc] != edited.cone[proc]
+    # ...but only leaf's own body fingerprint moved.
+    assert base.body["main"] == edited.body["main"]
+    assert base.body["mid"] == edited.body["mid"]
+    assert base.body["leaf"] != edited.body["leaf"]
+
+
+def test_body_fingerprint_folds_alias_facts():
+    program = chain()
+    oracle = points_to_oracle(program)
+    facts = alias_facts(program, oracle)
+    with_facts = body_fingerprint(program, "main", facts)
+    assert with_facts != body_fingerprint(program, "main")
+    # A changed alias set for a variable main uses changes main's fp.
+    altered = dict(facts)
+    altered["v"] = frozenset(facts.get("v", frozenset()) | {"h99"})
+    assert body_fingerprint(program, "main", altered) != with_facts
+    # ...but not the fp of a body that never mentions it.
+    assert body_fingerprint(program, "leaf", altered) == body_fingerprint(
+        program, "leaf", facts
+    )
+
+
+def test_config_fingerprint_discriminates():
+    base_desc, base = config_fingerprint(
+        FILE_PROPERTY, domain="full", engine="swift", k=5, theta=1
+    )
+    assert base_desc["property"]["name"] == "File"
+    variants = [
+        config_fingerprint(FILE_PROPERTY, domain="full", engine="swift", k=6, theta=1),
+        config_fingerprint(FILE_PROPERTY, domain="full", engine="td"),
+        config_fingerprint(FILE_PROPERTY, domain="simple", engine="swift", k=5, theta=1),
+        config_fingerprint(
+            property_by_name("Iterator"), domain="full", engine="swift", k=5, theta=1
+        ),
+        config_fingerprint(
+            FILE_PROPERTY,
+            domain="full",
+            engine="swift",
+            k=5,
+            theta=1,
+            tracked_sites=["h1"],
+        ),
+    ]
+    fps = {base} | {fp for _, fp in variants}
+    assert len(fps) == len(variants) + 1
+    # Same inputs, same fingerprint (and flag order is irrelevant).
+    again = config_fingerprint(
+        FILE_PROPERTY, domain="full", engine="swift", k=5, theta=1,
+        flags={"b": 1, "a": 2},
+    )
+    swapped = config_fingerprint(
+        FILE_PROPERTY, domain="full", engine="swift", k=5, theta=1,
+        flags={"a": 2, "b": 1},
+    )
+    assert again[1] == swapped[1]
+
+
+# -- codec --------------------------------------------------------------------------
+@pytest.mark.parametrize("domain", ["simple", "full"])
+@pytest.mark.parametrize(
+    "program", all_small_programs(), ids=lambda p: p.main + str(len(list(p.names())))
+)
+def test_codec_round_trips_run_artifacts(domain, program):
+    """Every state and summary an actual run produces survives
+    encode → decode → encode unchanged."""
+    _, bu_analysis, _ = make_analyses(program, FILE_PROPERTY, domain)
+    codec = Codec(domain, bu_analysis)
+    report = run_typestate(program, FILE_PROPERTY, engine="swift", domain=domain)
+    seen_states = 0
+    for _, pairs in report.result.td.items():
+        for entry, sigma in pairs:
+            for state in (entry, sigma):
+                enc = codec.encode_state(state)
+                assert codec.decode_state(enc) == state
+                assert codec.encode_state(codec.decode_state(enc)) == enc
+                seen_states += 1
+    assert seen_states > 0
+    for summary in report.result.bu.values():
+        enc = codec.encode_summary(summary)
+        decoded = codec.decode_summary(enc)
+        assert codec.encode_summary(decoded) == enc
+        assert decoded.relations == summary.relations
+
+
+def test_codec_rejects_unknown_domain():
+    with pytest.raises(ValueError):
+        Codec("made-up", None)
+
+
+# -- snapshot serialization ---------------------------------------------------------
+def _snapshot_for(program, engine="swift", domain="full"):
+    _, bu_analysis, _ = make_analyses(program, FILE_PROPERTY, domain)
+    codec = Codec(domain, bu_analysis)
+    config, config_fp = config_fingerprint(
+        FILE_PROPERTY, domain=domain, engine=engine, k=5, theta=1
+    )
+    report = run_typestate(program, FILE_PROPERTY, engine=engine, domain=domain)
+    fps = ProgramFingerprints(program)
+    return build_snapshot(config, config_fp, fps, report.result, codec)
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(program=programs(), engine=st.sampled_from(["td", "swift"]))
+def test_snapshot_serialization_round_trip(program, engine):
+    """save → load → re-serialize is byte-identical on random programs."""
+    snap = _snapshot_for(program, engine=engine, domain="simple")
+    data = snap.to_bytes()
+    loaded = Snapshot.from_bytes(data)
+    assert loaded.to_bytes() == data
+
+
+def test_store_save_load_byte_identical(tmp_path):
+    snap = _snapshot_for(chain())
+    store = SummaryStore(tmp_path / "store")
+    path = store.save(snap)
+    assert path.exists()
+    loaded = store.load(snap.config_fp)
+    assert loaded is not None
+    assert loaded.to_bytes() == path.read_bytes() == snap.to_bytes()
+
+
+# -- robustness ---------------------------------------------------------------------
+def test_load_missing_is_cold(tmp_path):
+    assert SummaryStore(tmp_path / "nowhere").load("ab" * 32) is None
+
+
+def test_load_corrupt_is_cold(tmp_path):
+    snap = _snapshot_for(chain())
+    store = SummaryStore(tmp_path)
+    path = store.save(snap)
+    path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+    assert store.load(snap.config_fp) is None  # truncated mid-line
+    path.write_text("this is not json\n")
+    assert store.load(snap.config_fp) is None
+    path.write_text("")
+    assert store.load(snap.config_fp) is None
+
+
+def test_load_version_mismatch_is_cold(tmp_path):
+    snap = _snapshot_for(chain())
+    store = SummaryStore(tmp_path)
+    path = store.save(snap)
+    lines = path.read_text().splitlines()
+    header = json.loads(lines[0])
+    header["version"] = STORE_VERSION + 1
+    path.write_text("\n".join([json.dumps(header)] + lines[1:]) + "\n")
+    assert store.load(snap.config_fp) is None
+
+
+def test_load_fingerprint_mismatch_is_cold(tmp_path):
+    snap = _snapshot_for(chain())
+    store = SummaryStore(tmp_path)
+    data = store.save(snap).read_bytes()
+    other_fp = "f" * 64
+    store.path_for(other_fp).write_bytes(data)
+    assert store.load(other_fp) is None  # header fp disagrees with name
+
+
+# -- maintenance --------------------------------------------------------------------
+def test_stats_gc_clear(tmp_path):
+    store = SummaryStore(tmp_path)
+    assert store.stats() == []
+    snap = _snapshot_for(chain())
+    store.save(snap)
+    td_snap = _snapshot_for(chain(), engine="td")
+    store.save(td_snap)
+    (tmp_path / "snapshot-bad.jsonl").write_text("garbage\n")
+    (tmp_path / f"snapshot-x.jsonl.tmp.{1234}").write_text("stranded\n")
+    rows = store.stats()
+    assert len(rows) == 3
+    by_file = {row["file"]: row for row in rows}
+    assert by_file["snapshot-bad.jsonl"]["corrupt"] is True
+    good = by_file[store.path_for(snap.config_fp).name]
+    assert good["engine"] == "swift" and good["contexts"] > 0
+    # gc removes the stranded tmp and, with keep=1, all but the newest.
+    removed = store.gc(keep=1)
+    assert any(".tmp." in p.name for p in removed)
+    assert len(store.snapshot_paths()) == 1
+    assert store.clear() == 1
+    assert store.snapshot_paths() == []

@@ -1,0 +1,268 @@
+"""Warm-start equivalence, invalidation, and the incremental driver."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.framework.metrics import Budget
+from repro.framework.tracing import RingSink
+from repro.incremental import SummaryStore, analyze_with_store, diff_fingerprints
+from repro.incremental.fingerprint import ProgramFingerprints
+from repro.incremental.invalidate import (
+    REASON_BODY,
+    REASON_CONE,
+    REASON_REMOVED,
+)
+from repro.ir.commands import Call, Seq, seq
+from repro.ir.parser import parse_program
+from repro.ir.program import Program
+from repro.typestate.properties import FILE_PROPERTY
+
+from tests.test_property_based import programs
+
+CHAIN = """
+proc main { v = new h1; v.open(); call mid; v.close(); }
+proc mid { call leaf; }
+proc leaf { f = new h2; f.open(); f.close(); }
+"""
+
+
+def chain():
+    return parse_program(CHAIN)
+
+
+def edit_proc(program, proc):
+    """Double ``proc``'s body — semantics-preserving for these tests'
+    protocols is irrelevant; only the fingerprint change matters."""
+    procs = dict(program.procedures)
+    procs[proc] = Seq((procs[proc], procs[proc]))
+    return Program(procs, main=program.main)
+
+
+def run_twice(program, store_dir, engine="swift", domain="full", second=None, **kw):
+    store = SummaryStore(store_dir)
+    cold = analyze_with_store(
+        program, FILE_PROPERTY, store, engine=engine, domain=domain, **kw
+    )
+    warm = analyze_with_store(
+        second if second is not None else program,
+        FILE_PROPERTY,
+        store,
+        engine=engine,
+        domain=domain,
+        **kw,
+    )
+    return cold, warm
+
+
+# -- warm ≡ cold --------------------------------------------------------------------
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(program=programs())
+def test_warm_equals_cold_td_full_domain(tmp_path_factory, program):
+    """On an unchanged program a warm top-down run reproduces the cold
+    run *exactly* — tables, entry counts, errors — while re-doing
+    (far) under 10% of its work."""
+    cold, warm = run_twice(
+        program, tmp_path_factory.mktemp("store"), engine="td", domain="full"
+    )
+    assert warm.report.errors == cold.report.errors
+    assert warm.report.result.td == cold.report.result.td
+    assert dict(warm.report.result.entry_counts) == dict(
+        cold.report.result.entry_counts
+    )
+    cold_work = cold.report.result.metrics.total_work
+    assert warm.report.result.metrics.total_work <= 0.10 * cold_work
+    assert warm.store_hits > 0
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(program=programs())
+def test_warm_equals_cold_swift_full_domain(tmp_path_factory, program):
+    cold, warm = run_twice(
+        program, tmp_path_factory.mktemp("store"), engine="swift", domain="full"
+    )
+    assert warm.report.errors == cold.report.errors
+    assert warm.report.result.metrics.total_work <= 0.10 * (
+        cold.report.result.metrics.total_work
+    )
+    assert warm.store_hits > 0
+
+
+def test_warm_run_converges_to_stable_snapshot(tmp_path):
+    """The second and third runs write byte-identical snapshots."""
+    store = SummaryStore(tmp_path)
+    program = chain()
+    outs = [
+        analyze_with_store(program, FILE_PROPERTY, store, engine="swift", domain="full")
+        for _ in range(3)
+    ]
+    path = Path(outs[1].snapshot_path)
+    second = path.read_bytes()
+    assert outs[2].snapshot_path == str(path)
+    assert path.read_bytes() == second
+
+
+# -- invalidation -------------------------------------------------------------------
+def test_diff_classifies_body_cone_removed_added():
+    base = ProgramFingerprints(chain())
+    stored = base.as_dict()
+
+    edited = ProgramFingerprints(edit_proc(chain(), "leaf"))
+    plan = diff_fingerprints(stored, edited)
+    assert plan.invalidated == {"leaf": REASON_BODY, "mid": REASON_CONE, "main": REASON_CONE}
+    assert plan.valid == frozenset() and plan.added == frozenset()
+
+    # Rename leaf -> twig: old name is removed, callers' cones change,
+    # the new name shows up as added.
+    renamed = parse_program(CHAIN.replace("leaf", "twig"))
+    plan = diff_fingerprints(stored, ProgramFingerprints(renamed))
+    assert plan.invalidated == {
+        "leaf": REASON_REMOVED,
+        "mid": REASON_BODY,  # mid's body text names its callee
+        "main": REASON_CONE,
+    }
+    assert plan.added == frozenset({"twig"})
+
+    # A new call edge changes only the caller's body and its callers' cones.
+    procs = dict(chain().procedures)
+    procs["mid"] = seq(procs["mid"], Call("leaf"))
+    plan = diff_fingerprints(stored, ProgramFingerprints(Program(procs)))
+    assert plan.invalidated == {"mid": REASON_BODY, "main": REASON_CONE}
+    assert plan.valid == frozenset({"leaf"})
+
+
+@pytest.mark.parametrize("engine", ["td", "swift"])
+def test_one_proc_edit_reanalyzes_only_the_cone(tmp_path, engine):
+    """After editing one leaf, the warm run invalidates exactly the
+    edit cone (trace-event asserted) and matches a cold run's errors."""
+    program = chain()
+    edited = edit_proc(program, "leaf")
+    sink = RingSink()
+    _, warm = run_twice(
+        program, tmp_path / "a", engine=engine, second=edited, sink=sink
+    )
+    cold_ref, _ = run_twice(edited, tmp_path / "b", engine=engine)
+    assert warm.report.errors == cold_ref.report.errors
+    cone = {"leaf", "mid", "main"}
+    assert set(warm.invalidated) == cone
+    invalidated_events = {
+        e.proc for e in sink.events if e.kind == "store_invalidated"
+    }
+    assert invalidated_events == cone
+    assert warm.store_invalidated == len(cone)
+    # Nothing outside the cone was re-analyzed from scratch: every
+    # surviving procedure's entries stayed valid.
+    assert warm.valid == frozenset()  # chain(): the cone is the whole program
+
+
+def test_edit_outside_cone_preserves_stored_entries(tmp_path):
+    """Editing a procedure leaves siblings' contexts warm."""
+    text = """
+    proc main { v = new h1; v.open(); call left; call right; v.close(); }
+    proc left { skip; }
+    proc right { skip; }
+    """
+    program = parse_program(text)
+    edited = edit_proc(program, "left")
+    sink = RingSink()
+    _, warm = run_twice(
+        program, tmp_path, engine="td", second=edited, sink=sink
+    )
+    assert set(warm.invalidated) == {"left", "main"}
+    assert warm.valid == frozenset({"right"})
+    # right's stored context was activated, not recomputed.
+    hits = [e for e in sink.events if e.kind == "store_hit" and e.proc == "right"]
+    assert hits
+
+
+# -- driver policies ----------------------------------------------------------------
+def test_bu_engine_rejected(tmp_path):
+    with pytest.raises(ValueError):
+        analyze_with_store(
+            chain(), FILE_PROPERTY, SummaryStore(tmp_path), engine="bu"
+        )
+
+
+def test_timed_out_runs_are_never_saved(tmp_path):
+    store = SummaryStore(tmp_path)
+    out = analyze_with_store(
+        chain(),
+        FILE_PROPERTY,
+        store,
+        engine="td",
+        budget=Budget(max_work=2),
+    )
+    assert out.report.timed_out
+    assert not out.saved and out.snapshot_path is None
+    assert store.snapshot_paths() == []
+
+
+def test_save_false_leaves_store_untouched(tmp_path):
+    store = SummaryStore(tmp_path)
+    out = analyze_with_store(chain(), FILE_PROPERTY, store, save=False)
+    assert not out.saved
+    assert store.snapshot_paths() == []
+
+
+def test_cold_outcome_reports_added_procs(tmp_path):
+    out = analyze_with_store(chain(), FILE_PROPERTY, SummaryStore(tmp_path))
+    assert out.cold
+    assert out.added == frozenset({"main", "mid", "leaf"})
+    assert out.store_hits == 0 and out.store_invalidated == 0
+
+
+def test_store_counters_not_in_total_work(tmp_path):
+    _, warm = run_twice(chain(), tmp_path, engine="td")
+    metrics = warm.report.result.metrics
+    assert warm.store_hits > 0
+    assert metrics.total_work == 0  # unchanged program: nothing recomputed
+
+
+def test_configs_do_not_share_snapshots(tmp_path):
+    store = SummaryStore(tmp_path)
+    analyze_with_store(chain(), FILE_PROPERTY, store, engine="td")
+    out = analyze_with_store(chain(), FILE_PROPERTY, store, engine="swift")
+    assert out.cold  # td's snapshot must not serve a swift run
+    assert len(store.snapshot_paths()) == 2
+
+
+# -- hash-seed independence ---------------------------------------------------------
+_SEED_SCRIPT = r"""
+import sys, tempfile
+from repro.incremental import SummaryStore, analyze_with_store
+from repro.ir.parser import parse_program
+from repro.typestate.properties import FILE_PROPERTY
+
+program = parse_program('''
+proc main { v = new h1; a = v; b = v; v.open(); call use; call use; v.close(); }
+proc use { a.read(); b.read(); }
+''')
+with tempfile.TemporaryDirectory() as root:
+    store = SummaryStore(root)
+    for _ in range(2):
+        out = analyze_with_store(program, FILE_PROPERTY, store, engine="swift", domain="full")
+    data = store.snapshot_paths()[0].read_bytes()
+import hashlib
+print(hashlib.sha256(data).hexdigest())
+print(out.report.result.metrics.total_work, sorted(map(str, out.report.errors)))
+"""
+
+
+def test_snapshots_identical_across_hash_seeds():
+    """Two interpreter processes with different PYTHONHASHSEED values
+    write byte-identical snapshots and identical results."""
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    outputs = []
+    for seed in ("12345", "999"):
+        proc = subprocess.run(
+            [sys.executable, "-c", _SEED_SCRIPT],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": src, "PYTHONHASHSEED": seed, "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 0, proc.stderr
+        outputs.append(proc.stdout)
+    assert outputs[0] == outputs[1]

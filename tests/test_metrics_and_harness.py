@@ -26,6 +26,24 @@ def test_metrics_total_work_and_merge():
     assert a.total_work == 22
 
 
+def test_metrics_merge_folds_every_field():
+    """The fold iterates dataclass fields, so newly added counter
+    families (cache counters, store counters) can never be dropped."""
+    import dataclasses
+
+    a, b = Metrics(), Metrics()
+    for i, spec in enumerate(dataclasses.fields(Metrics), start=1):
+        setattr(b, spec.name, i)
+    a.merge(b)
+    for i, spec in enumerate(dataclasses.fields(Metrics), start=1):
+        assert getattr(a, spec.name) == i, spec.name
+
+
+def test_store_counters_not_in_total_work():
+    m = Metrics(transfers=3, store_hits=100, store_misses=50, store_invalidated=7)
+    assert m.total_work == 3
+
+
 def test_budget_work_limit():
     budget = Budget(max_work=10)
     budget.check(Metrics(transfers=10))  # at the limit: fine
@@ -53,6 +71,27 @@ def test_budget_time_limit():
 
 def test_budget_unlimited_by_default():
     Budget().check(Metrics(transfers=10**9))  # no limits, no raise
+
+
+def test_budget_error_kind_matches_remaining_keys():
+    from repro.framework.metrics import BUDGET_KINDS
+
+    budget = Budget(max_work=10, max_relations=5)
+    with pytest.raises(BudgetExceededError) as info:
+        budget.check(Metrics(transfers=11))
+    assert info.value.kind == info.value.what == "total_work"
+    assert info.value.kind in BUDGET_KINDS
+    headroom = budget.remaining(Metrics(transfers=4, relations_created=1))
+    assert set(headroom) == set(BUDGET_KINDS)
+    assert headroom["total_work"] == 6
+    assert headroom["relations_created"] == 4
+    assert headroom["seconds"] is None  # disabled limit
+
+
+def test_budget_remaining_clamps_at_zero():
+    headroom = Budget(max_work=10).remaining(Metrics(transfers=25))
+    assert headroom["total_work"] == 0
+    assert headroom["relations_created"] is None
 
 
 def test_budget_seconds_error_reports_float():

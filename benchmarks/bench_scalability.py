@@ -12,13 +12,8 @@ import pytest
 
 from repro.alias import points_to_oracle
 from repro.bench.workloads import hub_flood
-from repro.framework.swift import SwiftEngine
-from repro.framework.topdown import TopDownEngine
-from repro.typestate.full import (
-    FullTypestateBU,
-    FullTypestateTD,
-    full_bootstrap_state,
-)
+from repro.framework.config import AnalysisConfig
+from repro.framework.session import analysis_session
 from repro.typestate.properties import FILE_PROPERTY
 
 SIZES = [16, 64, 256]
@@ -26,14 +21,22 @@ SIZES = [16, 64, 256]
 
 def _work_pair(size):
     program = hub_flood(size)
+    # One oracle for both runs (it is the expensive part at size 256).
     oracle = points_to_oracle(program)
-    variables = program.variables()
-    td_analysis = FullTypestateTD(FILE_PROPERTY, oracle, variables=variables)
-    bu_analysis = FullTypestateBU(FILE_PROPERTY, oracle, variables=variables)
-    init = full_bootstrap_state(FILE_PROPERTY)
-    td = TopDownEngine(program, td_analysis).run([init])
-    swift = SwiftEngine(program, td_analysis, bu_analysis, k=5, theta=1).run([init])
-    assert swift.exit_states() == td.exit_states()
+    session = analysis_session()
+    td = session.run(
+        program,
+        AnalysisConfig(engine="td", domain="full"),
+        prop=FILE_PROPERTY,
+        oracle=oracle,
+    )
+    swift = session.run(
+        program,
+        AnalysisConfig(engine="swift", domain="full", k=5, theta=1),
+        prop=FILE_PROPERTY,
+        oracle=oracle,
+    )
+    assert swift.result.exit_states() == td.result.exit_states()
     return td.metrics.total_work, swift.metrics.total_work
 
 

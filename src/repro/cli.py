@@ -4,6 +4,8 @@
 
     repro-swift verify prog.mini --property File --engine swift
     repro-swift verify prog.ir --all-properties
+    repro-swift verify prog.mini --engine concurrent --scheduler fifo
+    repro-swift verify prog.mini --domain killgen
     repro-swift analyze prog.mini --store .repro-store
     repro-swift store stats .repro-store
     repro-swift store gc .repro-store --keep 4
@@ -52,6 +54,34 @@ def cmd_verify(args: argparse.Namespace) -> int:
 
     program = load_program(args.file)
     budget = Budget(max_work=args.budget) if args.budget else None
+    if args.domain in ("killgen", "copyprop"):
+        # Fact domains carry no type-state property: run the session
+        # directly and report the facts reaching main's exit.
+        from repro.framework.config import AnalysisConfig
+        from repro.framework.session import analysis_session
+
+        if args.all_properties:
+            print("--all-properties only applies to the type-state domains")
+            return 2
+        config = AnalysisConfig(
+            engine=args.engine,
+            domain=args.domain,
+            k=args.k,
+            theta=args.theta,
+            budget=budget,
+            scheduler=args.scheduler,
+        )
+        outcome = analysis_session().run(program, config)
+        if outcome.timed_out:
+            print(f"{args.domain}: analysis exceeded its budget")
+            return 2
+        print(
+            f"{args.domain}: {len(outcome.findings)} fact(s) at main's exit "
+            f"({outcome.td_summaries} top-down summaries)"
+        )
+        for fact in sorted(outcome.findings, key=str):
+            print(f"  {fact}")
+        return 0
     if args.all_properties:
         report = run_multi_property(
             program,
@@ -73,6 +103,7 @@ def cmd_verify(args: argparse.Namespace) -> int:
         theta=args.theta,
         budget=budget,
         domain=args.domain,
+        scheduler=args.scheduler,
     )
     if report.timed_out:
         print(f"{prop.name}: analysis exceeded its budget")
@@ -259,21 +290,35 @@ def cmd_store(args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro.framework.scheduling import DEFAULT_SCHEDULER, scheduler_names
+
     parser = argparse.ArgumentParser(
         prog="repro-swift",
         description="Hybrid top-down/bottom-up interprocedural analysis (PLDI'14 reproduction)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    verify = sub.add_parser("verify", help="verify a type-state property")
+    verify = sub.add_parser("verify", help="verify a property / run a fact domain")
     verify.add_argument("file")
     verify.add_argument("--property", default="File")
     verify.add_argument("--all-properties", action="store_true")
-    verify.add_argument("--engine", choices=["td", "bu", "swift"], default="swift")
-    verify.add_argument("--domain", choices=["simple", "full"], default="full")
+    verify.add_argument(
+        "--engine", choices=["td", "bu", "swift", "concurrent"], default="swift"
+    )
+    verify.add_argument(
+        "--domain",
+        choices=["simple", "full", "killgen", "copyprop"],
+        default="full",
+    )
     verify.add_argument("--k", type=int, default=5)
     verify.add_argument("--theta", type=int, default=1)
     verify.add_argument("--budget", type=int, default=None, help="work budget")
+    verify.add_argument(
+        "--scheduler",
+        choices=scheduler_names(),
+        default=DEFAULT_SCHEDULER,
+        help="worklist policy (results are identical across policies)",
+    )
     verify.set_defaults(fn=cmd_verify)
 
     analyze = sub.add_parser(
@@ -342,7 +387,9 @@ def build_parser() -> argparse.ArgumentParser:
     record.add_argument("file")
     record.add_argument("--out", default="trace.jsonl", help="JSONL output path")
     record.add_argument("--property", default="File")
-    record.add_argument("--engine", choices=["td", "bu", "swift"], default="swift")
+    record.add_argument(
+        "--engine", choices=["td", "bu", "swift", "concurrent"], default="swift"
+    )
     record.add_argument("--domain", choices=["simple", "full"], default="full")
     record.add_argument("--k", type=int, default=5)
     record.add_argument("--theta", type=int, default=1)

@@ -17,6 +17,11 @@ kill/gen      never               fixed kill/gen sets
 copy-prop     never               variable substitution
 type-state    exponentially       guarded transformers
 ============  ==================  =======================
+
+The pair is registered as the ``copyprop`` domain of
+:data:`repro.framework.registry.DOMAINS`, so any engine reaches it via
+``AnalysisSession.run(program, AnalysisConfig(domain="copyprop"))`` or
+``repro-swift verify prog.mini --domain copyprop``.
 """
 
 from repro.copyprop.analysis import (

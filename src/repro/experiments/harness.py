@@ -26,9 +26,11 @@ from pathlib import Path
 from typing import Callable, Iterable, List, Optional, Sequence, TypeVar, Union
 
 from repro.bench.generator import GeneratedBenchmark
-from repro.framework.metrics import Budget, Metrics
+from repro.framework.config import AnalysisConfig
+from repro.framework.metrics import Metrics
+from repro.framework.registry import BU_WALL_CAP_SECONDS, DEFAULT_WALL_CAP_SECONDS
+from repro.framework.session import analysis_session
 from repro.framework.tracing import JsonlSink
-from repro.typestate.client import run_typestate
 from repro.typestate.properties import FILE_PROPERTY, TypestateProperty
 
 _ItemT = TypeVar("_ItemT")
@@ -37,16 +39,11 @@ _RowT = TypeVar("_RowT")
 #: The stand-in for the paper's 24h/16GB limit (see module docstring).
 DEFAULT_BUDGET_WORK = 400_000
 
-#: Wall-clock safety net (seconds) so a miscalibrated run cannot hang a
-#: benchmark session.
-DEFAULT_BUDGET_SECONDS = 600.0
-
-#: Tighter wall cap for conventional bottom-up runs: on the larger
-#: benchmarks each unit of BU work is far more expensive (huge relation
-#: sets and predicates), so waiting for the work counter alone would
-#: burn minutes per timeout row.  The outcome is the same — those runs
-#: exceed the work budget as well, just slowly.
-BU_BUDGET_SECONDS = 45.0
+#: Wall caps now live on the engine registry
+#: (:attr:`repro.framework.registry.EngineSpec.wall_cap_seconds`);
+#: these aliases keep the harness's historical names importable.
+DEFAULT_BUDGET_SECONDS = DEFAULT_WALL_CAP_SECONDS
+BU_BUDGET_SECONDS = BU_WALL_CAP_SECONDS
 
 #: When set (``--trace DIR``), every ``run_engine`` call records its
 #: analysis events to ``DIR/<benchmark>_<engine>.jsonl`` alongside the
@@ -113,42 +110,47 @@ def run_engine(
     prop: TypestateProperty = FILE_PROPERTY,
     **engine_kwargs,
 ) -> EngineRun:
-    """Run one engine over one benchmark with the experiment budget."""
-    wall_cap = BU_BUDGET_SECONDS if engine == "bu" else DEFAULT_BUDGET_SECONDS
-    budget = Budget(max_work=budget_work, max_seconds=wall_cap)
+    """Run one engine over one benchmark with the experiment budget.
+
+    The configuration is built through
+    :meth:`repro.framework.config.AnalysisConfig.for_experiment`: the
+    engine's wall cap comes from its registry spec (the ``bu``-specific
+    45s cap included), and any unknown ``engine_kwargs`` raise instead
+    of being forwarded blindly to whichever engine happens to accept
+    them.
+    """
     sink = None
     if "sink" not in engine_kwargs:
         sink = open_trace_sink(benchmark.name, engine)
         if sink is not None:
             engine_kwargs["sink"] = sink
-    started = time.perf_counter()
     try:
-        report = run_typestate(
-            benchmark.program,
-            prop,
-            engine=engine,
+        config = AnalysisConfig.for_experiment(
+            engine,
+            budget_work=budget_work,
             k=k,
             theta=theta,
-            budget=budget,
-            domain="full",
             **engine_kwargs,
         )
+        started = time.perf_counter()
+        outcome = analysis_session().run(benchmark.program, config, prop=prop)
     finally:
         if sink is not None:
             sink.close()
     elapsed = time.perf_counter() - started
-    metrics = report.result.metrics
+    metrics = outcome.metrics
+    uses_thresholds = config.engine_spec.uses_thresholds
     return EngineRun(
         benchmark=benchmark.name,
-        engine=engine,
-        k=k if engine == "swift" else None,
-        theta=theta if engine == "swift" else None,
+        engine=config.engine,
+        k=k if uses_thresholds else None,
+        theta=theta if uses_thresholds else None,
         seconds=elapsed,
         work=metrics.total_work,
-        td_summaries=report.td_summaries,
-        bu_summaries=report.bu_summaries,
-        timed_out=report.timed_out,
-        error_sites=report.error_sites,
+        td_summaries=outcome.td_summaries,
+        bu_summaries=outcome.bu_summaries,
+        timed_out=outcome.timed_out,
+        error_sites=frozenset(site for (_, site) in outcome.findings),
         metrics=metrics,
     )
 

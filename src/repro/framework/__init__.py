@@ -25,6 +25,17 @@ library:
   framework conditions C1–C3 (Figure 4).
 * :mod:`repro.framework.synthesis` — the Section 5.1 recipe that
   synthesizes a top-down analysis from a bottom-up one.
+* :mod:`repro.framework.config` — the frozen ``AnalysisConfig``
+  capturing one analysis configuration (engine, domain, thresholds,
+  scheduler, performance flags).
+* :mod:`repro.framework.registry` — ``EngineRegistry`` /
+  ``DomainRegistry`` mapping names (``td``/``bu``/``swift``/
+  ``concurrent`` × the analysis domains) to specs.
+* :mod:`repro.framework.scheduling` — pluggable worklist
+  ``Scheduler`` policies for the tabulation engines.
+* :mod:`repro.framework.session` — ``AnalysisSession``, the single
+  pipeline every dispatch site (client, harness, CLI, incremental
+  driver) runs through.
 """
 
 from repro.framework.interfaces import BottomUpAnalysis, TopDownAnalysis
@@ -45,8 +56,31 @@ from repro.framework.swift import SwiftEngine, SwiftResult
 from repro.framework.concurrent import ConcurrentSwiftEngine
 from repro.framework.synthesis import SynthesizedTopDown
 from repro.framework.conditions import check_c1, check_c2, check_c3
+from repro.framework.scheduling import (
+    CalleeDepthScheduler,
+    FifoScheduler,
+    LifoScheduler,
+    Scheduler,
+    make_scheduler,
+    register_scheduler,
+    scheduler_names,
+)
+from repro.framework.registry import (
+    DOMAINS,
+    ENGINES,
+    DomainRegistry,
+    DomainSpec,
+    EngineRegistry,
+    EngineSpec,
+    domain_names,
+    engine_names,
+)
+from repro.framework.config import AnalysisConfig
+from repro.framework.session import AnalysisSession, SessionResult, analysis_session
 
 __all__ = [
+    "AnalysisConfig",
+    "AnalysisSession",
     "Atom",
     "BottomUpAnalysis",
     "BottomUpEngine",
@@ -54,15 +88,26 @@ __all__ = [
     "BottomUpResult",
     "Budget",
     "BudgetExceededError",
+    "CalleeDepthScheduler",
     "Conjunction",
+    "DOMAINS",
     "DenotationalInterpreter",
+    "DomainRegistry",
+    "DomainSpec",
+    "ENGINES",
+    "EngineRegistry",
+    "EngineSpec",
     "FALSE",
+    "FifoScheduler",
     "FrequencyPruner",
     "IgnoredStates",
+    "LifoScheduler",
     "Metrics",
     "NoPruner",
     "ProcedureSummary",
     "PruneOperator",
+    "Scheduler",
+    "SessionResult",
     "SwiftEngine",
     "SwiftResult",
     "SynthesizedTopDown",
@@ -70,9 +115,15 @@ __all__ = [
     "TopDownAnalysis",
     "TopDownEngine",
     "TopDownResult",
+    "analysis_session",
     "check_c1",
     "check_c2",
     "check_c3",
     "clean",
+    "domain_names",
+    "engine_names",
     "excl",
+    "make_scheduler",
+    "register_scheduler",
+    "scheduler_names",
 ]

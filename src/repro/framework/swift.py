@@ -112,6 +112,7 @@ class SwiftEngine(TopDownEngine):
         indexed_summaries: bool = True,
         sink: Optional[TraceSink] = None,
         preload=None,
+        scheduler: Optional[str] = None,
     ) -> None:
         super().__init__(
             program,
@@ -123,6 +124,7 @@ class SwiftEngine(TopDownEngine):
             indexed_summaries=indexed_summaries,
             sink=sink,
             preload=preload,
+            scheduler=scheduler,
         )
         if k < 1:
             raise ValueError("k must be at least 1")

@@ -23,12 +23,13 @@ subclass it and override only the handling of call edges.
 from __future__ import annotations
 
 import time
-from collections import Counter, deque
-from typing import Deque, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from collections import Counter
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.framework.caching import TransferCache
 from repro.framework.interfaces import TopDownAnalysis
 from repro.framework.metrics import Budget, BudgetExceededError, Metrics
+from repro.framework.scheduling import Scheduler, make_scheduler
 from repro.framework.tracing import NULL_SINK, Profile, TeeSink, TraceEvent, TraceSink
 from repro.ir.cfg import CFGEdge, ControlFlowGraphs, ProgramPoint
 from repro.ir.commands import Call
@@ -139,13 +140,18 @@ class TopDownEngine:
         indexed_summaries: bool = True,
         sink: Optional[TraceSink] = None,
         preload=None,
+        scheduler: Optional[str] = None,
     ) -> None:
         if order not in ("lifo", "fifo"):
             raise ValueError("order must be 'lifo' or 'fifo'")
         self.program = program
         self.analysis = analysis
         self.budget = budget
+        # The legacy ``order=`` knob is the lifo/fifo subset of the
+        # scheduling policies; ``scheduler=`` (a registry name, see
+        # repro.framework.scheduling) wins when both are given.
         self.order = order
+        self.scheduler_policy = scheduler if scheduler is not None else order
         self.cfgs = cfgs if cfgs is not None else ControlFlowGraphs(program)
         self.metrics = Metrics()
         self.enable_caches = enable_caches
@@ -180,7 +186,7 @@ class TopDownEngine:
         # proc -> multiset of incoming abstract states (the data the
         # pruning operator ranks against; Section 3.4).
         self._entry_counts: Dict[str, Counter] = {}
-        self._workset: Deque[Tuple[ProgramPoint, object, object]] = deque()
+        self._workset: Scheduler = make_scheduler(self.scheduler_policy, program)
         self._timed_out = False
         # Per-proc entry/exit points and per-point successor lists,
         # resolved once: the worklist loop otherwise re-derives them
@@ -251,15 +257,10 @@ class TopDownEngine:
         while self._workset:
             if self.budget is not None:
                 self.budget.check(self.metrics)
-            # Default LIFO (depth-first): a callee context is fully
-            # explored before the next incoming state is popped, so
-            # SWIFT's bottom-up trigger fires after only ~k contexts
-            # have been tabulated rather than after the whole flood is
-            # enqueued.  FIFO is kept for the worklist-order ablation.
-            if self.order == "lifo":
-                point, entry_sigma, sigma = self._workset.pop()
-            else:
-                point, entry_sigma, sigma = self._workset.popleft()
+            # Pop order is the scheduling policy's choice (default LIFO
+            # depth-first — see repro.framework.scheduling for why, and
+            # for the other registered policies).
+            point, entry_sigma, sigma = self._workset.pop()
             if tracing:
                 pop_started = time.perf_counter()
             succs = self._succ_cache.get(point)
@@ -415,7 +416,7 @@ class TopDownEngine:
                     },
                 )
             )
-        self._workset.append((point, entry_sigma, sigma))
+        self._workset.push((point, entry_sigma, sigma))
 
     def _record_entry(self, proc: str, sigma) -> None:
         self._entry_counts.setdefault(proc, Counter())[sigma] += 1

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import FrozenSet, Optional
 
+from repro.framework.config import AnalysisConfig
 from repro.framework.metrics import Budget
 from repro.incremental.codec import Codec
 from repro.incremental.fingerprint import (
@@ -65,6 +66,7 @@ def analyze_with_store(
     domain: str = "simple",
     enable_caches: bool = True,
     indexed_summaries: bool = True,
+    scheduler: Optional[str] = None,
     sink=None,
     save: bool = True,
     meta: Optional[dict] = None,
@@ -79,6 +81,16 @@ def analyze_with_store(
         raise ValueError(
             f"analyze_with_store supports td and swift, not {engine!r}"
         )
+    analysis_config = AnalysisConfig(
+        engine=engine,
+        domain=domain,
+        k=k,
+        theta=theta,
+        tracked_sites=tracked_sites,
+        enable_caches=enable_caches,
+        indexed_summaries=indexed_summaries,
+        scheduler=scheduler if scheduler is not None else "lifo",
+    )
     oracle = None
     facts = None
     if domain == "full":
@@ -87,18 +99,7 @@ def analyze_with_store(
         oracle = points_to_oracle(program)
         facts = alias_facts(program, oracle)
     fingerprints = ProgramFingerprints(program, facts)
-    config, config_fp = config_fingerprint(
-        prop,
-        domain=domain,
-        engine=engine,
-        k=k if engine == "swift" else None,
-        theta=theta if engine == "swift" else None,
-        tracked_sites=tracked_sites,
-        flags={
-            "enable_caches": enable_caches,
-            "indexed_summaries": indexed_summaries,
-        },
-    )
+    config, config_fp = config_fingerprint(prop, config=analysis_config)
     _, bu_analysis, _ = make_analyses(program, prop, domain, tracked_sites, oracle)
     codec = Codec(domain, bu_analysis)
 
@@ -121,6 +122,7 @@ def analyze_with_store(
         oracle=oracle,
         enable_caches=enable_caches,
         indexed_summaries=indexed_summaries,
+        scheduler=scheduler,
         sink=sink,
         preload=warm,
     )

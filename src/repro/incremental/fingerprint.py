@@ -18,10 +18,11 @@ Three fingerprint families key the summary store:
   bodies in ``g``'s cone, so cone equality is exactly the condition
   under which a stored entry may be trusted.
 * **config** — SHA-256 over a canonical description of the analysis
-  configuration: property DFA (states, initial, transition table),
-  domain, engine, ``k``/``theta``, tracked sites, engine flags.
-  Snapshots are stored per config fingerprint; nothing is shared across
-  configurations.
+  configuration: property DFA (states, initial, transition table) plus
+  :meth:`repro.framework.config.AnalysisConfig.canonical_dict` (domain,
+  engine, ``k``/``theta``, tracked sites, engine flags including the
+  worklist scheduler).  Snapshots are stored per config fingerprint;
+  nothing is shared across configurations.
 
 All hashing goes through :mod:`hashlib`, so fingerprints are identical
 across processes and ``PYTHONHASHSEED`` values.
@@ -39,7 +40,9 @@ from repro.typestate.dfa import TypestateProperty
 
 #: Bump when the fingerprint scheme changes; part of every config
 #: description, so old snapshots simply stop matching (cold fallback).
-FINGERPRINT_VERSION = 1
+#: v2: descriptions come from ``AnalysisConfig.canonical_dict`` —
+#: canonical domain names (``typestate-full``) and a ``scheduler`` flag.
+FINGERPRINT_VERSION = 2
 
 #: Per-variable may-alias facts: ``var -> sites it may point to``.
 AliasFacts = Mapping[str, FrozenSet[str]]
@@ -114,11 +117,17 @@ def property_description(prop: TypestateProperty) -> dict:
     }
 
 
+#: Flag keys the legacy keyword form maps onto ``AnalysisConfig``
+#: fields; anything else is folded into the description verbatim.
+_CONFIG_FLAG_KEYS = ("enable_caches", "indexed_summaries", "scheduler")
+
+
 def config_fingerprint(
     prop: TypestateProperty,
     *,
-    domain: str,
-    engine: str,
+    config=None,
+    domain: Optional[str] = None,
+    engine: Optional[str] = None,
     k: Optional[int] = None,
     theta: Optional[int] = None,
     tracked_sites: Optional[Iterable[str]] = None,
@@ -126,17 +135,41 @@ def config_fingerprint(
 ) -> Tuple[dict, str]:
     """Describe + fingerprint an analysis configuration.
 
-    Returns ``(description, fingerprint)``; the description is stored in
-    the snapshot header so ``store stats`` can say what a snapshot is.
+    Pass either a :class:`repro.framework.config.AnalysisConfig` via
+    ``config=`` (the canonical form — its :meth:`canonical_dict` is
+    what gets hashed) or the legacy ``domain=``/``engine=`` keywords,
+    which are normalized through an ``AnalysisConfig`` first.  Extra
+    ``flags`` beyond the config's own are folded into the description
+    (order-insensitively).  Returns ``(description, fingerprint)``; the
+    description is stored in the snapshot header so ``store stats`` can
+    say what a snapshot is.
     """
+    from repro.framework.config import AnalysisConfig
+
+    extra = dict(flags or {})
+    if config is None:
+        if domain is None or engine is None:
+            raise TypeError(
+                "config_fingerprint needs config= or both domain= and engine="
+            )
+        known = {key: extra.pop(key) for key in _CONFIG_FLAG_KEYS if key in extra}
+        config = AnalysisConfig(
+            engine=engine,
+            domain=domain,
+            k=k if k is not None else 5,
+            theta=theta if theta is not None else 1,
+            tracked_sites=(
+                frozenset(tracked_sites) if tracked_sites is not None else None
+            ),
+            enable_caches=bool(known.get("enable_caches", True)),
+            indexed_summaries=bool(known.get("indexed_summaries", True)),
+            scheduler=str(known.get("scheduler", "lifo")),
+        )
     desc = {
         "version": FINGERPRINT_VERSION,
         "property": property_description(prop),
-        "domain": domain,
-        "engine": engine,
-        "k": k,
-        "theta": theta,
-        "tracked_sites": sorted(tracked_sites) if tracked_sites is not None else None,
-        "flags": dict(sorted((flags or {}).items())),
+        **config.canonical_dict(),
     }
+    if extra:
+        desc["flags"] = dict(sorted({**desc["flags"], **extra}.items()))
     return desc, _sha(canonical_json(desc))

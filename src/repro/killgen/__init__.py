@@ -34,6 +34,7 @@ from repro.killgen.specs import (
     InitializedVarsSpec,
     KillGenSpec,
     ReachingDefsSpec,
+    reaching_defs_pair,
 )
 
 __all__ = [
@@ -46,5 +47,6 @@ __all__ = [
     "LambdaConst",
     "ReachingDefsSpec",
     "Survive",
+    "reaching_defs_pair",
     "synthesize",
 ]

@@ -92,3 +92,12 @@ def _defined_var(cmd: Prim):
     if isinstance(cmd, (New, Assign, FieldLoad)):
         return cmd.lhs
     return None
+
+
+def reaching_defs_pair(program: Program):
+    """The synthesized ``(KillGenTD, KillGenBU)`` pair over reaching
+    definitions — the default ``killgen`` instantiation of the domain
+    registry (:data:`repro.framework.registry.DOMAINS`)."""
+    from repro.killgen.analysis import synthesize
+
+    return synthesize(ReachingDefsSpec(program))

@@ -10,13 +10,12 @@ see :mod:`repro.typestate.states`).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple
+from typing import FrozenSet, Optional, Set, Tuple
 
-from repro.framework.bottomup import BottomUpEngine, BottomUpResult
+from repro.framework.config import AnalysisConfig
 from repro.framework.metrics import Budget
-from repro.framework.pruning import NoPruner
-from repro.framework.swift import SwiftEngine, SwiftResult
-from repro.framework.topdown import TopDownEngine, TopDownResult
+from repro.framework.session import analysis_session
+from repro.framework.topdown import TopDownResult
 from repro.ir.cfg import ProgramPoint
 from repro.ir.program import Program
 from repro.typestate.bu_analysis import SimpleTypestateBU
@@ -105,96 +104,53 @@ def run_typestate(
     indexed_summaries: bool = True,
     sink=None,
     preload=None,
+    scheduler: Optional[str] = None,
+    max_workers: int = 1,
 ) -> TypestateReport:
     """Verify ``prop`` over ``program`` with the chosen engine.
 
-    ``engine`` is ``"td"`` (conventional top-down), ``"bu"``
-    (conventional bottom-up, no pruning) or ``"swift"`` (the hybrid);
-    see :func:`make_analyses` for ``domain``.  ``enable_caches`` and
-    ``indexed_summaries`` toggle the hot-path optimizations (see
-    :mod:`repro.framework.caching`); neither affects results or the
-    deterministic work counters.  ``sink`` is an optional
+    A thin wrapper over :class:`repro.framework.session.AnalysisSession`
+    — the keywords here are exactly the fields of
+    :class:`repro.framework.config.AnalysisConfig` plus the type-state
+    domain options (``prop``, ``tracked_sites``, ``oracle``).  Engines
+    are registry names (``td``, ``bu``, ``swift``, ``concurrent``);
+    domains are the type-state ones (``simple``/``full``).
+    ``enable_caches`` and ``indexed_summaries`` toggle the hot-path
+    optimizations (see :mod:`repro.framework.caching`); neither affects
+    results or the deterministic work counters, and the same rule holds
+    for ``scheduler`` (worklist policy; results identical, counters may
+    differ from the default).  ``sink`` is an optional
     :class:`repro.framework.tracing.TraceSink` receiving the engine's
     analysis events (default: none, zero overhead).  ``preload`` is an
     optional :class:`repro.incremental.invalidate.WarmStart` of
-    fingerprint-validated stored summaries (td and swift only).
+    fingerprint-validated stored summaries (not supported by ``bu``).
     """
-    if preload is not None and engine == "bu":
-        raise ValueError("warm starts are not supported for the bu engine")
-    td_analysis, bu_analysis, init = make_analyses(
-        program, prop, domain, tracked_sites, oracle
+    config = AnalysisConfig(
+        engine=engine,
+        domain=domain,
+        k=k,
+        theta=theta,
+        budget=budget,
+        tracked_sites=tracked_sites,
+        enable_caches=enable_caches,
+        indexed_summaries=indexed_summaries,
+        sink=sink,
+        preload=preload,
+        scheduler=scheduler if scheduler is not None else "lifo",
+        max_workers=max_workers,
     )
-    initial = [init]
-    if engine == "td":
-        td_engine = TopDownEngine(
-            program,
-            td_analysis,
-            budget=budget,
-            enable_caches=enable_caches,
-            indexed_summaries=indexed_summaries,
-            sink=sink,
-            preload=preload,
+    if not config.domain.startswith("typestate-"):
+        raise ValueError(
+            f"run_typestate needs a type-state domain, not {domain!r} "
+            "(use AnalysisSession directly for the other domains)"
         )
-        result = td_engine.run(initial)
-        return TypestateReport(
-            prop.name,
-            "td",
-            find_errors(result),
-            result.total_summaries(),
-            0,
-            result.timed_out,
-            result,
-        )
-    if engine == "swift":
-        swift = SwiftEngine(
-            program,
-            td_analysis,
-            bu_analysis,
-            k=k,
-            theta=theta,
-            budget=budget,
-            enable_caches=enable_caches,
-            indexed_summaries=indexed_summaries,
-            sink=sink,
-            preload=preload,
-        )
-        result = swift.run(initial)
-        return TypestateReport(
-            prop.name,
-            "swift",
-            find_errors(result),
-            result.total_summaries(),
-            result.total_bu_relations(),
-            result.timed_out,
-            result,
-        )
-    if engine == "bu":
-        bu_engine = BottomUpEngine(
-            program,
-            bu_analysis,
-            pruner=NoPruner(bu_analysis),
-            budget=budget,
-            enable_caches=enable_caches,
-            sink=sink,
-        )
-        bu_result = bu_engine.analyze()
-        errors: Set[Tuple[ProgramPoint, str]] = set()
-        timed_out = bu_result.timed_out
-        if not timed_out:
-            # Instantiate main's summary on the initial state; errors are
-            # reported at main's exit (per-point attribution needs the
-            # top-down tables, which a pure bottom-up run does not build).
-            exit_point = ProgramPoint(program.main, -1)
-            for sigma in bu_result.apply_to(program.main, initial):
-                if sigma.state == ERROR and sigma.site != BOOTSTRAP_SITE:
-                    errors.add((exit_point, sigma.site))
-        return TypestateReport(
-            prop.name,
-            "bu",
-            frozenset(errors),
-            0,
-            bu_result.total_relations(),
-            timed_out,
-            bu_result,
-        )
-    raise ValueError(f"unknown engine {engine!r} (expected td, bu, or swift)")
+    outcome = analysis_session().run(program, config, prop=prop, oracle=oracle)
+    return TypestateReport(
+        prop.name,
+        config.engine,
+        outcome.findings,
+        outcome.td_summaries,
+        outcome.bu_summaries,
+        outcome.timed_out,
+        outcome.result,
+    )

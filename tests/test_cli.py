@@ -126,7 +126,8 @@ def test_store_stats_gc_clear(mini_file, tmp_path, capsys):
     capsys.readouterr()
     assert main(["store", "stats", store]) == 0
     out = capsys.readouterr().out
-    assert "swift/full" in out and "property=File" in out
+    # v2 config fingerprints carry the canonical registry domain name.
+    assert "swift/typestate-full" in out and "property=File" in out
     assert main(["store", "gc", store, "--keep", "0"]) == 0
     assert "removed 1" in capsys.readouterr().out
     assert main(["store", "clear", store]) == 0

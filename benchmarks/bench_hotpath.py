@@ -11,10 +11,14 @@ stress workloads of the hot paths:
 
 Each comparison asserts the optimized run computes byte-identical
 ``td`` tables, per-proc summary counts and deterministic work counters
-— the optimizations may only move wall clock.  A separate
-lookup microbenchmark times ``_exit_summaries`` in indexed vs
-linear-scan mode over the same final tables, isolating the data
-structure win from engine overhead.
+— the optimizations may only move wall clock.  The ``td_batched`` /
+``swift_batched`` rows race the batched configuration (set-at-a-time
+frontiers + the ``scc-topo`` scheduler, DESIGN §10) against the same
+ablated baseline, under the same identity assertions.  Two
+microbenchmarks isolate data-structure wins from engine overhead:
+``lookup_microbench`` times ``_exit_summaries`` indexed vs linear
+scan, and ``sortkey_microbench`` times canonical state sorting with
+the interned sort-key cache vs recomputing ``str()`` keys.
 
 Run standalone to (re)generate ``BENCH_hotpath.json``::
 
@@ -88,6 +92,37 @@ def _run_swift(setup, optimized: bool):
     return engine, result, time.perf_counter() - started
 
 
+def _run_td_batched(setup, optimized: bool):
+    """Batched frontiers + scc-topo order vs the same ablated baseline."""
+    if not optimized:
+        return _run_td(setup, False)
+    program, td_analysis, _, init = setup
+    engine = TopDownEngine(
+        program, td_analysis, batched=True, scheduler="scc-topo"
+    )
+    started = time.perf_counter()
+    result = engine.run([init])
+    return engine, result, time.perf_counter() - started
+
+
+def _run_swift_batched(setup, optimized: bool):
+    if not optimized:
+        return _run_swift(setup, False)
+    program, td_analysis, bu_analysis, init = setup
+    engine = SwiftEngine(
+        program,
+        td_analysis,
+        bu_analysis,
+        k=5,
+        theta=1,
+        batched=True,
+        scheduler="scc-topo",
+    )
+    started = time.perf_counter()
+    result = engine.run([init])
+    return engine, result, time.perf_counter() - started
+
+
 def _assert_identical(opt_result, unopt_result) -> None:
     assert opt_result.td == unopt_result.td, "td tables diverged"
     assert (
@@ -105,7 +140,19 @@ def _assert_identical(opt_result, unopt_result) -> None:
         }, "bottom-up summary counts diverged"
 
 
-def _compare(setup, runner, repeats: int):
+def _assert_same_reports(opt_result, unopt_result) -> None:
+    """Report-level identity: what SWIFT guarantees across scheduler
+    policies (trigger timing, hence tables and counters, is
+    policy-dependent; the verdicts never are)."""
+    from repro.typestate.client import find_errors
+
+    assert opt_result.exit_states() == unopt_result.exit_states()
+    opt_sites = frozenset(site for (_, site) in find_errors(opt_result))
+    unopt_sites = frozenset(site for (_, site) in find_errors(unopt_result))
+    assert opt_sites == unopt_sites, "error reports diverged"
+
+
+def _compare(setup, runner, repeats: int, assert_fn=_assert_identical):
     """Best-of-``repeats`` wall clock for both configurations."""
     opt_s = unopt_s = float("inf")
     opt_result = unopt_result = None
@@ -114,7 +161,7 @@ def _compare(setup, runner, repeats: int):
         opt_s = min(opt_s, seconds)
         _, unopt_result, seconds = runner(setup, False)
         unopt_s = min(unopt_s, seconds)
-    _assert_identical(opt_result, unopt_result)
+    assert_fn(opt_result, unopt_result)
     metrics = opt_result.metrics
     return {
         "optimized_s": round(opt_s, 4),
@@ -169,6 +216,37 @@ def _lookup_microbench(setup, proc: str):
     }
 
 
+def _sortkey_microbench(setup):
+    """Time canonical state sorting with the interned sort-key cache vs
+    recomputing ``str()`` keys, over the run's own reached states."""
+    from repro.framework.topdown import state_sort_key
+
+    _, result, _ = _run_td(setup, True)
+    states = list({sigma for pairs in result.td.values() for (_, sigma) in pairs})
+    if not states:
+        return None
+    rounds = max(1, 100_000 // len(states))
+    for sigma in states:  # warm the key cache once, like the engines do
+        state_sort_key(sigma)
+
+    def timed(key) -> float:
+        started = time.perf_counter()
+        for _ in range(rounds):
+            sorted(states, key=key)
+        return time.perf_counter() - started
+
+    cached_s = timed(state_sort_key)
+    str_s = timed(str)
+    assert sorted(states, key=state_sort_key) == sorted(states, key=str)
+    return {
+        "states": len(states),
+        "sorts": rounds,
+        "cached_s": round(cached_s, 4),
+        "str_s": round(str_s, 4),
+        "speedup": round(str_s / cached_s, 2) if cached_s > 0 else None,
+    }
+
+
 def collect(sizes=SIZES, workloads=tuple(WORKLOADS), repeats: int = 3):
     rows = []
     for workload in workloads:
@@ -179,13 +257,21 @@ def collect(sizes=SIZES, workloads=tuple(WORKLOADS), repeats: int = 3):
                 "size": size,
                 "td": _compare(setup, _run_td, repeats),
                 "swift": _compare(setup, _run_swift, repeats),
+                "td_batched": _compare(setup, _run_td_batched, repeats),
+                "swift_batched": _compare(
+                    setup, _run_swift_batched, repeats, _assert_same_reports
+                ),
                 "lookup_microbench": _lookup_microbench(setup, LOOKUP_PROC[workload]),
+                "sortkey_microbench": _sortkey_microbench(setup),
             }
             rows.append(row)
             td, sw = row["td"], row["swift"]
+            tdb = row["td_batched"]
             print(
                 f"  {workload}({size}): td {td['unoptimized_s']:.3f}s -> "
                 f"{td['optimized_s']:.3f}s ({td['reduction_pct']}%), "
+                f"td+batch/scc {tdb['optimized_s']:.3f}s "
+                f"({tdb['speedup']}x), "
                 f"swift {sw['unoptimized_s']:.3f}s -> {sw['optimized_s']:.3f}s "
                 f"({sw['reduction_pct']}%)",
                 flush=True,
@@ -210,6 +296,18 @@ def test_lookup_modes_agree(once):
     setup = _setup("hub_flood", 32)
     micro = once(_lookup_microbench, setup, "hub")
     assert micro is not None and micro["queries"] > 0
+
+
+def test_hotpath_equivalence_td_batched(once):
+    setup = _setup("hub_flood", 32)
+    row = once(_compare, setup, _run_td_batched, 1)
+    assert row["identical"]
+
+
+def test_hotpath_swift_batched_reports_agree(once):
+    setup = _setup("hub_flood", 32)
+    row = once(_compare, setup, _run_swift_batched, 1, _assert_same_reports)
+    assert row["identical"]
 
 
 def main(argv=None) -> int:

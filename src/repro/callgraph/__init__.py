@@ -9,10 +9,23 @@ exact.  The interesting machinery here is:
   from ``main``, with the Andersen points-to resolving heap-routed
   flow);
 * :mod:`repro.callgraph.stats` — the per-benchmark characteristics of
-  Table 1 (#classes, #methods, code size; application vs. total).
+  Table 1 (#classes, #methods, code size; application vs. total);
+* :mod:`repro.callgraph.scc` — iterative Tarjan SCC condensation with
+  topological / reverse-topological orders and parallel summarization
+  wavefronts (the ``scc-topo`` scheduler and the concurrent engine's
+  bottom-up planner both build on it).
 """
 
 from repro.callgraph.rta import CallGraph, build_call_graph
+from repro.callgraph.scc import Condensation, condensation, tarjan_sccs
 from repro.callgraph.stats import BenchmarkStats, compute_stats
 
-__all__ = ["BenchmarkStats", "CallGraph", "build_call_graph", "compute_stats"]
+__all__ = [
+    "BenchmarkStats",
+    "CallGraph",
+    "Condensation",
+    "build_call_graph",
+    "compute_stats",
+    "condensation",
+    "tarjan_sccs",
+]

@@ -70,6 +70,8 @@ def cmd_verify(args: argparse.Namespace) -> int:
             theta=args.theta,
             budget=budget,
             scheduler=args.scheduler,
+            batched=args.batched,
+            batch_size=args.batch_size,
         )
         outcome = analysis_session().run(program, config)
         if outcome.timed_out:
@@ -104,6 +106,8 @@ def cmd_verify(args: argparse.Namespace) -> int:
         budget=budget,
         domain=args.domain,
         scheduler=args.scheduler,
+        batched=args.batched,
+        batch_size=args.batch_size,
     )
     if report.timed_out:
         print(f"{prop.name}: analysis exceeded its budget")
@@ -318,6 +322,18 @@ def build_parser() -> argparse.ArgumentParser:
         choices=scheduler_names(),
         default=DEFAULT_SCHEDULER,
         help="worklist policy (results are identical across policies)",
+    )
+    verify.add_argument(
+        "--batched",
+        action="store_true",
+        help="drain whole per-node frontiers set-at-a-time "
+        "(results are identical; pairs well with --scheduler scc-topo)",
+    )
+    verify.add_argument(
+        "--batch-size",
+        type=int,
+        default=64,
+        help="max frontier items drained per batch (with --batched)",
     )
     verify.set_defaults(fn=cmd_verify)
 

@@ -26,7 +26,13 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
 
-from repro.framework.caching import RComposeCache, RTransferCache
+from repro.framework.caching import (
+    RComposeCache,
+    RComposeSetCache,
+    RTransferCache,
+    RTransferSetCache,
+    canonical_relations,
+)
 from repro.framework.ignored import IgnoredStates
 from repro.framework.interfaces import BottomUpAnalysis
 from repro.framework.metrics import Budget, BudgetExceededError, Metrics
@@ -128,6 +134,9 @@ class BottomUpEngine:
         rtransfer_cache: Optional[RTransferCache] = None,
         rcompose_cache: Optional[RComposeCache] = None,
         sink: Optional[TraceSink] = None,
+        batched: bool = False,
+        rtransfer_set_cache: Optional[RTransferSetCache] = None,
+        rcompose_set_cache: Optional[RComposeSetCache] = None,
     ) -> None:
         self.program = program
         self.analysis = analysis
@@ -168,6 +177,27 @@ class BottomUpEngine:
         else:
             self._rtransfer = analysis.rtransfer
             self._rcompose = analysis.rcompose
+        # Batched mode (DESIGN §10): apply rtrans / rcomp to the whole
+        # relation set at once.  The set-level memos are layered over
+        # the per-relation caches and obey the same ablation flag; the
+        # stored ``created`` count lets the engine add the raw
+        # ``relations_created`` contribution on set-level hits too, so
+        # the counters match the per-relation loop exactly.
+        self._batched = batched
+        if batched and enable_caches:
+            self._rtransfer_set: Optional[RTransferSetCache] = (
+                rtransfer_set_cache
+                if rtransfer_set_cache is not None
+                else RTransferSetCache(self._rtransfer, self.metrics)
+            )
+            self._rcompose_set: Optional[RComposeSetCache] = (
+                rcompose_set_cache
+                if rcompose_set_cache is not None
+                else RComposeSetCache(self._rcompose, self.metrics)
+            )
+        else:
+            self._rtransfer_set = None
+            self._rcompose_set = None
 
     # -- public API -----------------------------------------------------------------
     def analyze(
@@ -265,7 +295,26 @@ class BottomUpEngine:
         if self.budget is not None:
             self.budget.check(self.metrics)
         if isinstance(cmd, Prim):
-            out: Set = set()
+            if self._batched:
+                if self._rtransfer_set is not None:
+                    produced_set, created = self._rtransfer_set(cmd, relations)
+                else:
+                    rtransfer = self._rtransfer
+                    out = set()
+                    created = 0
+                    for r in canonical_relations(relations):
+                        step = rtransfer(cmd, r)
+                        created += len(step)
+                        out.update(step)
+                    produced_set = frozenset(out)
+                self.metrics.rtransfers += len(relations)
+                self.metrics.relations_created += created
+                if self.budget is not None:
+                    self.budget.check_counters(self.metrics)
+                return self._prune(
+                    proc, *clean(self.analysis, produced_set, ignored)
+                )
+            out = set()
             rtransfer = self._rtransfer
             for i, r in enumerate(relations):
                 if self.budget is not None and i % 128 == 127:
@@ -305,19 +354,41 @@ class BottomUpEngine:
                 # summary yet (η0); the interprocedural fixpoint or a
                 # later run will refine it.
                 callee = ProcedureSummary(frozenset(), self._empty_ignored())
-            composed: Set = set()
-            rcompose = self._rcompose
-            for r in relations:
-                # The cross product |R| x |R0| is where the conventional
-                # bottom-up analysis explodes; check the budget inside it
-                # or a single call step could run unbounded.
+            if self._batched:
+                if self._rcompose_set is not None:
+                    composed_set, created = self._rcompose_set(
+                        relations, callee.relations
+                    )
+                else:
+                    rcompose = self._rcompose
+                    acc = set()
+                    created = 0
+                    callee_order = list(canonical_relations(callee.relations))
+                    for r in canonical_relations(relations):
+                        for r0 in callee_order:
+                            step = rcompose(r, r0)
+                            created += len(step)
+                            acc.update(step)
+                    composed_set = frozenset(acc)
+                self.metrics.compositions += len(relations) * len(callee.relations)
+                self.metrics.relations_created += created
                 if self.budget is not None:
-                    self.budget.check(self.metrics)
-                for r0 in callee.relations:
-                    self.metrics.compositions += 1
-                    produced = rcompose(r, r0)
-                    self.metrics.relations_created += len(produced)
-                    composed.update(produced)
+                    self.budget.check_counters(self.metrics)
+                composed: Set = set(composed_set)
+            else:
+                composed = set()
+                rcompose = self._rcompose
+                for r in relations:
+                    # The cross product |R| x |R0| is where the conventional
+                    # bottom-up analysis explodes; check the budget inside it
+                    # or a single call step could run unbounded.
+                    if self.budget is not None:
+                        self.budget.check(self.metrics)
+                    for r0 in callee.relations:
+                        self.metrics.compositions += 1
+                        produced = rcompose(r, r0)
+                        self.metrics.relations_created += len(produced)
+                        composed.update(produced)
             # Σ00: states whose images under some r land in the callee's
             # ignored set must be ignored here too (propagated via wp).
             pre_preds: List = []

@@ -38,9 +38,9 @@ class AnalysisConfig:
 
     Identity fields (part of :meth:`canonical_dict`): ``engine``,
     ``domain``, ``k``, ``theta``, ``scheduler``, ``tracked_sites``,
-    ``enable_caches``, ``indexed_summaries``.  Runtime fields (not part
-    of the canonical form): ``budget``, ``sink``, ``preload``,
-    ``max_workers``.
+    ``enable_caches``, ``indexed_summaries``, ``batched``,
+    ``batch_size``.  Runtime fields (not part of the canonical form):
+    ``budget``, ``sink``, ``preload``, ``max_workers``.
     """
 
     engine: str = "swift"
@@ -51,6 +51,8 @@ class AnalysisConfig:
     tracked_sites: Optional[FrozenSet[str]] = None
     enable_caches: bool = True
     indexed_summaries: bool = True
+    batched: bool = False
+    batch_size: int = 64
     budget: Optional[Budget] = None
     sink: Optional[object] = None
     preload: Optional[object] = None
@@ -68,6 +70,8 @@ class AnalysisConfig:
             raise ValueError("theta must be at least 1")
         if self.max_workers < 1:
             raise ValueError("max_workers must be at least 1")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
         if self.tracked_sites is not None:
             object.__setattr__(
                 self, "tracked_sites", frozenset(self.tracked_sites)
@@ -138,5 +142,10 @@ class AnalysisConfig:
                 "enable_caches": self.enable_caches,
                 "indexed_summaries": self.indexed_summaries,
                 "scheduler": self.scheduler,
+                "batched": self.batched,
+                # The drain limit only matters when batching is on, so
+                # an unbatched config fingerprints the same whatever
+                # batch_size it carried.
+                "batch_size": self.batch_size if self.batched else None,
             },
         }

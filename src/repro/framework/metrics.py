@@ -77,6 +77,13 @@ class Metrics:
     store_hits: int = 0  # preloaded contexts/summaries installed
     store_misses: int = 0  # lookups the store could not serve
     store_invalidated: int = 0  # procedures whose entries were discarded
+    # Batched-propagation traffic (DESIGN §10).  Not part of total_work:
+    # the raw operator counters above are incremented per *logical*
+    # application in batched mode too, so batched/unbatched runs agree
+    # counter-for-counter.
+    frontier_batches: int = 0  # per-node frontiers drained set-at-a-time
+    batch_cache_hits: int = 0  # set-level memo hits (whole frontier served)
+    batch_cache_misses: int = 0  # set-level memo misses
 
     def merge(self, other: "Metrics") -> None:
         """Fold ``other``'s counters into this one.
@@ -148,6 +155,18 @@ class Budget:
         self._started_at = time.monotonic()
 
     def check(self, metrics: Metrics) -> None:
+        self.check_counters(metrics)
+        self.check_clock()
+
+    def check_counters(self, metrics: Metrics) -> None:
+        """The deterministic half of :meth:`check` (work + relations).
+
+        The batched engines keep calling this per *item* so that the
+        same work/relation budgets time out batched and unbatched, with
+        the overrun bounded per item rather than per batch; only the
+        wall-clock half (:meth:`check_clock`) is hoisted to once per
+        drained batch.
+        """
         if self.max_work is not None and metrics.total_work > self.max_work:
             raise BudgetExceededError(KIND_WORK, metrics.total_work, self.max_work)
         if (
@@ -157,6 +176,14 @@ class Budget:
             raise BudgetExceededError(
                 KIND_RELATIONS, metrics.relations_created, self.max_relations
             )
+
+    def check_clock(self) -> None:
+        """The wall-clock half of :meth:`check` (``max_seconds``).
+
+        Reading ``time.monotonic`` per popped item is measurable on the
+        hot path; batch sizes are bounded, so checking the deadline once
+        per drained frontier keeps the overrun bounded too.
+        """
         if self.max_seconds is not None:
             elapsed = time.monotonic() - self._started_at
             if elapsed > self.max_seconds:

@@ -210,6 +210,8 @@ def _run_td(program, instance, config) -> EngineOutcome:
         scheduler=config.scheduler,
         sink=config.sink,
         preload=config.preload,
+        batched=config.batched,
+        batch_size=config.batch_size,
     )
     result = engine.run(instance.initial_states)
     return EngineOutcome(
@@ -234,6 +236,8 @@ def _run_hybrid(engine_cls, program, instance, config, **extra) -> EngineOutcome
         scheduler=config.scheduler,
         sink=config.sink,
         preload=config.preload,
+        batched=config.batched,
+        batch_size=config.batch_size,
         **extra,
     )
     result = engine.run(instance.initial_states)
@@ -268,6 +272,7 @@ def _run_bu(program, instance, config) -> EngineOutcome:
         budget=config.budget,
         enable_caches=config.enable_caches,
         sink=config.sink,
+        batched=config.batched,
     )
     result = engine.analyze()
     findings: FrozenSet = frozenset()

@@ -31,7 +31,12 @@ from collections import Counter
 from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple
 
 from repro.framework.bottomup import BottomUpEngine, ProcedureSummary
-from repro.framework.caching import RComposeCache, RTransferCache
+from repro.framework.caching import (
+    RComposeCache,
+    RComposeSetCache,
+    RTransferCache,
+    RTransferSetCache,
+)
 from repro.framework.interfaces import BottomUpAnalysis, TopDownAnalysis
 from repro.framework.metrics import Budget, Metrics
 from repro.framework.pruning import FrequencyPruner
@@ -113,6 +118,8 @@ class SwiftEngine(TopDownEngine):
         sink: Optional[TraceSink] = None,
         preload=None,
         scheduler: Optional[str] = None,
+        batched: bool = False,
+        batch_size: int = 64,
     ) -> None:
         super().__init__(
             program,
@@ -125,6 +132,8 @@ class SwiftEngine(TopDownEngine):
             sink=sink,
             preload=preload,
             scheduler=scheduler,
+            batched=batched,
+            batch_size=batch_size,
         )
         if k < 1:
             raise ValueError("k must be at least 1")
@@ -155,6 +164,18 @@ class SwiftEngine(TopDownEngine):
         else:
             self._bu_rtransfer_cache = None
             self._bu_rcompose_cache = None
+        # Batched mode: the set-level memos are likewise shared across
+        # triggers (they sit on top of the per-relation caches above).
+        if batched and enable_caches:
+            self._bu_rtransfer_set_cache = RTransferSetCache(
+                self._bu_rtransfer_cache, self.metrics
+            )
+            self._bu_rcompose_set_cache = RComposeSetCache(
+                self._bu_rcompose_cache, self.metrics
+            )
+        else:
+            self._bu_rtransfer_set_cache = None
+            self._bu_rcompose_set_cache = None
         # Instantiation cache: (callee, sigma) -> outputs, or None when
         # sigma is in the summary's ignored set (top-down fallback).
         # Entries are only valid for the summary they were computed
@@ -274,6 +295,9 @@ class SwiftEngine(TopDownEngine):
             rtransfer_cache=self._bu_rtransfer_cache,
             rcompose_cache=self._bu_rcompose_cache,
             sink=self._sink,
+            batched=self.batched,
+            rtransfer_set_cache=self._bu_rtransfer_set_cache,
+            rcompose_set_cache=self._bu_rcompose_set_cache,
         )
         self.metrics.bu_triggers += 1
         bu_started = time.perf_counter() if self._tracing else 0.0

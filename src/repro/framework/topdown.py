@@ -26,7 +26,7 @@ import time
 from collections import Counter
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
-from repro.framework.caching import TransferCache
+from repro.framework.caching import TransferCache, TransferSetCache
 from repro.framework.interfaces import TopDownAnalysis
 from repro.framework.metrics import Budget, BudgetExceededError, Metrics
 from repro.framework.scheduling import Scheduler, make_scheduler
@@ -37,6 +37,27 @@ from repro.ir.program import Program
 
 #: Cause of a propagation when none was recorded (seeding).
 _SEED_CAUSE = ("seed", None, None, None)
+
+
+#: Memoized ``str(state)`` sort keys.  States are interned and
+#: immutable, but ``sorted_states`` runs on every edge visit and used
+#: to rebuild the string key each time — on the flood benchmarks that
+#: was a measurable slice of the TD hot path (see the
+#: ``sortkey_microbench`` row of BENCH_hotpath.json).  Keyed by the
+#: state itself (equality-based), bounded by clear-on-overflow like
+#: ``repro.typestate.states.intern_state``.
+_SORT_KEYS: Dict[object, str] = {}
+_SORT_KEY_LIMIT = 1 << 20
+
+
+def state_sort_key(sigma) -> str:
+    """The canonical string form of ``sigma``, cached."""
+    key = _SORT_KEYS.get(sigma)
+    if key is None:
+        if len(_SORT_KEYS) >= _SORT_KEY_LIMIT:
+            _SORT_KEYS.clear()
+        key = _SORT_KEYS[sigma] = str(sigma)
+    return key
 
 
 def sorted_states(states):
@@ -52,7 +73,7 @@ def sorted_states(states):
     """
     if len(states) <= 1:
         return states
-    return sorted(states, key=str)
+    return sorted(states, key=state_sort_key)
 
 
 class TopDownResult:
@@ -141,9 +162,13 @@ class TopDownEngine:
         sink: Optional[TraceSink] = None,
         preload=None,
         scheduler: Optional[str] = None,
+        batched: bool = False,
+        batch_size: int = 64,
     ) -> None:
         if order not in ("lifo", "fifo"):
             raise ValueError("order must be 'lifo' or 'fifo'")
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
         self.program = program
         self.analysis = analysis
         self.budget = budget
@@ -178,6 +203,23 @@ class TopDownEngine:
             TransferCache(analysis, self.metrics)
             if enable_caches
             else analysis.transfer
+        )
+        # Batched (set-at-a-time) propagation: drain whole per-node
+        # frontiers via Scheduler.pop_frontier and apply trans(c) to the
+        # distinct states at once (DESIGN §10).  The set-level memo is
+        # layered over the per-state cache and obeys the same ablation
+        # flag; raw counters stay per logical application either way.
+        self.batched = batched
+        self.batch_size = batch_size
+        # Does this engine run plain tabulation at calls?  Subclasses
+        # overriding _handle_call (SWIFT) get per-item call handling in
+        # batched mode; the grouped fast path is only valid for the
+        # base behavior.
+        self._plain_calls = type(self)._handle_call is TopDownEngine._handle_call
+        self._transfer_set = (
+            TransferSetCache(self._transfer, self.metrics, canon=sorted_states)
+            if (batched and enable_caches)
+            else None
         )
         # td(pc) = set of path edges (entry state, state at pc)
         self._td: Dict[ProgramPoint, Set[Tuple]] = {}
@@ -253,6 +295,9 @@ class TopDownEngine:
         )
 
     def _solve(self) -> None:
+        if self.batched:
+            self._solve_batched()
+            return
         tracing = self._tracing
         while self._workset:
             if self.budget is not None:
@@ -281,6 +326,99 @@ class TopDownEngine:
                     point.proc, 0.0
                 ) + (time.perf_counter() - pop_started)
 
+    def _solve_batched(self) -> None:
+        """Set-at-a-time twin of :meth:`_solve` (DESIGN §10).
+
+        Drains a whole per-node frontier per iteration.  The batch is a
+        prefix of the policy's pop sequence (``pop_frontier``), every
+        raw counter is still bumped per logical operator application,
+        and ``_propagate`` dedups against the tables exactly as before
+        — so tables, error reports and raw counters match the unbatched
+        loop; only wall clock (and cache traffic) changes.  The budget
+        counter check stays per item; the wall-clock check is hoisted
+        to once per (bounded) batch.
+        """
+        tracing = self._tracing
+        budget = self.budget
+        metrics = self.metrics
+        limit = self.batch_size
+        while self._workset:
+            if budget is not None:
+                budget.check_clock()
+            batch = self._workset.pop_frontier(limit)
+            metrics.frontier_batches += 1
+            point = batch[0][0]
+            if tracing:
+                pop_started = time.perf_counter()
+            succs = self._succ_cache.get(point)
+            if succs is None:
+                succs = self.cfgs[point.proc].successors(point)
+                self._succ_cache[point] = succs
+            if len(batch) == 1:
+                # Singleton frontier: the set machinery has nothing to
+                # share, so run the per-item handlers directly (same
+                # counters, less overhead).
+                (_, entry_sigma, sigma) = batch[0]
+                if budget is not None:
+                    budget.check_counters(metrics)
+                for edge in succs:
+                    if edge.is_call:
+                        self._handle_call(edge, entry_sigma, sigma)
+                    else:
+                        self._handle_prim(edge, entry_sigma, sigma)
+                self._after_exit(point, entry_sigma, sigma)
+            else:
+                states: Optional[FrozenSet] = None
+                for edge in succs:
+                    if edge.is_call:
+                        self._handle_call_batch(edge, batch)
+                    else:
+                        if states is None:
+                            states = frozenset(s for (_, _, s) in batch)
+                        self._batched_prim(edge, batch, states)
+                self._after_exit_batch(point, batch)
+            if tracing:
+                self._td_wall[point.proc] = self._td_wall.get(
+                    point.proc, 0.0
+                ) + (time.perf_counter() - pop_started)
+
+    def _batched_prim(self, edge: CFGEdge, batch: List[Tuple], states: FrozenSet) -> None:
+        """Apply ``trans(edge)`` to a whole frontier at once.
+
+        ``states`` is the batch's distinct-state frozenset, built once
+        per batch by the caller (its hash is computed once and then
+        reused by every prim edge's set-memo lookup).  The produced
+        ``(entry, out)`` pairs are deduped batch-locally before
+        re-enqueue — ``_propagate`` would reject the duplicates against
+        the table anyway, so the pre-filter changes no counter, it only
+        skips the redundant table probes.
+        """
+        metrics = self.metrics
+        budget = self.budget
+        tracing = self._tracing
+        cache = self._transfer_set
+        if cache is not None:
+            outs = cache(edge.label, states)
+        else:
+            transfer = self._transfer
+            outs = {
+                sigma: tuple(sorted_states(transfer(edge.label, sigma)))
+                for sigma in sorted_states(states)
+            }
+        seen: Set[Tuple] = set()
+        for (_, entry_sigma, sigma) in batch:
+            if budget is not None:
+                budget.check_counters(metrics)
+            metrics.transfers += 1
+            if tracing:
+                self._cause = ("prim", edge.source, sigma, entry_sigma)
+            for sigma_prime in outs[sigma]:
+                pair = (entry_sigma, sigma_prime)
+                if pair in seen:
+                    continue
+                seen.add(pair)
+                self._propagate(edge.target, entry_sigma, sigma_prime)
+
     # -- edge handling ------------------------------------------------------------------
     def _handle_prim(self, edge: CFGEdge, entry_sigma, sigma) -> None:
         self.metrics.transfers += 1
@@ -292,6 +430,88 @@ class TopDownEngine:
     def _handle_call(self, edge: CFGEdge, entry_sigma, sigma) -> None:
         """Plain tabulation handling of a call edge (``run_td``)."""
         self._tabulate_call(edge, entry_sigma, sigma)
+
+    def _handle_call_batch(self, edge: CFGEdge, batch: List[Tuple]) -> None:
+        """Handle one call edge for a whole drained frontier.
+
+        When ``_handle_call`` is overridden (SWIFT interposes summary
+        application and the bottom-up trigger there), the batch falls
+        back to the per-item handler so the subclass sees every item.
+        Otherwise the plain tabulation path runs grouped: the expensive
+        per-item pieces — the exit-summary lookup and its canonical
+        sort — are shared across the batch's items with equal incoming
+        state via a batch-local memo.
+        """
+        budget = self.budget
+        if not self._plain_calls:
+            for (_, entry_sigma, sigma) in batch:
+                if budget is not None:
+                    budget.check_counters(self.metrics)
+                self._handle_call(edge, entry_sigma, sigma)
+            return
+        callee = edge.label.proc
+        callee_entry, callee_exit = self._proc_points(callee)
+        # The memoized outs could go stale mid-batch only if this
+        # batch's own propagations can land on the callee's exit rows:
+        # the return point being that exit (tail self-recursion), an
+        # empty callee (entry is exit), or a warm start installing
+        # stored contexts as a side effect.
+        memo_safe = (
+            edge.target is not callee_exit
+            and callee_entry is not callee_exit
+            and self._preload is None
+        )
+        outs_memo: Dict[object, object] = {}
+        tracing = self._tracing
+        for (_, entry_sigma, sigma) in batch:
+            if budget is not None:
+                budget.check_counters(self.metrics)
+            record_key = (callee, sigma)
+            records = self._call_records.get(record_key)
+            if records is None:
+                records = self._call_records[record_key] = set()
+            record = (edge.target, entry_sigma)
+            if record in records:
+                continue
+            records.add(record)
+            self._record_entry(callee, sigma)
+            if (sigma, sigma) in self._td.get(callee_entry, ()):
+                self.metrics.td_summary_reuses += 1
+                outs = outs_memo.get(sigma) if memo_safe else None
+                if outs is None:
+                    outs = sorted_states(
+                        self._exit_summaries(callee, callee_exit, sigma)
+                    )
+                    if memo_safe:
+                        outs_memo[sigma] = outs
+                if tracing:
+                    self._sink.emit(
+                        TraceEvent(
+                            "td_summary_reuse",
+                            callee,
+                            {"state": str(sigma), "outs": len(outs)},
+                        )
+                    )
+                    self._cause = ("reuse", edge.source, sigma, entry_sigma)
+                for sigma_out in outs:
+                    self._propagate(edge.target, entry_sigma, sigma_out)
+                continue
+            if self._preload is not None:
+                if self._activate(callee, sigma):
+                    outs = self._exit_summaries(callee, callee_exit, sigma)
+                    if tracing:
+                        self._cause = ("store", edge.source, sigma, entry_sigma)
+                    for sigma_out in sorted_states(outs):
+                        self._propagate(edge.target, entry_sigma, sigma_out)
+                    continue
+                self.metrics.store_misses += 1
+                if tracing:
+                    self._sink.emit(
+                        TraceEvent("store_miss", callee, {"state": str(sigma)})
+                    )
+            if tracing:
+                self._cause = ("call", edge.source, sigma, entry_sigma)
+            self._propagate(callee_entry, sigma, sigma)
 
     def _tabulate_call(self, edge: CFGEdge, entry_sigma, sigma) -> None:
         callee = edge.label.proc
@@ -368,6 +588,30 @@ class TopDownEngine:
         for (return_point, caller_entry) in records:
             self._propagate(return_point, caller_entry, sigma)
 
+    def _after_exit_batch(self, point: ProgramPoint, batch: List[Tuple]) -> None:
+        """Return a whole exit frontier to the waiting callers.
+
+        Call records cannot change while this loop runs (``_propagate``
+        never adds records, and an exit point has no outgoing edges to
+        handle first), so the sorted record list is computed once per
+        distinct entry state instead of once per item.
+        """
+        if point not in self._exit_point_set:
+            return
+        tracing = self._tracing
+        by_entry: Dict[object, List] = {}
+        for (_, entry_sigma, sigma) in batch:
+            records = by_entry.get(entry_sigma)
+            if records is None:
+                records = list(self._call_records.get((point.proc, entry_sigma), ()))
+                if len(records) > 1:
+                    records.sort(key=_record_sort_key)
+                by_entry[entry_sigma] = records
+            if tracing:
+                self._cause = ("return", point, sigma, entry_sigma)
+            for (return_point, caller_entry) in records:
+                self._propagate(return_point, caller_entry, sigma)
+
     # -- low-level table updates -----------------------------------------------------------
     def _proc_points(self, proc: str) -> Tuple[ProgramPoint, ProgramPoint]:
         """The (entry, exit) points of ``proc``, cached.
@@ -387,7 +631,9 @@ class TopDownEngine:
         return entry, self._exit_points[proc]
 
     def _propagate(self, point: ProgramPoint, entry_sigma, sigma) -> None:
-        edges = self._td.setdefault(point, set())
+        edges = self._td.get(point)
+        if edges is None:
+            edges = self._td[point] = set()
         pair = (entry_sigma, sigma)
         if pair in edges:
             return
@@ -419,7 +665,10 @@ class TopDownEngine:
         self._workset.push((point, entry_sigma, sigma))
 
     def _record_entry(self, proc: str, sigma) -> None:
-        self._entry_counts.setdefault(proc, Counter())[sigma] += 1
+        counts = self._entry_counts.get(proc)
+        if counts is None:
+            counts = self._entry_counts[proc] = Counter()
+        counts[sigma] += 1
 
     # -- warm start (repro.incremental) --------------------------------------------------
     def _preload_install(self) -> None:
@@ -498,7 +747,7 @@ class TopDownEngine:
 def _record_sort_key(record: Tuple[ProgramPoint, object]) -> Tuple[str, int, str]:
     """Canonical order for call records (see :func:`sorted_states`)."""
     return_point, caller_entry = record
-    return (return_point.proc, return_point.index, str(caller_entry))
+    return (return_point.proc, return_point.index, state_sort_key(caller_entry))
 
 
 #: Shared empty mapping for index misses (avoids allocating per lookup).

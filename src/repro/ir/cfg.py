@@ -28,10 +28,21 @@ from repro.ir.program import Program
 
 @dataclass(frozen=True)
 class ProgramPoint:
-    """A vertex of a procedure's control-flow graph."""
+    """A vertex of a procedure's control-flow graph.
+
+    Points key every hot table of the engines (``td``, successor
+    caches, scheduler buckets), so the hash is precomputed once instead
+    of re-deriving the field tuple's hash on every probe.
+    """
 
     proc: str
     index: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", hash((self.proc, self.index)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def __str__(self) -> str:
         return f"{self.proc}:{self.index}"

@@ -106,6 +106,8 @@ def run_typestate(
     preload=None,
     scheduler: Optional[str] = None,
     max_workers: int = 1,
+    batched: bool = False,
+    batch_size: int = 64,
 ) -> TypestateReport:
     """Verify ``prop`` over ``program`` with the chosen engine.
 
@@ -119,7 +121,10 @@ def run_typestate(
     optimizations (see :mod:`repro.framework.caching`); neither affects
     results or the deterministic work counters, and the same rule holds
     for ``scheduler`` (worklist policy; results identical, counters may
-    differ from the default).  ``sink`` is an optional
+    differ from the default).  ``batched`` drains whole per-node
+    frontiers set-at-a-time (``batch_size`` bounds one drain) — results
+    and raw work counters stay identical; it pays off with the
+    ``scc-topo`` scheduler, which lets frontiers accumulate.  ``sink`` is an optional
     :class:`repro.framework.tracing.TraceSink` receiving the engine's
     analysis events (default: none, zero overhead).  ``preload`` is an
     optional :class:`repro.incremental.invalidate.WarmStart` of
@@ -138,6 +143,8 @@ def run_typestate(
         preload=preload,
         scheduler=scheduler if scheduler is not None else "lifo",
         max_workers=max_workers,
+        batched=batched,
+        batch_size=batch_size,
     )
     if not config.domain.startswith("typestate-"):
         raise ValueError(

@@ -1,16 +1,39 @@
 """Tests for the asynchronous SWIFT variant (Section 7 future work)."""
 
+from concurrent.futures import Future
+
 import pytest
 
-from repro.framework.concurrent import ConcurrentHarvestError, ConcurrentSwiftEngine
+from repro.callgraph.scc import condensation
+from repro.framework.concurrent import (
+    ConcurrentHarvestError,
+    ConcurrentSwiftEngine,
+    _SccPlan,
+)
 from repro.framework.swift import SwiftEngine
 from repro.framework.topdown import TopDownEngine
+from repro.framework.tracing import RingSink
+from repro.ir.builder import ProgramBuilder
 from repro.typestate.bu_analysis import SimpleTypestateBU
 from repro.typestate.properties import FILE_PROPERTY
 from repro.typestate.states import bootstrap_state
 from repro.typestate.td_analysis import SimpleTypestateTD
 
 from tests.helpers import all_small_programs, figure1_program
+
+
+def layered_program():
+    """Three call-graph layers: triggers on ``mid`` span two waves."""
+    b = ProgramBuilder()
+    with b.proc("main") as p:
+        p.new("v1", "h1").assign("f", "v1").call("mid")
+        p.new("v2", "h2").assign("f", "v2").call("mid")
+        p.new("v3", "h3").assign("f", "v3").call("mid")
+    with b.proc("mid") as p:
+        p.call("leaf")
+    with b.proc("leaf") as p:
+        p.invoke("f", "open").invoke("f", "close")
+    return b.build()
 
 
 def _run_concurrent(program, k=1, theta=2, max_workers=2):
@@ -137,6 +160,106 @@ def test_run_exception_not_masked_by_worker_failure(monkeypatch):
     # favour of the run's own exception.
     assert engine._executor is None
     assert not engine._in_flight
+
+
+# -- SCC wavefront submission --------------------------------------------------------
+class _SyncExecutor:
+    """Runs submissions inline and hands back completed futures, so
+    wavefront bookkeeping can be driven deterministically."""
+
+    def submit(self, fn, *args):
+        future = Future()
+        try:
+            future.set_result(fn(*args))
+        except BaseException as exc:  # pragma: no cover - not hit here
+            future.set_exception(exc)
+        return future
+
+    def shutdown(self, wait=True):
+        pass
+
+
+def _bare_engine(program, **kwargs):
+    return ConcurrentSwiftEngine(
+        program,
+        SimpleTypestateTD(FILE_PROPERTY),
+        SimpleTypestateBU(FILE_PROPERTY),
+        k=1,
+        **kwargs,
+    )
+
+
+def test_scc_plan_unsubmitted_procs():
+    plan = _SccPlan("r", [[("leaf",)], [("a",), ("b",)], [("top",)]])
+    assert plan.unsubmitted_procs() == frozenset({"a", "b", "top"})
+    plan.wave = 1
+    assert plan.unsubmitted_procs() == frozenset({"top"})
+    plan.wave = 2
+    assert plan.unsubmitted_procs() == frozenset()
+
+
+def test_abort_plan_releases_pending_and_optionally_disables():
+    engine = _bare_engine(layered_program())
+    plan = _SccPlan("mid", [[("leaf",)], [("mid",)]])
+    engine._pending_procs = {"leaf", "mid"}
+    engine._abort_plan(plan, disable=True)
+    assert plan.aborted
+    # The in-flight wave keeps its reservation (its harvest clears it);
+    # the never-submitted wave is released and disabled.
+    assert engine._pending_procs == {"leaf"}
+    assert engine._bu_disabled == {"mid"}
+    # A second abort (another job of the same wave failing) is a no-op.
+    engine._bu_disabled.clear()
+    engine._abort_plan(plan, disable=True)
+    assert engine._bu_disabled == set()
+
+
+def test_harvest_advances_to_next_wave():
+    """Once a wave has fully landed, the harvest submits the next one,
+    whose snapshot then contains the previous wave's summaries."""
+    program = layered_program()
+    engine = _bare_engine(program)
+    engine._executor = _SyncExecutor()
+    targets = frozenset({"mid", "leaf"})
+    plan = _SccPlan("mid", condensation(program).wavefronts(targets))
+    assert len(plan.waves) == 2
+    engine._pending_procs |= targets
+    engine._submit_wave(plan)
+    assert [t for (_, t, _) in engine._in_flight] == [frozenset({"leaf"})]
+    root, job_targets, future = engine._in_flight.pop()
+    assert engine._harvest(root, job_targets, future, install=True) is None
+    assert "leaf" in engine.bu
+    # The harvest advanced the plan and submitted wave 1 (mid).
+    assert plan.wave == 1
+    assert [t for (_, t, _) in engine._in_flight] == [frozenset({"mid"})]
+    root, job_targets, future = engine._in_flight.pop()
+    assert engine._harvest(root, job_targets, future, install=True) is None
+    assert "mid" in engine.bu
+    assert not engine._pending_procs
+    assert not engine._job_plan
+    engine._executor = None
+
+
+def test_wavefront_engine_matches_td_and_emits_scc_events():
+    program = layered_program()
+    sink = RingSink()
+    engine = _bare_engine(program, max_workers=2, sink=sink)
+    initial = [bootstrap_state(FILE_PROPERTY)]
+    result = engine.run(initial)
+    td_result = TopDownEngine(program, SimpleTypestateTD(FILE_PROPERTY)).run(initial)
+    assert result.exit_states() == td_result.exit_states()
+    submitted = [e for e in sink.events if e.kind == "bu_scc_submitted"]
+    assert submitted  # at least one trigger fired and was wavefronted
+    for event in submitted:
+        assert event.data["procs"]
+        assert event.data["wave"] >= 0
+    # Per root, wave numbers never decrease in emission order.
+    by_root = {}
+    for event in submitted:
+        waves = by_root.setdefault(event.proc, [])
+        if waves:
+            assert event.data["wave"] >= waves[-1]
+        waves.append(event.data["wave"])
 
 
 def test_concurrent_accepts_warm_start_and_folds_store_counters(tmp_path):

@@ -13,6 +13,8 @@ import hypothesis.strategies as st
 import pytest
 from hypothesis import HealthCheck, given, settings
 
+from repro.framework.bottomup import BottomUpEngine
+from repro.framework.pruning import NoPruner
 from repro.framework.scheduling import make_scheduler, scheduler_names
 from repro.framework.swift import SwiftEngine
 from repro.framework.topdown import TopDownEngine
@@ -82,6 +84,82 @@ def test_swift_reports_identical_across_policies(program, k, theta):
         assert result.exit_states() == base.exit_states()
         sites = frozenset(site for (_, site) in find_errors(result))
         assert sites == base_sites
+
+
+# -- the full policy x batching matrix (property-based) -----------------------------
+@SCHEDULE_SETTINGS
+@given(program=programs(), batch_size=st.sampled_from([1, 3, 64]))
+def test_td_matrix_policies_by_batching(program, batch_size):
+    """Identical tables AND identical raw work counters across every
+    scheduler policy crossed with batched on/off: for pure top-down
+    tabulation every (point, entry, state) item is processed exactly
+    once whatever the order, so even the work counters are
+    order/batching-invariant.  Only cache traffic may move."""
+    td_analysis = SimpleTypestateTD(FILE_PROPERTY)
+    initial = [bootstrap_state(FILE_PROPERTY)]
+    base = TopDownEngine(program, td_analysis).run(initial)
+    for policy in POLICIES:
+        for batched in (False, True):
+            result = TopDownEngine(
+                program,
+                td_analysis,
+                scheduler=policy,
+                batched=batched,
+                batch_size=batch_size,
+            ).run(initial)
+            assert result.td == base.td
+            assert find_errors(result) == find_errors(base)
+            assert _counters(result.metrics) == _counters(base.metrics)
+
+
+@SCHEDULE_SETTINGS
+@given(program=programs(), k=st.integers(1, 3))
+def test_swift_matrix_policies_by_batching(program, k):
+    """SWIFT trigger timing (hence counters) is policy-dependent, but
+    the reports never are — across the whole policy x batching grid."""
+    td_analysis = SimpleTypestateTD(FILE_PROPERTY)
+    bu_analysis = SimpleTypestateBU(FILE_PROPERTY)
+    initial = [bootstrap_state(FILE_PROPERTY)]
+    base = SwiftEngine(program, td_analysis, bu_analysis, k=k).run(initial)
+    base_sites = frozenset(site for (_, site) in find_errors(base))
+    for policy in POLICIES:
+        for batched in (False, True):
+            result = SwiftEngine(
+                program,
+                td_analysis,
+                bu_analysis,
+                k=k,
+                scheduler=policy,
+                batched=batched,
+            ).run(initial)
+            assert result.exit_states() == base.exit_states()
+            sites = frozenset(site for (_, site) in find_errors(result))
+            assert sites == base_sites
+
+
+@SCHEDULE_SETTINGS
+@given(program=programs())
+def test_bu_summary_maps_identical_batched(program):
+    """Bottom-up summary maps and raw counters are batching-invariant
+    (the bottom-up pass has no worklist, so there is no policy axis)."""
+    runs = []
+    for batched in (False, True):
+        bu_analysis = SimpleTypestateBU(FILE_PROPERTY)
+        engine = BottomUpEngine(
+            program, bu_analysis, pruner=NoPruner(bu_analysis), batched=batched
+        )
+        runs.append(engine.analyze())
+    plain, batched = runs
+    assert batched.summaries == plain.summaries
+    assert (
+        batched.metrics.rtransfers,
+        batched.metrics.compositions,
+        batched.metrics.relations_created,
+    ) == (
+        plain.metrics.rtransfers,
+        plain.metrics.compositions,
+        plain.metrics.relations_created,
+    )
 
 
 # -- default counters are the legacy ones -------------------------------------------

@@ -7,7 +7,11 @@ times against a fresh store:
 * **warm** — unchanged program, second run over the snapshot.  Asserted
   to report the same errors while re-doing < 10% of the cold run's
   deterministic work (in practice 0: the preloaded contexts answer the
-  seed propagation outright);
+  seed propagation outright).  A second warm run (``warm2``) measures
+  the steady state of the process-level decode cache: the first warm
+  run pays the snapshot load + decode once (reported as
+  ``store_load_s``), every later one reuses the decoded ``WarmStart``
+  and must beat the cold run on wall clock, not just on work;
 * **edit** — one leaf procedure's body doubled, third run.  Only the
   edited procedure's invalidation cone (itself plus its transitive
   callers) is re-analyzed; the run is asserted to invalidate exactly
@@ -34,6 +38,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 from repro.bench import benchmark_names, load_benchmark
 from repro.framework.metrics import Budget
 from repro.incremental import SummaryStore, analyze_with_store
+from repro.incremental.driver import clear_warm_cache
 from repro.ir.commands import Seq
 from repro.ir.program import Program
 from repro.typestate.properties import FILE_PROPERTY
@@ -81,6 +86,7 @@ def run_one(name: str, engine: str) -> dict:
     program = load_benchmark(name).program
     edited, cone = edit_one_leaf(program)
     budget = Budget(max_work=BUDGET_WORK)
+    clear_warm_cache()
     with tempfile.TemporaryDirectory() as root:
         store = SummaryStore(root)
         cold, cold_s = _timed(
@@ -88,6 +94,12 @@ def run_one(name: str, engine: str) -> dict:
             engine=engine, domain="full", budget=budget,
         )
         warm, warm_s = _timed(
+            analyze_with_store, program, FILE_PROPERTY, store,
+            engine=engine, domain="full", budget=budget,
+        )
+        # Steady state: the decode cache is hot and the unchanged
+        # snapshot was not rewritten, so this run skips load + decode.
+        warm2, warm2_s = _timed(
             analyze_with_store, program, FILE_PROPERTY, store,
             engine=engine, domain="full", budget=budget,
         )
@@ -112,6 +124,14 @@ def run_one(name: str, engine: str) -> dict:
     assert warm_work <= WARM_WORK_FRACTION * cold_work, (
         f"warm work {warm_work} not < {WARM_WORK_FRACTION:.0%} of {cold_work}"
     )
+    assert warm2.report.errors == cold.report.errors, "warm2 errors diverged"
+    warm2_load_s = warm2.report.result.metrics.store_load_seconds
+    assert warm2_load_s <= warm.report.result.metrics.store_load_seconds, (
+        "decode cache did not shrink the second warm load"
+    )
+    assert warm2_s <= cold_s, (
+        f"steady-state warm wall {warm2_s:.4f}s exceeds cold {cold_s:.4f}s"
+    )
     assert edit.report.errors == edit_cold.report.errors, "edit errors diverged"
     assert set(edit.invalidated) == cone, "invalidated set is not the edit cone"
 
@@ -122,8 +142,16 @@ def run_one(name: str, engine: str) -> dict:
         "warm": {
             "work": warm_work,
             "seconds": round(warm_s, 4),
+            "store_load_s": round(
+                warm.report.result.metrics.store_load_seconds, 4
+            ),
             "store_hits": warm.store_hits,
             "work_fraction": round(warm_work / cold_work, 4) if cold_work else 0.0,
+        },
+        "warm2": {
+            "work": warm2.report.result.metrics.total_work,
+            "seconds": round(warm2_s, 4),
+            "store_load_s": round(warm2_load_s, 4),
         },
         "edit": {
             "work": edit_work,
@@ -148,6 +176,9 @@ def collect(benchmarks=tuple(BENCHMARKS), engines=tuple(ENGINES)):
             print(
                 f"  {name}/{engine}: cold work={row['cold']['work']} "
                 f"warm work={row['warm']['work']} "
+                f"(load {row['warm']['store_load_s']}s, "
+                f"steady {row['warm2']['seconds']}s "
+                f"vs cold {row['cold']['seconds']}s) "
                 f"edit work={row['edit']['work']} "
                 f"(cold-over-edit {row['edit']['cold_work']}, "
                 f"{len(row['edit']['invalidated'])} invalidated)",

@@ -72,6 +72,7 @@ def cmd_verify(args: argparse.Namespace) -> int:
             scheduler=args.scheduler,
             batched=args.batched,
             batch_size=args.batch_size,
+            kernel=args.kernel,
         )
         outcome = analysis_session().run(program, config)
         if outcome.timed_out:
@@ -108,6 +109,7 @@ def cmd_verify(args: argparse.Namespace) -> int:
         scheduler=args.scheduler,
         batched=args.batched,
         batch_size=args.batch_size,
+        kernel=args.kernel,
     )
     if report.timed_out:
         print(f"{prop.name}: analysis exceeded its budget")
@@ -238,6 +240,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         budget=budget,
         domain=args.domain,
         meta={"file": args.file},
+        kernel=args.kernel,
     )
     report = outcome.report
     start = "cold" if outcome.cold else "warm"
@@ -330,6 +333,14 @@ def build_parser() -> argparse.ArgumentParser:
         "(results are identical; pairs well with --scheduler scc-topo)",
     )
     verify.add_argument(
+        "--kernel",
+        choices=["object", "bitset", "numpy"],
+        default="object",
+        help="operator representation: object (uncompiled), bitset "
+        "(dense-id bitmask tables), numpy (bitset with array backend); "
+        "results and work counters are identical across all three",
+    )
+    verify.add_argument(
         "--batch-size",
         type=int,
         default=64,
@@ -348,6 +359,13 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--k", type=int, default=5)
     analyze.add_argument("--theta", type=int, default=1)
     analyze.add_argument("--budget", type=int, default=None, help="work budget")
+    analyze.add_argument(
+        "--kernel",
+        choices=["object", "bitset", "numpy"],
+        default="object",
+        help="operator representation (see `verify --kernel`); part of "
+        "the store fingerprint, so each kernel keeps its own snapshot",
+    )
     analyze.set_defaults(fn=cmd_analyze)
 
     store = sub.add_parser("store", help="inspect or maintain a summary store")

@@ -35,6 +35,12 @@ from repro.framework.caching import (
 )
 from repro.framework.ignored import IgnoredStates
 from repro.framework.interfaces import BottomUpAnalysis
+from repro.framework.kernel import (
+    DEFAULT_KERNEL,
+    RelationKernel,
+    resolve_backend,
+    validate_kernel,
+)
 from repro.framework.metrics import Budget, BudgetExceededError, Metrics
 from repro.framework.pruning import NoPruner, PruneOperator, clean, excl
 from repro.framework.tracing import NULL_SINK, TraceEvent, TraceSink
@@ -137,6 +143,8 @@ class BottomUpEngine:
         batched: bool = False,
         rtransfer_set_cache: Optional[RTransferSetCache] = None,
         rcompose_set_cache: Optional[RComposeSetCache] = None,
+        kernel: str = DEFAULT_KERNEL,
+        kernel_ops: Optional[RelationKernel] = None,
     ) -> None:
         self.program = program
         self.analysis = analysis
@@ -198,6 +206,20 @@ class BottomUpEngine:
         else:
             self._rtransfer_set = None
             self._rcompose_set = None
+        # Bitset-compiled relational operators (repro.framework.kernel,
+        # DESIGN §11): rtrans rows and rcomp matrix cells over dense
+        # relation ids.  SWIFT passes its trigger-shared RelationKernel
+        # here; a standalone run builds its own.  Representation only —
+        # the work counters below stay per logical application.
+        self.kernel = validate_kernel(kernel)
+        if kernel_ops is not None:
+            self._kernel_ops: Optional[RelationKernel] = kernel_ops
+        elif self.kernel != DEFAULT_KERNEL:
+            self._kernel_ops = RelationKernel(
+                analysis, self.metrics, backend=resolve_backend(self.kernel)
+            )
+        else:
+            self._kernel_ops = None
 
     # -- public API -----------------------------------------------------------------
     def analyze(
@@ -295,6 +317,18 @@ class BottomUpEngine:
         if self.budget is not None:
             self.budget.check(self.metrics)
         if isinstance(cmd, Prim):
+            if self._kernel_ops is not None:
+                # Compiled rows, batched-style counter arithmetic: one
+                # logical rtrans per input relation, created counts from
+                # the rows — identical totals to both object loops.
+                produced_set, created = self._kernel_ops.rtransfer_set(cmd, relations)
+                self.metrics.rtransfers += len(relations)
+                self.metrics.relations_created += created
+                if self.budget is not None:
+                    self.budget.check_counters(self.metrics)
+                return self._prune(
+                    proc, *clean(self.analysis, produced_set, ignored)
+                )
             if self._batched:
                 if self._rtransfer_set is not None:
                     produced_set, created = self._rtransfer_set(cmd, relations)
@@ -354,7 +388,18 @@ class BottomUpEngine:
                 # summary yet (η0); the interprocedural fixpoint or a
                 # later run will refine it.
                 callee = ProcedureSummary(frozenset(), self._empty_ignored())
-            if self._batched:
+            if self._kernel_ops is not None:
+                # Sparse boolean matrix multiply over compiled rcomp
+                # cells; same counter totals as the cross-product loops.
+                composed_set, created = self._kernel_ops.rcompose_set(
+                    relations, callee.relations
+                )
+                self.metrics.compositions += len(relations) * len(callee.relations)
+                self.metrics.relations_created += created
+                if self.budget is not None:
+                    self.budget.check_counters(self.metrics)
+                composed: Set = set(composed_set)
+            elif self._batched:
                 if self._rcompose_set is not None:
                     composed_set, created = self._rcompose_set(
                         relations, callee.relations

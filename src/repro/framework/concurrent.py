@@ -252,6 +252,10 @@ class ConcurrentSwiftEngine(SwiftEngine):
             restart_clock=False,
             sink=self._sink if self._tracing else None,
             batched=self.batched,
+            # Workers build their own compiled relation tables, like
+            # the object caches: SWIFT's shared RelationKernel is not
+            # touched off the tabulation thread.
+            kernel=self.kernel,
         )
         future = self._executor.submit(self._timed_analyze, engine, targets, bu_snapshot)
         self._job_plan[future] = (plan, component)

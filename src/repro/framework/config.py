@@ -27,9 +27,14 @@ import dataclasses
 from dataclasses import dataclass
 from typing import FrozenSet, Iterable, Optional
 
+from repro.framework.kernel import DEFAULT_KERNEL, validate_kernel
 from repro.framework.metrics import Budget
 from repro.framework.registry import DOMAINS, ENGINES, EngineSpec
-from repro.framework.scheduling import DEFAULT_SCHEDULER, validate_scheduler
+from repro.framework.scheduling import (
+    DEFAULT_BATCH_MIN_FRONTIER,
+    DEFAULT_SCHEDULER,
+    validate_scheduler,
+)
 
 
 @dataclass(frozen=True)
@@ -39,8 +44,15 @@ class AnalysisConfig:
     Identity fields (part of :meth:`canonical_dict`): ``engine``,
     ``domain``, ``k``, ``theta``, ``scheduler``, ``tracked_sites``,
     ``enable_caches``, ``indexed_summaries``, ``batched``,
-    ``batch_size``.  Runtime fields (not part of the canonical form):
-    ``budget``, ``sink``, ``preload``, ``max_workers``.
+    ``batch_size``, ``batch_min_frontier``, ``kernel``.  Runtime
+    fields (not part of the canonical form): ``budget``, ``sink``,
+    ``preload``, ``max_workers``.
+
+    ``kernel`` and ``batch_min_frontier`` never change the computed
+    tables or work counters (property-tested), but they are kept in
+    the canonical form anyway: a summary-store fingerprint that goes
+    cold costs one re-analysis, one that is wrong is a soundness bug —
+    cold, never wrong.
     """
 
     engine: str = "swift"
@@ -53,6 +65,8 @@ class AnalysisConfig:
     indexed_summaries: bool = True
     batched: bool = False
     batch_size: int = 64
+    batch_min_frontier: int = DEFAULT_BATCH_MIN_FRONTIER
+    kernel: str = DEFAULT_KERNEL
     budget: Optional[Budget] = None
     sink: Optional[object] = None
     preload: Optional[object] = None
@@ -72,6 +86,11 @@ class AnalysisConfig:
             raise ValueError("max_workers must be at least 1")
         if self.batch_size < 1:
             raise ValueError("batch_size must be at least 1")
+        if self.batch_min_frontier < 0:
+            raise ValueError("batch_min_frontier must be non-negative")
+        # Name check only: numpy availability is probed when an engine
+        # is built, so a numpy config can be fingerprinted anywhere.
+        validate_kernel(self.kernel)
         if self.tracked_sites is not None:
             object.__setattr__(
                 self, "tracked_sites", frozenset(self.tracked_sites)
@@ -143,9 +162,13 @@ class AnalysisConfig:
                 "indexed_summaries": self.indexed_summaries,
                 "scheduler": self.scheduler,
                 "batched": self.batched,
-                # The drain limit only matters when batching is on, so
-                # an unbatched config fingerprints the same whatever
-                # batch_size it carried.
+                # The drain limit and small-frontier threshold only
+                # matter when batching is on, so an unbatched config
+                # fingerprints the same whatever values it carried.
                 "batch_size": self.batch_size if self.batched else None,
+                "batch_min_frontier": (
+                    self.batch_min_frontier if self.batched else None
+                ),
+                "kernel": self.kernel,
             },
         }

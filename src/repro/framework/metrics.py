@@ -84,6 +84,18 @@ class Metrics:
     frontier_batches: int = 0  # per-node frontiers drained set-at-a-time
     batch_cache_hits: int = 0  # set-level memo hits (whole frontier served)
     batch_cache_misses: int = 0  # set-level memo misses
+    # Kernel-compilation stats (repro.framework.kernel, DESIGN §11).
+    # Not part of total_work: they size the compiled representation;
+    # the work counters above keep counting per *logical* operator
+    # application under every kernel, so they match the object engines.
+    kernel_states: int = 0  # dense state ids assigned
+    kernel_rows: int = 0  # compiled (command, state) transfer rows
+    kernel_relations: int = 0  # dense relation ids assigned
+    kernel_cells: int = 0  # compiled rtrans rows + rcomp matrix cells
+    kernel_compile_seconds: float = 0.0  # id-universe seeding wall time
+    # Summary-store decode wall time (repro.incremental.driver); a
+    # non-work observability metric like the kernel stats above.
+    store_load_seconds: float = 0.0
 
     def merge(self, other: "Metrics") -> None:
         """Fold ``other``'s counters into this one.

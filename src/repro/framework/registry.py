@@ -60,6 +60,17 @@ class DomainInstance:
         self.bu_analysis = bu_analysis
         self.initial_states = list(initial_states)
 
+    def kernel_seed_states(self, program: Program) -> List:
+        """States pre-registered with a compiled kernel (DESIGN §11).
+
+        Seeding fixes the dense-id assignment order up front; it is an
+        optimization only — kernels assign ids lazily for any state a
+        run discovers beyond the seeds.  The generic answer is the
+        initial states; finite domains that can cheaply enumerate more
+        of their universe override this.
+        """
+        return list(self.initial_states)
+
     def findings_from_tables(self, result: TopDownResult) -> FrozenSet:
         """Domain findings out of a top-down/SWIFT result (the tables)."""
         raise NotImplementedError
@@ -78,6 +89,11 @@ class _TypestateInstance(DomainInstance):
     def __init__(self, prop, td_analysis, bu_analysis, initial_states) -> None:
         super().__init__(td_analysis, bu_analysis, initial_states)
         self.prop = prop
+
+    def kernel_seed_states(self, program: Program) -> List:
+        from repro.typestate.enumerate import seed_states
+
+        return seed_states(program, self.prop, self.td_analysis)
 
     def findings_from_tables(self, result: TopDownResult) -> FrozenSet:
         from repro.typestate.client import find_errors
@@ -200,6 +216,16 @@ class EngineSpec:
         return self.runner(program, instance, config)
 
 
+def _kernel_options(instance, config, program) -> dict:
+    """Kernel keywords shared by the tabulation-engine runners."""
+    if config.kernel == "object":
+        return {"kernel": config.kernel}
+    return {
+        "kernel": config.kernel,
+        "kernel_seeds": instance.kernel_seed_states(program),
+    }
+
+
 def _run_td(program, instance, config) -> EngineOutcome:
     engine = TopDownEngine(
         program,
@@ -212,6 +238,8 @@ def _run_td(program, instance, config) -> EngineOutcome:
         preload=config.preload,
         batched=config.batched,
         batch_size=config.batch_size,
+        batch_min_frontier=config.batch_min_frontier,
+        **_kernel_options(instance, config, program),
     )
     result = engine.run(instance.initial_states)
     return EngineOutcome(
@@ -238,6 +266,8 @@ def _run_hybrid(engine_cls, program, instance, config, **extra) -> EngineOutcome
         preload=config.preload,
         batched=config.batched,
         batch_size=config.batch_size,
+        batch_min_frontier=config.batch_min_frontier,
+        **_kernel_options(instance, config, program),
         **extra,
     )
     result = engine.run(instance.initial_states)
@@ -273,6 +303,7 @@ def _run_bu(program, instance, config) -> EngineOutcome:
         enable_caches=config.enable_caches,
         sink=config.sink,
         batched=config.batched,
+        kernel=config.kernel,
     )
     result = engine.analyze()
     findings: FrozenSet = frozenset()

@@ -302,6 +302,15 @@ SCHEDULERS: Dict[str, Callable[[Program], Scheduler]] = {
 #: The engines' historical behaviour (``order="lifo"``).
 DEFAULT_SCHEDULER = "lifo"
 
+#: Frontier-size threshold below which batched engines run the
+#: per-item handlers instead of the set machinery.  BENCH_hotpath's
+#: size-16 rows showed batched mode *losing* (0.89–0.93x) on small
+#: programs whose frontiers rarely exceed a handful of items: the
+#: frozenset construction and set-memo probes cost more than they
+#: share.  Tuned against benchmarks/bench_hotpath.py; the per-item
+#: path bumps exactly the same raw counters (tests/test_batched.py).
+DEFAULT_BATCH_MIN_FRONTIER = 4
+
 
 def scheduler_names() -> List[str]:
     """Registered policy names, sorted."""

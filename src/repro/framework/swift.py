@@ -38,8 +38,10 @@ from repro.framework.caching import (
     RTransferSetCache,
 )
 from repro.framework.interfaces import BottomUpAnalysis, TopDownAnalysis
+from repro.framework.kernel import DEFAULT_KERNEL, RelationKernel, resolve_backend
 from repro.framework.metrics import Budget, Metrics
 from repro.framework.pruning import FrequencyPruner
+from repro.framework.scheduling import DEFAULT_BATCH_MIN_FRONTIER
 from repro.framework.topdown import TopDownEngine, TopDownResult, sorted_states
 from repro.framework.tracing import TraceEvent, TraceSink
 from repro.ir.cfg import CFGEdge, ControlFlowGraphs
@@ -120,6 +122,9 @@ class SwiftEngine(TopDownEngine):
         scheduler: Optional[str] = None,
         batched: bool = False,
         batch_size: int = 64,
+        batch_min_frontier: int = DEFAULT_BATCH_MIN_FRONTIER,
+        kernel: str = DEFAULT_KERNEL,
+        kernel_seeds: Optional[Iterable] = None,
     ) -> None:
         super().__init__(
             program,
@@ -134,6 +139,9 @@ class SwiftEngine(TopDownEngine):
             scheduler=scheduler,
             batched=batched,
             batch_size=batch_size,
+            batch_min_frontier=batch_min_frontier,
+            kernel=kernel,
+            kernel_seeds=kernel_seeds,
         )
         if k < 1:
             raise ValueError("k must be at least 1")
@@ -176,6 +184,21 @@ class SwiftEngine(TopDownEngine):
         else:
             self._bu_rtransfer_set_cache = None
             self._bu_rcompose_set_cache = None
+        # Compiled relational operators (repro.framework.kernel),
+        # shared across every trigger like the object caches above.
+        # SWIFT's work counters are order-dependent (trigger timing),
+        # so the hybrid engine keeps the object control flow and swaps
+        # in compiled operators only — the values returned are
+        # identical, so counters match the object run trivially.
+        if self.kernel != DEFAULT_KERNEL:
+            self._krels: Optional[RelationKernel] = RelationKernel(
+                bu_analysis,
+                self.metrics,
+                backend=resolve_backend(self.kernel),
+                canon_states=sorted_states,
+            )
+        else:
+            self._krels = None
         # Instantiation cache: (callee, sigma) -> outputs, or None when
         # sigma is in the summary's ignored set (top-down fallback).
         # Entries are only valid for the summary they were computed
@@ -203,6 +226,12 @@ class SwiftEngine(TopDownEngine):
             if not cached:
                 if sigma in summary.ignored:
                     outputs = None
+                elif self._krels is not None:
+                    # Lines 12-14 through the kernel: one logical
+                    # instantiation per relation, exactly like the
+                    # object loop below, served from compiled rows.
+                    self.metrics.summary_instantiations += len(summary.relations)
+                    outputs = self._krels.apply_summary(summary.relations, sigma)
                 else:
                     # Lines 12-14: instantiate the bottom-up summary.
                     collected = set()
@@ -298,6 +327,8 @@ class SwiftEngine(TopDownEngine):
             batched=self.batched,
             rtransfer_set_cache=self._bu_rtransfer_set_cache,
             rcompose_set_cache=self._bu_rcompose_set_cache,
+            kernel=self.kernel,
+            kernel_ops=self._krels,
         )
         self.metrics.bu_triggers += 1
         bu_started = time.perf_counter() if self._tracing else 0.0

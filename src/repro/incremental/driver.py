@@ -9,12 +9,24 @@ survivors as a warm start, and — when the run finished within budget —
 writes the merged snapshot back.  Timed-out runs are never saved: a
 stored context must be a *finished* fixpoint, and a partial table would
 be trusted as complete by the next warm run.
+
+Repeated warm runs in one process (watch loops, benchmark drivers, the
+test suite) used to re-read and re-decode the snapshot every call —
+enough JSON and state decoding that a warm run could lose on wall clock
+despite doing a fraction of the analysis work.  A process-level decode
+cache now keys the built :class:`WarmStart` on (store root, config
+fingerprint, snapshot file identity, program fingerprints); engines
+never mutate a ``WarmStart`` (activation copies rows into their own
+tables), so sharing one across sequential runs is sound.  The wall
+time actually spent on load + diff + decode is reported per run as
+``Metrics.store_load_seconds``.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import FrozenSet, Optional
+from typing import Dict, FrozenSet, Optional, Tuple
 
 from repro.framework.config import AnalysisConfig
 from repro.framework.metrics import Budget
@@ -34,6 +46,60 @@ from repro.incremental.store import SummaryStore
 from repro.ir.program import Program
 from repro.typestate.client import TypestateReport, make_analyses, run_typestate
 from repro.typestate.dfa import TypestateProperty
+
+#: Process-level WarmStart decode cache: one entry per (store root,
+#: config fingerprint).  The value remembers which snapshot file
+#: (mtime_ns, size) and which program fingerprints it was built from —
+#: a save to the store or an edit to the program misses naturally.
+_WARM_CACHE: Dict[Tuple[str, str], Tuple] = {}
+_WARM_CACHE_MAX = 64
+
+
+def clear_warm_cache() -> None:
+    """Drop every cached decoded warm start (tests, long-lived hosts)."""
+    _WARM_CACHE.clear()
+
+
+def _snapshot_signature(store: SummaryStore, config_fp: str):
+    """File identity of the stored snapshot, or None when absent."""
+    try:
+        stat = store.path_for(config_fp).stat()
+    except OSError:
+        return None
+    return (stat.st_mtime_ns, stat.st_size)
+
+
+def _load_warm(
+    store: SummaryStore,
+    config_fp: str,
+    fingerprints: ProgramFingerprints,
+    codec: Codec,
+):
+    """Load + diff + decode, through the process-level cache.
+
+    Returns ``(snapshot, plan, warm)`` — all ``None``/``None``/``None``
+    on a cold start.  The cached ``WarmStart`` is returned as-is:
+    engines only read it (context activation copies rows into the
+    run's own tables), which is what makes the share safe.
+    """
+    signature = _snapshot_signature(store, config_fp)
+    key = (str(store.root.resolve()), config_fp)
+    fp_key = fingerprints.as_dict()
+    if signature is not None:
+        hit = _WARM_CACHE.get(key)
+        if hit is not None and hit[0] == signature and hit[1] == fp_key:
+            return hit[2], hit[3], hit[4]
+    snapshot = store.load(config_fp)
+    if snapshot is None:
+        _WARM_CACHE.pop(key, None)
+        return None, None, None
+    plan = diff_fingerprints(snapshot.fingerprints, fingerprints)
+    warm = build_warm_start(snapshot, plan, codec)
+    if signature is not None:
+        if len(_WARM_CACHE) >= _WARM_CACHE_MAX:
+            _WARM_CACHE.pop(next(iter(_WARM_CACHE)))
+        _WARM_CACHE[key] = (signature, fp_key, snapshot, plan, warm)
+    return snapshot, plan, warm
 
 
 @dataclass
@@ -70,12 +136,15 @@ def analyze_with_store(
     sink=None,
     save: bool = True,
     meta: Optional[dict] = None,
+    kernel: str = "object",
 ) -> IncrementalOutcome:
     """Run ``prop`` over ``program`` with a persistent summary store.
 
     Accepts the ``td`` and ``swift`` engines; a pure bottom-up run has
     no preload hook (its whole point is recomputing every summary), so
-    ``engine="bu"`` raises ``ValueError``.
+    ``engine="bu"`` raises ``ValueError``.  ``kernel`` selects the
+    operator representation exactly as in ``run_typestate`` (a warm
+    start disables the mask solver but keeps the compiled rows).
     """
     if engine not in ("td", "swift"):
         raise ValueError(
@@ -90,6 +159,7 @@ def analyze_with_store(
         enable_caches=enable_caches,
         indexed_summaries=indexed_summaries,
         scheduler=scheduler if scheduler is not None else "lifo",
+        kernel=kernel,
     )
     oracle = None
     facts = None
@@ -103,12 +173,9 @@ def analyze_with_store(
     _, bu_analysis, _ = make_analyses(program, prop, domain, tracked_sites, oracle)
     codec = Codec(domain, bu_analysis)
 
-    snapshot = store.load(config_fp)
-    plan = None
-    warm = None
-    if snapshot is not None:
-        plan = diff_fingerprints(snapshot.fingerprints, fingerprints)
-        warm = build_warm_start(snapshot, plan, codec)
+    load_started = time.perf_counter()
+    snapshot, plan, warm = _load_warm(store, config_fp, fingerprints, codec)
+    store_load_seconds = time.perf_counter() - load_started
 
     report = run_typestate(
         program,
@@ -125,8 +192,10 @@ def analyze_with_store(
         scheduler=scheduler,
         sink=sink,
         preload=warm,
+        kernel=kernel,
     )
     metrics = report.result.metrics
+    metrics.store_load_seconds += store_load_seconds
     outcome = IncrementalOutcome(
         report=report,
         config_fp=config_fp,
@@ -140,15 +209,35 @@ def analyze_with_store(
         plan=plan,
     )
     if save and not report.timed_out:
-        new_snapshot = build_snapshot(
-            config,
-            config_fp,
-            fingerprints,
-            report.result,
-            codec,
-            previous=snapshot,
-            meta=meta,
+        # A warm run over an unchanged program would rebuild exactly the
+        # snapshot it loaded: every stored entry survived the diff, and
+        # zero deterministic work means every table row came from
+        # activating stored contexts (a genuinely new context would
+        # have cost at least one propagation).  Skipping the re-encode
+        # and the byte-identical rewrite keeps the file's identity
+        # stable, so the process-level decode cache stays warm for the
+        # next run — a changed snapshot is written as before and drops
+        # the now-stale cache entry.
+        unchanged = (
+            snapshot is not None
+            and plan is not None
+            and not plan.invalidated
+            and not plan.added
+            and metrics.total_work == 0
         )
-        outcome.snapshot_path = str(store.save(new_snapshot))
+        if unchanged:
+            outcome.snapshot_path = str(store.path_for(config_fp))
+        else:
+            new_snapshot = build_snapshot(
+                config,
+                config_fp,
+                fingerprints,
+                report.result,
+                codec,
+                previous=snapshot,
+                meta=meta,
+            )
+            _WARM_CACHE.pop((str(store.root.resolve()), config_fp), None)
+            outcome.snapshot_path = str(store.save(new_snapshot))
         outcome.saved = True
     return outcome

@@ -108,6 +108,8 @@ def run_typestate(
     max_workers: int = 1,
     batched: bool = False,
     batch_size: int = 64,
+    batch_min_frontier: Optional[int] = None,
+    kernel: str = "object",
 ) -> TypestateReport:
     """Verify ``prop`` over ``program`` with the chosen engine.
 
@@ -129,7 +131,16 @@ def run_typestate(
     analysis events (default: none, zero overhead).  ``preload`` is an
     optional :class:`repro.incremental.invalidate.WarmStart` of
     fingerprint-validated stored summaries (not supported by ``bu``).
+    ``kernel`` selects the operator representation (``object``,
+    ``bitset``, or ``numpy`` — see :mod:`repro.framework.kernel`);
+    like the other hot-path knobs it changes wall clock only, never
+    tables, reports, or work counters.  ``batch_min_frontier`` is the
+    frontier size at or below which batched mode takes the per-item
+    fast path (default: the tuned framework value).
     """
+    extra = {}
+    if batch_min_frontier is not None:
+        extra["batch_min_frontier"] = batch_min_frontier
     config = AnalysisConfig(
         engine=engine,
         domain=domain,
@@ -145,6 +156,8 @@ def run_typestate(
         max_workers=max_workers,
         batched=batched,
         batch_size=batch_size,
+        kernel=kernel,
+        **extra,
     )
     if not config.domain.startswith("typestate-"):
         raise ValueError(

@@ -1,0 +1,94 @@
+"""Seed enumeration for the bitset kernel (DESIGN §11).
+
+A compiled kernel (:mod:`repro.framework.kernel`) assigns dense
+integer ids to abstract states lazily, in canonical order of first
+sight.  These enumerators pre-seed that id space for the two typestate
+domains with the states a run is overwhelmingly likely to touch:
+
+* the bootstrap state and its DFA-state variants (a tracked call on a
+  receiver outside the must set drives any object — the bootstrap one
+  included — to ``error``);
+* for every ``v = new h`` at a tracked site, the fresh abstract object
+  the allocation materializes, again across every DFA state it may
+  later be driven to.
+
+Seeding is an optimization only: states beyond the seeds (e.g. the
+must/must-not set variants produced by assignments) get their ids
+lazily, and the enumeration is deliberately a superset of what a given
+program reaches — unreachable seeds cost one id each and nothing else
+(tests/test_kernel.py covers both directions).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.ir.commands import Call, Choice, Command, New, Prim, Seq, Star
+from repro.ir.program import Program
+from repro.typestate.dfa import TypestateProperty
+from repro.typestate.full.td import FullTypestateTD
+from repro.typestate.states import bootstrap_state
+from repro.typestate.full.states import full_bootstrap_state
+from repro.typestate.td_analysis import SimpleTypestateTD
+
+
+def _iter_prims(cmd: Command) -> Iterator[Prim]:
+    """Every primitive command in ``cmd``, in syntactic order."""
+    stack = [cmd]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Prim):
+            yield node
+        elif isinstance(node, Seq):
+            stack.extend(reversed(node.parts))
+        elif isinstance(node, Choice):
+            stack.extend(reversed(node.alternatives))
+        elif isinstance(node, Star):
+            stack.append(node.body)
+        elif isinstance(node, Call):
+            continue
+        else:  # pragma: no cover - the command grammar is closed
+            raise TypeError(f"unknown command node {node!r}")
+
+
+def _tracked_news(program: Program, tracks_site) -> List[New]:
+    """Tracked allocations, in deterministic procedure/syntactic order."""
+    news: List[New] = []
+    for proc in sorted(program):
+        for prim in _iter_prims(program[proc]):
+            if isinstance(prim, New) and tracks_site(prim.site):
+                news.append(prim)
+    return news
+
+
+def seed_states(program: Program, prop: TypestateProperty, td_analysis) -> List:
+    """Kernel id seeds for a typestate domain instance.
+
+    Dispatches on the analysis kind; the returned order is a pure
+    function of the program text and the property, so the dense-id
+    space it fixes is identical across runs and hash seeds.
+    """
+    if isinstance(td_analysis, FullTypestateTD):
+        base = [full_bootstrap_state(prop)]
+        base.extend(
+            td_analysis.fresh_state(cmd.lhs, cmd.site)
+            for cmd in _tracked_news(program, td_analysis.tracks_site)
+        )
+    elif isinstance(td_analysis, SimpleTypestateTD):
+        from repro.typestate.states import AbstractState, intern_state
+
+        base = [bootstrap_state(prop)]
+        base.extend(
+            intern_state(
+                AbstractState(cmd.site, prop.initial, frozenset({cmd.lhs}))
+            )
+            for cmd in _tracked_news(program, td_analysis._tracks_site)
+        )
+    else:
+        raise TypeError(f"no seed enumerator for analysis {td_analysis!r}")
+    seeds = []
+    for sigma in base:
+        for state in prop.states:
+            seeds.append(sigma.with_state(state))
+    # dict.fromkeys dedups while preserving the first-sight order.
+    return list(dict.fromkeys(seeds))

@@ -59,6 +59,26 @@ def test_batched_td_tables_and_raw_counters_identical(batch_size):
         assert plain.metrics.frontier_batches == 0
 
 
+@pytest.mark.parametrize("threshold", [0, 1, 4, 10_000])
+def test_batch_min_frontier_locks_tables_and_raw_counters(threshold):
+    """The small-frontier fast path is a pure wall-clock knob.
+
+    Every threshold — from 0 (always the set machinery) to effectively
+    infinite (always the per-item handlers) — must produce the same
+    tables and raw counters.  ``frontier_batches`` is batch *traffic*
+    (like the cache counters) and free to move with the threshold: the
+    two application paths re-enqueue in different groupings, so
+    frontiers accumulate differently.
+    """
+    for program in all_small_programs():
+        plain = _td(program)
+        gated = _td(program, batched=True, batch_min_frontier=threshold)
+        assert gated.td == plain.td
+        assert gated.exit_states() == plain.exit_states()
+        assert _raw_td_counters(gated.metrics) == _raw_td_counters(plain.metrics)
+        assert gated.metrics.frontier_batches > 0
+
+
 def test_batched_td_identical_without_caches():
     # The inline (cache-less) batched path must agree too.
     for program in all_small_programs():

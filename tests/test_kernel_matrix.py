@@ -1,0 +1,102 @@
+"""Kernel ≡ object equivalence across the whole engine × domain matrix.
+
+The compiled kernels (DESIGN §11) are *wall-clock-only*: for every
+registered engine, every domain, and every scheduling policy, a kernel
+run must produce the same verdict, the same summary counts, and the
+same deterministic work counters as the object run with the same
+policy.  Baselines are policy-matched — only ``kernel`` varies within a
+comparison — because SWIFT/concurrent counters legitimately depend on
+propagation order, which schedulers and batching change.
+
+A hypothesis sweep extends the fixed corpus with random programs.
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given
+
+from repro.framework.kernel import numpy_available
+from repro.typestate.client import run_typestate
+from repro.typestate.properties import FILE_PROPERTY
+
+from tests.helpers import all_small_programs
+from tests.test_property_based import ENGINE_SETTINGS, programs
+
+ENGINES = ["td", "bu", "swift", "concurrent"]
+DOMAINS = ["simple", "full"]
+# (scheduler, batched) policy pairs: the default order and the pairing
+# the batching layer is designed for.
+POLICIES = [("lifo", False), ("scc-topo", True)]
+KERNELS = ["bitset"] + (["numpy"] if numpy_available() else [])
+
+
+def _work_signature(report):
+    m = report.result.metrics
+    return (
+        report.errors,
+        report.td_summaries,
+        report.bu_summaries,
+        report.timed_out,
+        m.transfers,
+        m.rtransfers,
+        m.compositions,
+        m.propagations,
+        m.td_summary_reuses,
+        m.relations_created,
+        m.summary_instantiations,
+        m.total_work,
+    )
+
+
+def _run(program, engine, domain, scheduler, batched, kernel):
+    return run_typestate(
+        program,
+        FILE_PROPERTY,
+        engine=engine,
+        domain=domain,
+        scheduler=scheduler,
+        batched=batched,
+        kernel=kernel,
+    )
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("domain", DOMAINS)
+def test_kernels_match_object_engines(engine, domain):
+    for program in all_small_programs():
+        for scheduler, batched in POLICIES:
+            baseline = _work_signature(
+                _run(program, engine, domain, scheduler, batched, "object")
+            )
+            for kernel in KERNELS:
+                kernel_sig = _work_signature(
+                    _run(program, engine, domain, scheduler, batched, kernel)
+                )
+                assert kernel_sig == baseline, (
+                    f"{engine}/{domain}/{scheduler}"
+                    f"{'+batched' if batched else ''} kernel={kernel}"
+                )
+
+
+@ENGINE_SETTINGS
+@given(program=programs())
+def test_bitset_td_matches_object_on_random_programs(program):
+    baseline = _work_signature(
+        _run(program, "td", "simple", "lifo", False, "object")
+    )
+    assert (
+        _work_signature(_run(program, "td", "simple", "lifo", False, "bitset"))
+        == baseline
+    )
+
+
+@ENGINE_SETTINGS
+@given(program=programs())
+def test_bitset_swift_matches_object_on_random_programs(program):
+    baseline = _work_signature(
+        _run(program, "swift", "full", "lifo", False, "object")
+    )
+    assert (
+        _work_signature(_run(program, "swift", "full", "lifo", False, "bitset"))
+        == baseline
+    )

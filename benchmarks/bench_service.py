@@ -1,0 +1,250 @@
+"""Resident service vs per-process runs: what staying warm is worth.
+
+``repro-swift analyze --store`` already reuses summaries across
+invocations, but every invocation still pays interpreter startup,
+module imports, program parsing, and snapshot load + decode before the
+(near-zero) warm solve.  The service keeps all of that resident.  This
+harness quantifies the difference per suite benchmark:
+
+* **resident_warm** — p50/p99 latency of warm ``analyze`` requests
+  against a live daemon (HTTP front end, real client, real sockets);
+* **subprocess_warm** — p50/p99 wall clock of ``repro-swift analyze
+  --store`` child processes over an already-warm store (the pre-daemon
+  workflow);
+* **throughput** — requests/second sustained by concurrent clients
+  hammering the same key (exercising the coalescing and LRU paths);
+* **identical** — every service response's verdicts equal a direct
+  in-process ``run_typestate`` over the same program and config.
+
+The headline assertion is the issue's acceptance bar: resident warm
+p50 beats the per-process warm wall by >= ``MIN_SPEEDUP``x.
+
+Run standalone to (re)generate ``BENCH_service.json``::
+
+    PYTHONPATH=src python benchmarks/bench_service.py [--quick] [--out PATH]
+
+(``--quick`` trims benchmarks and sample counts but still writes the
+JSON, so CI can upload it as an artifact) or collect under pytest
+(cheap single-benchmark checks only)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_service.py
+"""
+
+import argparse
+import os
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+sys.path.insert(0, str(SRC))
+
+from repro.bench import benchmark_names, load_benchmark
+from repro.ir.printer import format_program
+from repro.service import AnalysisService, ServiceClient, make_server
+from repro.typestate.client import run_typestate
+from repro.typestate.properties import FILE_PROPERTY
+
+BENCHMARKS = ["jpat-p", "elevator", "toba-s"]
+ENGINE = "swift"
+#: Resident warm p50 must beat the per-process warm wall by this factor.
+MIN_SPEEDUP = 3.0
+WARM_SAMPLES = 30
+SUBPROCESS_SAMPLES = 5
+CLIENT_COUNTS = (1, 2, 4, 8)
+REQUESTS_PER_CLIENT = 10
+
+
+def _percentile(samples, q: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _expected_errors(program):
+    report = run_typestate(program, FILE_PROPERTY, engine=ENGINE, domain="full")
+    return [[str(point), site] for point, site in sorted(report.errors, key=str)]
+
+
+def _subprocess_warm(ir_text: str, samples: int):
+    """Wall clock of per-process ``analyze --store`` runs on a warm store."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC)
+    with tempfile.TemporaryDirectory() as root:
+        program_path = Path(root) / "program.ir"
+        program_path.write_text(ir_text)
+        cmd = [
+            sys.executable, "-m", "repro.cli", "analyze", str(program_path),
+            "--store", str(Path(root) / "store"), "--engine", ENGINE,
+        ]
+        walls = []
+        for i in range(samples + 1):  # +1: the cold run that fills the store
+            started = time.perf_counter()
+            proc = subprocess.run(cmd, env=env, capture_output=True, text=True)
+            wall = time.perf_counter() - started
+            assert proc.returncode in (0, 1), proc.stderr
+            if i > 0:
+                assert "warm start" in proc.stdout, proc.stdout
+                walls.append(wall * 1000.0)
+    return walls
+
+
+def run_one(
+    name: str,
+    warm_samples: int = WARM_SAMPLES,
+    subprocess_samples: int = SUBPROCESS_SAMPLES,
+    client_counts=CLIENT_COUNTS,
+) -> dict:
+    program = load_benchmark(name).program
+    ir_text = format_program(program)
+    expected = _expected_errors(program)
+
+    with tempfile.TemporaryDirectory() as root:
+        service = AnalysisService(root, lru_size=8)
+        server = make_server(service)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            client = ServiceClient(
+                f"http://127.0.0.1:{server.server_address[1]}"
+            )
+            assert client.wait_ready(10), "daemon never became ready"
+
+            started = time.perf_counter()
+            cold = client.analyze(ir_text, fmt="ir")
+            cold_ms = (time.perf_counter() - started) * 1000.0
+            assert cold["cold"] and cold["errors"] == expected
+            first_warm = client.analyze(ir_text, fmt="ir")
+            assert first_warm["work"] == 0, "warm request re-did work"
+
+            latencies = []
+            for i in range(warm_samples):
+                started = time.perf_counter()
+                response = client.analyze(ir_text, fmt="ir", request_id=i)
+                latencies.append((time.perf_counter() - started) * 1000.0)
+                assert response["errors"] == expected and response["work"] == 0
+
+            throughput = []
+            for clients in client_counts:
+                total = clients * REQUESTS_PER_CLIENT
+
+                def fire(i):
+                    response = client.analyze(ir_text, fmt="ir", request_id=i)
+                    assert response["errors"] == expected
+                    return response
+
+                started = time.perf_counter()
+                with ThreadPoolExecutor(max_workers=clients) as pool:
+                    responses = list(pool.map(fire, range(total)))
+                wall = time.perf_counter() - started
+                assert len(responses) == total
+                throughput.append(
+                    {
+                        "clients": clients,
+                        "requests": total,
+                        "wall_s": round(wall, 4),
+                        "rps": round(total / wall, 1),
+                    }
+                )
+            stats = client.stats()
+            client.shutdown()
+            thread.join(10)
+        finally:
+            server.server_close()
+
+    sub_walls = _subprocess_warm(ir_text, subprocess_samples)
+    service_p50 = _percentile(latencies, 0.50)
+    subprocess_p50 = _percentile(sub_walls, 0.50)
+    speedup = subprocess_p50 / service_p50 if service_p50 else float("inf")
+    assert speedup >= MIN_SPEEDUP, (
+        f"{name}: resident warm p50 {service_p50:.2f}ms is only "
+        f"{speedup:.1f}x faster than per-process {subprocess_p50:.2f}ms "
+        f"(need {MIN_SPEEDUP}x)"
+    )
+    return {
+        "benchmark": name,
+        "engine": ENGINE,
+        "cold_ms": round(cold_ms, 2),
+        "resident_warm": {
+            "p50_ms": round(service_p50, 2),
+            "p99_ms": round(_percentile(latencies, 0.99), 2),
+            "samples": len(latencies),
+        },
+        "subprocess_warm": {
+            "p50_ms": round(subprocess_p50, 2),
+            "p99_ms": round(_percentile(sub_walls, 0.99), 2),
+            "samples": len(sub_walls),
+        },
+        "speedup_p50": round(speedup, 1),
+        "throughput": throughput,
+        "warm_cache": {
+            "hits": stats["warm_cache"]["hits"],
+            "evictions": stats["warm_cache"]["evictions"],
+        },
+        "coalesced": stats["coalesced"],
+        "identical": True,
+    }
+
+
+def collect(benchmarks=tuple(BENCHMARKS), **kwargs):
+    rows = []
+    for name in benchmarks:
+        row = run_one(name, **kwargs)
+        rows.append(row)
+        best = max(t["rps"] for t in row["throughput"])
+        print(
+            f"  {name}: resident p50={row['resident_warm']['p50_ms']}ms "
+            f"p99={row['resident_warm']['p99_ms']}ms vs per-process "
+            f"p50={row['subprocess_warm']['p50_ms']}ms "
+            f"({row['speedup_p50']}x), peak {best} req/s",
+            flush=True,
+        )
+    return rows
+
+
+# -- pytest entry points (cheap; the full sweep is standalone-only) -------------------
+def test_service_resident_warm_beats_subprocess(once):
+    row = once(
+        run_one, "jpat-p",
+        warm_samples=5, subprocess_samples=1, client_counts=(2,),
+    )
+    assert row["identical"]
+    assert row["speedup_p50"] >= MIN_SPEEDUP
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--benchmarks", nargs="*", default=BENCHMARKS)
+    parser.add_argument("--out", default="BENCH_service.json")
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke: one benchmark, fewer samples (still writes JSON)",
+    )
+    args = parser.parse_args(argv)
+    unknown = [b for b in args.benchmarks if b not in benchmark_names()]
+    if unknown:
+        print(f"unknown benchmark(s) {unknown}; choose from {benchmark_names()}")
+        return 2
+    if args.quick:
+        rows = collect(
+            benchmarks=["jpat-p"],
+            warm_samples=10,
+            subprocess_samples=2,
+            client_counts=(1, 4),
+        )
+    else:
+        rows = collect(benchmarks=args.benchmarks)
+    from repro.experiments.export import export_service
+
+    path = export_service(rows, args.out)
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

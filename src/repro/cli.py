@@ -7,6 +7,10 @@
     repro-swift verify prog.mini --engine concurrent --scheduler fifo
     repro-swift verify prog.mini --domain killgen
     repro-swift analyze prog.mini --store .repro-store
+    repro-swift serve --root .repro-service --http 127.0.0.1:8731
+    repro-swift client analyze prog.mini --server http://127.0.0.1:8731
+    repro-swift client stats --server http://127.0.0.1:8731
+    repro-swift client shutdown --server http://127.0.0.1:8731
     repro-swift store stats .repro-store
     repro-swift store gc .repro-store --keep 4
     repro-swift store clear .repro-store
@@ -266,6 +270,125 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     return 1
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.daemon import AnalysisService
+
+    service = AnalysisService(args.root, lru_size=args.lru_size)
+    if args.stdio:
+        from repro.service.stdio import StdioFrontend
+
+        return StdioFrontend(service, sys.stdin, sys.stdout).serve()
+    from repro.service.http import make_server
+
+    host, _, port = args.http.rpartition(":")
+    server = make_server(service, host or "127.0.0.1", int(port))
+    bound = server.server_address
+    print(
+        f"repro-swift service listening on http://{bound[0]}:{bound[1]} "
+        f"(store root {args.root}, lru {args.lru_size})",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
+def cmd_client(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient, ServiceError
+
+    client = ServiceClient(args.server)
+    try:
+        if args.client_command in ("analyze", "edit"):
+            path = args.file
+            text = Path(path).read_text()
+            fmt = "mini" if path.endswith(".mini") else "ir"
+            config = {
+                "engine": args.engine,
+                "domain": args.domain,
+                "k": args.k,
+                "theta": args.theta,
+                "kernel": args.kernel,
+            }
+            if args.budget:
+                config["budget"] = {"max_work": args.budget}
+            on_trace = None
+            if args.trace:
+                on_trace = lambda event: print(f"  trace: {event}")
+            response = client.analyze(
+                text,
+                fmt=fmt,
+                prop=args.property,
+                config=config,
+                trace=args.trace,
+                op=args.client_command,
+                on_trace=on_trace,
+            )
+            # Header mirrors `analyze --store`; the verdict lines below
+            # it are byte-identical to `repro-swift verify`'s output.
+            start = "cold" if response["cold"] else "warm"
+            coalesced = " (coalesced)" if response.get("coalesced") else ""
+            print(
+                f"{args.property}: {start} start{coalesced}, "
+                f"hits={response.get('store_hits', 0)} "
+                f"misses={response.get('store_misses', 0)} "
+                f"invalidated={response.get('store_invalidated', 0)} "
+                f"work={response['work']}"
+            )
+            if response["timed_out"]:
+                print(f"{args.property}: analysis exceeded its budget")
+                return 2
+            if not response["errors"]:
+                print(
+                    f"{args.property}: ok "
+                    f"({response['td_summaries']} top-down summaries)"
+                )
+                return 0
+            print(
+                f"{args.property}: {len(response['errors'])} "
+                "possible protocol violation(s)"
+            )
+            for point, site in response["errors"]:
+                print(f"  object from {site} may be in the error state at {point}")
+            return 1
+        if args.client_command == "query":
+            text = Path(args.file).read_text()
+            fmt = "mini" if args.file.endswith(".mini") else "ir"
+            response = client.query(
+                text,
+                fmt=fmt,
+                prop=args.property,
+                config={"engine": args.engine, "domain": args.domain},
+            )
+            print(
+                f"shard={response['shard']} known={response['known']} "
+                f"resident={response['resident']} snapshot={response['snapshot']}"
+            )
+            return 0
+        if args.client_command == "stats":
+            import json as _json
+
+            print(_json.dumps(client.stats(), indent=2, sort_keys=True))
+            return 0
+        if args.client_command == "shutdown":
+            response = client.shutdown()
+            print(
+                f"service shut down "
+                f"({response['drained_requests']} request(s) served)"
+            )
+            return 0
+        raise AssertionError(f"unknown client subcommand {args.client_command!r}")
+    except ServiceError as exc:
+        print(f"service error: {exc}")
+        return 2
+    except OSError as exc:
+        print(f"cannot reach {args.server}: {exc}")
+        return 2
+
+
 def cmd_store(args: argparse.Namespace) -> int:
     from repro.incremental import SummaryStore
 
@@ -367,6 +490,95 @@ def build_parser() -> argparse.ArgumentParser:
         "the store fingerprint, so each kernel keeps its own snapshot",
     )
     analyze.set_defaults(fn=cmd_analyze)
+
+    serve = sub.add_parser(
+        "serve", help="run the resident analysis service (daemon)"
+    )
+    serve.add_argument(
+        "--root",
+        default=".repro-service",
+        metavar="DIR",
+        help="store root; snapshots shard under DIR/<program fp>/",
+    )
+    serve.add_argument(
+        "--http",
+        default="127.0.0.1:8731",
+        metavar="HOST:PORT",
+        help="listen address (port 0 picks a free port)",
+    )
+    serve.add_argument(
+        "--stdio",
+        action="store_true",
+        help="serve JSONL over stdin/stdout instead of HTTP",
+    )
+    serve.add_argument(
+        "--lru-size",
+        type=int,
+        default=8,
+        metavar="N",
+        help="resident decoded warm starts kept (true LRU)",
+    )
+    serve.set_defaults(fn=cmd_serve)
+
+    client = sub.add_parser("client", help="talk to a running service")
+    client_sub = client.add_subparsers(dest="client_command", required=True)
+
+    def _client_common(sub_parser, with_file=True):
+        if with_file:
+            sub_parser.add_argument("file")
+        sub_parser.add_argument(
+            "--server",
+            default="http://127.0.0.1:8731",
+            help="service base URL",
+        )
+        sub_parser.set_defaults(fn=cmd_client)
+
+    for verb in ("analyze", "edit"):
+        sub_parser = client_sub.add_parser(
+            verb,
+            help=(
+                "verify through the service"
+                if verb == "analyze"
+                else "re-verify a changed program through the service"
+            ),
+        )
+        _client_common(sub_parser)
+        sub_parser.add_argument("--property", default="File")
+        sub_parser.add_argument(
+            "--engine", choices=["td", "bu", "swift", "concurrent"], default="swift"
+        )
+        sub_parser.add_argument(
+            "--domain", choices=["simple", "full"], default="full"
+        )
+        sub_parser.add_argument("--k", type=int, default=5)
+        sub_parser.add_argument("--theta", type=int, default=1)
+        sub_parser.add_argument("--budget", type=int, default=None)
+        sub_parser.add_argument(
+            "--kernel", choices=["object", "bitset", "numpy"], default="object"
+        )
+        sub_parser.add_argument(
+            "--trace",
+            action="store_true",
+            help="stream the engine's trace events while the run happens",
+        )
+
+    query = client_sub.add_parser(
+        "query", help="what the service knows about (program, config)"
+    )
+    _client_common(query)
+    query.add_argument("--property", default="File")
+    query.add_argument(
+        "--engine", choices=["td", "bu", "swift", "concurrent"], default="swift"
+    )
+    query.add_argument("--domain", choices=["simple", "full"], default="full")
+
+    stats = client_sub.add_parser("stats", help="service counters as JSON")
+    _client_common(stats, with_file=False)
+
+    shutdown = client_sub.add_parser(
+        "shutdown", help="drain in-flight requests, then stop the daemon"
+    )
+    _client_common(shutdown, with_file=False)
 
     store = sub.add_parser("store", help="inspect or maintain a summary store")
     store_sub = store.add_subparsers(dest="store_command", required=True)

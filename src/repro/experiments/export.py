@@ -125,6 +125,22 @@ def export_incremental(
     return out
 
 
+def export_service(rows: Iterable[dict], path: str = "BENCH_service.json") -> Path:
+    """Write the resident-service benchmark rows
+    (benchmarks/bench_service.py) as JSON."""
+    import json
+
+    out = Path(path)
+    payload = {
+        "benchmark": "bench_service",
+        "description": "resident daemon warm-request latency and throughput "
+        "vs per-process analyze --store",
+        "rows": list(rows),
+    }
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return out
+
+
 def export_all(directory: str = "results") -> List[Path]:
     """Export every exhibit; returns the written paths."""
     base = Path(directory)

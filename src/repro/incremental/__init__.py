@@ -20,7 +20,12 @@ versions.  This package adds that layer:
 """
 
 from repro.incremental.codec import Codec
-from repro.incremental.driver import IncrementalOutcome, analyze_with_store
+from repro.incremental.driver import (
+    IncrementalOutcome,
+    WarmCache,
+    analyze_with_store,
+    clear_warm_cache,
+)
 from repro.incremental.fingerprint import (
     ProgramFingerprints,
     config_fingerprint,
@@ -42,8 +47,10 @@ __all__ = [
     "Snapshot",
     "StoredContext",
     "SummaryStore",
+    "WarmCache",
     "WarmStart",
     "analyze_with_store",
+    "clear_warm_cache",
     "build_snapshot",
     "build_warm_start",
     "config_fingerprint",

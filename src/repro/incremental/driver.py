@@ -11,25 +11,33 @@ stored context must be a *finished* fixpoint, and a partial table would
 be trusted as complete by the next warm run.
 
 Repeated warm runs in one process (watch loops, benchmark drivers, the
-test suite) used to re-read and re-decode the snapshot every call —
-enough JSON and state decoding that a warm run could lose on wall clock
-despite doing a fraction of the analysis work.  A process-level decode
-cache now keys the built :class:`WarmStart` on (store root, config
-fingerprint, snapshot file identity, program fingerprints); engines
-never mutate a ``WarmStart`` (activation copies rows into their own
-tables), so sharing one across sequential runs is sound.  The wall
-time actually spent on load + diff + decode is reported per run as
+test suite, the analysis service) used to re-read and re-decode the
+snapshot every call — enough JSON and state decoding that a warm run
+could lose on wall clock despite doing a fraction of the analysis
+work.  A process-level decode cache (:class:`WarmCache`) keys the
+built :class:`WarmStart` on (store root, config fingerprint), with the
+snapshot file identity and the program fingerprints validating each
+hit; engines never mutate a ``WarmStart`` (activation copies rows into
+their own tables), so sharing one across runs — sequential or
+concurrent — is sound.  The cache is a true LRU behind one lock: hits
+refresh recency, insertion over capacity evicts the least recently
+used entry, and every operation is atomic, so the service daemon's
+request threads can hammer one shared instance.  The wall time
+actually spent on load + diff + decode is reported per run as
 ``Metrics.store_load_seconds``.
 """
 
 from __future__ import annotations
 
+import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Optional, Tuple
+from typing import FrozenSet, Optional, Tuple
 
 from repro.framework.config import AnalysisConfig
 from repro.framework.metrics import Budget
+from repro.framework.session import analysis_session
 from repro.incremental.codec import Codec
 from repro.incremental.fingerprint import (
     ProgramFingerprints,
@@ -44,15 +52,100 @@ from repro.incremental.invalidate import (
 )
 from repro.incremental.store import SummaryStore
 from repro.ir.program import Program
-from repro.typestate.client import TypestateReport, make_analyses, run_typestate
+from repro.typestate.client import TypestateReport, make_analyses
 from repro.typestate.dfa import TypestateProperty
 
-#: Process-level WarmStart decode cache: one entry per (store root,
-#: config fingerprint).  The value remembers which snapshot file
-#: (mtime_ns, size) and which program fingerprints it was built from —
-#: a save to the store or an edit to the program misses naturally.
-_WARM_CACHE: Dict[Tuple[str, str], Tuple] = {}
-_WARM_CACHE_MAX = 64
+#: Canonical registry domain names back to the short spellings the
+#: codec and ``make_analyses`` use.  ``analyze_with_store`` is
+#: type-state only: the snapshot codec encodes type-state summaries.
+_SHORT_DOMAINS = {"typestate-simple": "simple", "typestate-full": "full"}
+
+
+class WarmCache:
+    """Bounded, thread-safe, true-LRU cache of decoded warm starts.
+
+    Keys are ``(store root, config fingerprint)``.  Each entry carries
+    the snapshot file signature and program fingerprints it was built
+    from, so a save to the store or an edit to the program misses
+    naturally.  A hit refreshes recency (move-to-end); inserting over
+    capacity evicts the least recently used entry.  One lock covers
+    check + reorder + insert, so concurrent request threads can share
+    a single instance without torn lookups.
+    """
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Tuple[str, str], Tuple]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def lookup(
+        self, key: Tuple[str, str], signature, fp_key
+    ) -> Optional[Tuple]:
+        """The cached ``(snapshot, plan, warm)`` triple, or ``None``.
+
+        A stale entry (different file signature or program
+        fingerprints) counts as a miss but is left in place: the
+        caller re-decodes and overwrites it via :meth:`insert`.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if (
+                entry is not None
+                and entry[0] == signature
+                and entry[1] == fp_key
+            ):
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return entry[2], entry[3], entry[4]
+            self.misses += 1
+            return None
+
+    def insert(
+        self, key: Tuple[str, str], signature, fp_key, snapshot, plan, warm
+    ) -> None:
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            elif len(self._entries) >= self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+            self._entries[key] = (signature, fp_key, snapshot, plan, warm)
+
+    def invalidate(self, key: Tuple[str, str]) -> None:
+        with self._lock:
+            self._entries.pop(key, None)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Tuple[str, str]) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
+
+
+#: Process-level WarmStart decode cache; long-lived hosts (the service
+#: daemon) construct their own bounded instance instead.
+_WARM_CACHE = WarmCache(capacity=64)
 
 
 def clear_warm_cache() -> None:
@@ -74,8 +167,9 @@ def _load_warm(
     config_fp: str,
     fingerprints: ProgramFingerprints,
     codec: Codec,
+    cache: WarmCache,
 ):
-    """Load + diff + decode, through the process-level cache.
+    """Load + diff + decode, through the decode cache.
 
     Returns ``(snapshot, plan, warm)`` — all ``None``/``None``/``None``
     on a cold start.  The cached ``WarmStart`` is returned as-is:
@@ -86,19 +180,17 @@ def _load_warm(
     key = (str(store.root.resolve()), config_fp)
     fp_key = fingerprints.as_dict()
     if signature is not None:
-        hit = _WARM_CACHE.get(key)
-        if hit is not None and hit[0] == signature and hit[1] == fp_key:
-            return hit[2], hit[3], hit[4]
+        hit = cache.lookup(key, signature, fp_key)
+        if hit is not None:
+            return hit
     snapshot = store.load(config_fp)
     if snapshot is None:
-        _WARM_CACHE.pop(key, None)
+        cache.invalidate(key)
         return None, None, None
     plan = diff_fingerprints(snapshot.fingerprints, fingerprints)
     warm = build_warm_start(snapshot, plan, codec)
     if signature is not None:
-        if len(_WARM_CACHE) >= _WARM_CACHE_MAX:
-            _WARM_CACHE.pop(next(iter(_WARM_CACHE)))
-        _WARM_CACHE[key] = (signature, fp_key, snapshot, plan, warm)
+        cache.insert(key, signature, fp_key, snapshot, plan, warm)
     return snapshot, plan, warm
 
 
@@ -137,6 +229,8 @@ def analyze_with_store(
     save: bool = True,
     meta: Optional[dict] = None,
     kernel: str = "object",
+    config: Optional[AnalysisConfig] = None,
+    warm_cache: Optional[WarmCache] = None,
 ) -> IncrementalOutcome:
     """Run ``prop`` over ``program`` with a persistent summary store.
 
@@ -145,54 +239,73 @@ def analyze_with_store(
     ``engine="bu"`` raises ``ValueError``.  ``kernel`` selects the
     operator representation exactly as in ``run_typestate`` (a warm
     start disables the mask solver but keeps the compiled rows).
+
+    ``config=`` replaces the keyword ladder with a full
+    :class:`AnalysisConfig` (the analysis service parses one from
+    JSON): its identity fields — including ``batched``, ``batch_size``,
+    and the scheduler — flow into the run and the store fingerprint;
+    explicit ``budget``/``sink`` keywords still override its runtime
+    fields.  ``warm_cache=`` selects the decode cache — defaults to
+    the process-level one; a long-lived host passes its own bounded
+    :class:`WarmCache` so eviction policy and stats stay per-host.
     """
-    if engine not in ("td", "swift"):
-        raise ValueError(
-            f"analyze_with_store supports td and swift, not {engine!r}"
+    if config is None:
+        config = AnalysisConfig(
+            engine=engine,
+            domain=domain,
+            k=k,
+            theta=theta,
+            tracked_sites=tracked_sites,
+            enable_caches=enable_caches,
+            indexed_summaries=indexed_summaries,
+            scheduler=scheduler if scheduler is not None else "lifo",
+            kernel=kernel,
         )
-    analysis_config = AnalysisConfig(
-        engine=engine,
-        domain=domain,
-        k=k,
-        theta=theta,
-        tracked_sites=tracked_sites,
-        enable_caches=enable_caches,
-        indexed_summaries=indexed_summaries,
-        scheduler=scheduler if scheduler is not None else "lifo",
-        kernel=kernel,
-    )
+    if budget is not None and config.budget is not budget:
+        config = config.replace(budget=budget)
+    if sink is not None and config.sink is not sink:
+        config = config.replace(sink=sink)
+    if config.engine not in ("td", "swift"):
+        raise ValueError(
+            f"analyze_with_store supports td and swift, not {config.engine!r}"
+        )
+    domain_short = _SHORT_DOMAINS.get(config.domain)
+    if domain_short is None:
+        raise ValueError(
+            f"analyze_with_store is type-state only, not {config.domain!r}"
+        )
+    cache = warm_cache if warm_cache is not None else _WARM_CACHE
     oracle = None
     facts = None
-    if domain == "full":
+    if domain_short == "full":
         from repro.alias import points_to_oracle
 
         oracle = points_to_oracle(program)
         facts = alias_facts(program, oracle)
     fingerprints = ProgramFingerprints(program, facts)
-    config, config_fp = config_fingerprint(prop, config=analysis_config)
-    _, bu_analysis, _ = make_analyses(program, prop, domain, tracked_sites, oracle)
-    codec = Codec(domain, bu_analysis)
+    config_desc, config_fp = config_fingerprint(prop, config=config)
+    _, bu_analysis, _ = make_analyses(
+        program, prop, domain_short, config.tracked_sites, oracle
+    )
+    codec = Codec(domain_short, bu_analysis)
 
     load_started = time.perf_counter()
-    snapshot, plan, warm = _load_warm(store, config_fp, fingerprints, codec)
+    snapshot, plan, warm = _load_warm(
+        store, config_fp, fingerprints, codec, cache
+    )
     store_load_seconds = time.perf_counter() - load_started
 
-    report = run_typestate(
-        program,
-        prop,
-        engine=engine,
-        k=k,
-        theta=theta,
-        budget=budget,
-        tracked_sites=tracked_sites,
-        domain=domain,
-        oracle=oracle,
-        enable_caches=enable_caches,
-        indexed_summaries=indexed_summaries,
-        scheduler=scheduler,
-        sink=sink,
-        preload=warm,
-        kernel=kernel,
+    session_out = analysis_session().run(
+        program, config.replace(preload=warm), prop=prop, oracle=oracle
+    )
+    report = TypestateReport(
+        prop.name,
+        config.engine,
+        session_out.findings,
+        session_out.td_summaries,
+        session_out.bu_summaries,
+        session_out.timed_out,
+        session_out.result,
     )
     metrics = report.result.metrics
     metrics.store_load_seconds += store_load_seconds
@@ -229,7 +342,7 @@ def analyze_with_store(
             outcome.snapshot_path = str(store.path_for(config_fp))
         else:
             new_snapshot = build_snapshot(
-                config,
+                config_desc,
                 config_fp,
                 fingerprints,
                 report.result,
@@ -237,7 +350,7 @@ def analyze_with_store(
                 previous=snapshot,
                 meta=meta,
             )
-            _WARM_CACHE.pop((str(store.root.resolve()), config_fp), None)
+            cache.invalidate((str(store.root.resolve()), config_fp))
             outcome.snapshot_path = str(store.save(new_snapshot))
         outcome.saved = True
     return outcome

@@ -27,8 +27,10 @@ mismatches; a corrupt store can cost a warm start, never correctness.
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
+import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
@@ -38,6 +40,12 @@ STORE_VERSION = 1
 
 _PREFIX = "snapshot-"
 _SUFFIX = ".jsonl"
+
+#: Monotonic token distinguishing temp files written by concurrent
+#: saves in one process.  A pid alone is not unique under threads: two
+#: threads saving the same snapshot would share a tmp path, interleave
+#: their writes, and ``os.replace`` each other's partial bytes.
+_TMP_TOKENS = itertools.count()
 
 
 @dataclass
@@ -185,10 +193,19 @@ class SummaryStore:
         return snap
 
     def save(self, snapshot: Snapshot) -> Path:
-        """Atomically write ``snapshot`` (readers never see a partial file)."""
+        """Atomically write ``snapshot`` (readers never see a partial file).
+
+        The temp name carries pid, thread id, and a monotonic token, so
+        concurrent saves — threads in one daemon as much as separate
+        processes — each write their own complete file and the final
+        ``os.replace`` is a race only over *which* complete snapshot
+        wins, never over partial bytes.  The ``.tmp.`` infix keeps
+        :meth:`gc`'s stranded-temp glob matching.
+        """
         self.root.mkdir(parents=True, exist_ok=True)
         path = self.path_for(snapshot.config_fp)
-        tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+        token = f"{os.getpid()}-{threading.get_ident()}-{next(_TMP_TOKENS)}"
+        tmp = path.with_name(f"{path.name}.tmp.{token}")
         tmp.write_bytes(snapshot.to_bytes())
         os.replace(tmp, path)
         return path

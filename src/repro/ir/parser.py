@@ -50,7 +50,7 @@ class ParseError(ValueError):
 _TOKEN = re.compile(
     r"""
     (?P<ws>\s+|\#[^\n]*)
-  | (?P<name>[A-Za-z_][A-Za-z0-9_$]*)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_$@]*)
   | (?P<punct>\{|\}|\(|\)|=|;|\.)
     """,
     re.VERBOSE,

@@ -1,0 +1,456 @@
+"""The resident analysis service (analysis-as-a-service daemon).
+
+Every ``repro-swift analyze --store`` invocation is a fresh process:
+it pays interpreter + import startup, re-parses the program, and — on
+the first warm run — re-decodes the snapshot, so BENCH_incremental's
+warm *wall* time is dominated by costs a resident process pays once.
+:class:`AnalysisService` is that resident process: a front end
+(stdio-JSONL or localhost HTTP, see :mod:`repro.service.stdio` /
+:mod:`repro.service.http`) feeds it requests, and it keeps the reuse
+substrate hot between them:
+
+* **Resident decode cache** — one bounded true-LRU
+  :class:`~repro.incremental.driver.WarmCache` (keyed by store root ×
+  config fingerprint) shared by every request thread; decoded
+  ``WarmStart``\\ s survive across requests, so a warm request skips
+  load + decode entirely.
+* **Sharded stores** — snapshots live under
+  ``<root>/<program fp prefix>/snapshot-<config fp prefix>.jsonl``:
+  the program fingerprint picks the shard directory, the config
+  fingerprint the file, so different programs and configs never
+  contend on one file.
+* **Request coalescing** — concurrent requests for the same
+  (program, config) key collapse into one solve; the leader runs, the
+  waiters block on its completion event and fan out the same response
+  (marked ``"coalesced": true``).
+* **Trace streaming** — a request with ``"trace": true`` gets the
+  engine's :mod:`repro.framework.tracing` events streamed back over
+  its own connection as they happen (only the coalescing leader's
+  connection sees them — waiters get results, not replayed events).
+* **Draining shutdown** — ``shutdown`` flips the service to closing
+  (new requests are refused), waits for every in-flight request to
+  finish, and only then responds.
+
+The service runs engines *concurrently inside one process* against
+shared mutable reuse state — the configuration PR 3/6's single-process
+assumptions (unlocked warm cache, pid-keyed store temp files) broke
+under; those fixes live in :mod:`repro.incremental.driver` and
+:mod:`repro.incremental.store`, and the hammer tests in
+``tests/test_concurrent_reuse.py`` hold them down.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from collections import OrderedDict
+from pathlib import Path
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.framework.config import AnalysisConfig
+from repro.framework.session import analysis_session
+from repro.framework.tracing import TraceSink
+from repro.incremental.driver import WarmCache, analyze_with_store
+from repro.incremental.fingerprint import config_fingerprint
+from repro.incremental.store import SummaryStore
+from repro.ir.parser import parse_program
+from repro.ir.printer import format_program
+from repro.ir.program import Program
+from repro.service.protocol import (
+    ProtocolError,
+    config_from_json,
+    config_to_json,
+    error_response,
+    ok_response,
+    parse_request,
+)
+from repro.typestate.properties import property_by_name
+
+#: Shard directories are named by this prefix of the program digest.
+_SHARD_CHARS = 16
+
+
+class StreamSink(TraceSink):
+    """Forward each event, as a JSON-ready dict, to a callback.
+
+    The callback is the front end's connection writer; it serializes
+    its own locking.  Exceptions from the callback (a client that went
+    away mid-stream) disable the sink instead of failing the analysis.
+    """
+
+    def __init__(self, callback: Callable[[dict], None]) -> None:
+        self._callback = callback
+        self.sent = 0
+        self.enabled = True
+
+    def emit(self, event) -> None:
+        if not self.enabled:
+            return
+        try:
+            self._callback(event.to_dict())
+            self.sent += 1
+        except Exception:
+            self.enabled = False
+
+
+class _InFlight:
+    """One in-progress solve other requests may coalesce onto."""
+
+    __slots__ = ("done", "response")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.response: Optional[dict] = None
+
+
+def program_digest(program: Program) -> str:
+    """Canonical content fingerprint of a program (shard + coalesce key).
+
+    Hashes the canonical IR text, so a MiniOO source and its compiled
+    IR — or two differently-formatted spellings of the same IR — land
+    in the same shard and coalesce together.
+    """
+    text = format_program(program)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def load_program_text(text: str, fmt: Optional[str] = None) -> Program:
+    """Parse request program text: ``"mini"``, ``"ir"``, or sniffed."""
+    if fmt is None:
+        stripped = text.lstrip()
+        fmt = "ir" if stripped.startswith("proc ") else "mini"
+    if fmt == "mini":
+        from repro.frontend import compile_minioo
+
+        return compile_minioo(text)
+    if fmt == "ir":
+        return parse_program(text)
+    raise ProtocolError(f"unknown program format {fmt!r} (expected mini or ir)")
+
+
+class AnalysisService:
+    """The long-lived request handler behind both front ends.
+
+    ``handle(request, emit=...)`` is the whole surface: front ends
+    parse their transport's framing, call it (from any thread), and
+    write back the returned response dict.  ``emit``, when given, is a
+    callable receiving streamed trace-event dicts for requests that
+    asked for tracing.
+    """
+
+    def __init__(
+        self,
+        root,
+        lru_size: int = 8,
+        program_cache_size: int = 32,
+        result_cache_size: int = 128,
+    ) -> None:
+        self.root = Path(root)
+        self.warm_cache = WarmCache(capacity=lru_size)
+        self.session = analysis_session()
+        self._lock = threading.Lock()
+        self._drained = threading.Condition(self._lock)
+        self._active = 0
+        self._closing = False
+        self._inflight: Dict[Tuple[str, str], _InFlight] = {}
+        self._programs: "OrderedDict[str, Program]" = OrderedDict()
+        self._program_cache_size = program_cache_size
+        self._results: "OrderedDict[Tuple[str, str], dict]" = OrderedDict()
+        self._result_cache_size = result_cache_size
+        self._started = time.time()
+        self.requests = 0
+        self.coalesced = 0
+        self.solves = 0
+        self.errors = 0
+
+    # -- lifecycle ----------------------------------------------------------------------
+    @property
+    def closing(self) -> bool:
+        with self._lock:
+            return self._closing
+
+    def handle(
+        self, request, emit: Optional[Callable[[dict], None]] = None
+    ) -> dict:
+        """Process one request; never raises — failures become responses."""
+        request_id = request.get("id") if isinstance(request, dict) else None
+        try:
+            request = parse_request(request)
+        except ProtocolError as exc:
+            with self._lock:
+                self.errors += 1
+            return error_response(str(exc), request_id=request_id)
+        op = request["op"]
+        with self._lock:
+            if self._closing:
+                self.errors += 1
+                return error_response(
+                    "service is shutting down", op=op, request_id=request_id
+                )
+            self.requests += 1
+            self._active += 1
+        try:
+            if op in ("analyze", "edit"):
+                return self._analyze(request, emit)
+            if op == "query":
+                return self._query(request)
+            if op == "stats":
+                return ok_response("stats", request_id, **self.stats())
+            return self._shutdown(request)
+        except ProtocolError as exc:
+            with self._lock:
+                self.errors += 1
+            return error_response(str(exc), op=op, request_id=request_id)
+        except Exception as exc:  # a bug must not take the daemon down
+            with self._lock:
+                self.errors += 1
+            return error_response(
+                f"internal error: {type(exc).__name__}: {exc}",
+                op=op,
+                request_id=request_id,
+            )
+        finally:
+            with self._drained:
+                self._active -= 1
+                self._drained.notify_all()
+
+    def _shutdown(self, request) -> dict:
+        with self._drained:
+            self._closing = True
+            # Everything except this shutdown request itself.
+            while self._active > 1:
+                self._drained.wait(timeout=0.5)
+            drained = self.requests
+        return ok_response(
+            "shutdown", request.get("id"), drained_requests=drained
+        )
+
+    # -- request plumbing ---------------------------------------------------------------
+    def _program(self, request) -> Tuple[Program, str]:
+        text = request.get("program")
+        if not isinstance(text, str) or not text.strip():
+            raise ProtocolError(f'{request["op"]} needs a non-empty "program" string')
+        cache_key = hashlib.sha256(text.encode("utf-8")).hexdigest()
+        with self._lock:
+            program = self._programs.get(cache_key)
+            if program is not None:
+                self._programs.move_to_end(cache_key)
+        if program is None:
+            try:
+                program = load_program_text(text, request.get("format"))
+            except ProtocolError:
+                raise
+            except Exception as exc:
+                raise ProtocolError(f"program does not parse: {exc}") from None
+            with self._lock:
+                if len(self._programs) >= self._program_cache_size:
+                    self._programs.popitem(last=False)
+                self._programs[cache_key] = program
+        return program, program_digest(program)
+
+    def _prop_and_config(self, request):
+        try:
+            prop = property_by_name(request.get("property", "File"))
+        except (KeyError, ValueError) as exc:
+            raise ProtocolError(str(exc)) from None
+        config = config_from_json(request.get("config"))
+        if not config.domain.startswith("typestate-"):
+            raise ProtocolError(
+                f"the service verifies type-state properties; domain "
+                f"{config.domain!r} has no property verdict"
+            )
+        return prop, config
+
+    def shard_store(self, digest: str) -> SummaryStore:
+        return SummaryStore(self.root / digest[:_SHARD_CHARS])
+
+    # -- analyze / edit -----------------------------------------------------------------
+    def _analyze(self, request, emit) -> dict:
+        program, digest = self._program(request)
+        prop, config = self._prop_and_config(request)
+        _, config_fp = config_fingerprint(prop, config=config)
+        key = (digest, config_fp)
+        request_id = request.get("id")
+
+        flight: Optional[_InFlight] = None
+        leader = False
+        with self._lock:
+            flight = self._inflight.get(key)
+            if flight is None:
+                flight = _InFlight()
+                self._inflight[key] = flight
+                leader = True
+            else:
+                self.coalesced += 1
+        if not leader:
+            flight.done.wait()
+            response = dict(flight.response)
+            response.update(
+                {"coalesced": True, "op": request["op"], "id": request_id}
+            )
+            if request_id is None:
+                response.pop("id", None)
+            return response
+
+        response = error_response("solve did not complete", op=request["op"])
+        try:
+            response = self._solve(
+                request, program, digest, prop, config, config_fp, emit
+            )
+        except Exception as exc:
+            response = error_response(
+                f"internal error: {type(exc).__name__}: {exc}",
+                op=request["op"],
+            )
+        finally:
+            with self._lock:
+                self._inflight.pop(key, None)
+            flight.response = response
+            flight.done.set()
+        if response.get("ok"):
+            with self._lock:
+                self._results[key] = response
+                self._results.move_to_end(key)
+                if len(self._results) > self._result_cache_size:
+                    self._results.popitem(last=False)
+        out = dict(response)
+        if request_id is not None:
+            out["id"] = request_id
+        return out
+
+    def _solve(
+        self,
+        request,
+        program: Program,
+        digest: str,
+        prop,
+        config: AnalysisConfig,
+        config_fp: str,
+        emit,
+    ) -> dict:
+        sink = None
+        if request.get("trace") and emit is not None:
+            sink = StreamSink(emit)
+        started = time.perf_counter()
+        store = self.shard_store(digest)
+        if config.engine in ("td", "swift"):
+            outcome = analyze_with_store(
+                program,
+                prop,
+                store,
+                config=config,
+                sink=sink,
+                warm_cache=self.warm_cache,
+                meta={"producer": "repro-swift serve"},
+            )
+            report = outcome.report
+            store_fields = {
+                "stored": True,
+                "cold": outcome.cold,
+                "store_hits": outcome.store_hits,
+                "store_misses": outcome.store_misses,
+                "store_invalidated": outcome.store_invalidated,
+                "saved": outcome.saved,
+                "invalidated": sorted(outcome.invalidated),
+                "added": sorted(outcome.added),
+            }
+            findings = report.errors
+            td_summaries = report.td_summaries
+            bu_summaries = report.bu_summaries
+            timed_out = report.timed_out
+            work = report.result.metrics.total_work
+        else:
+            # bu / concurrent have no preload hook; run them directly —
+            # still resident (no process startup), still coalesced.
+            run_config = config if sink is None else config.replace(sink=sink)
+            session_out = self.session.run(program, run_config, prop=prop)
+            store_fields = {"stored": False, "cold": True, "saved": False}
+            findings = session_out.findings
+            td_summaries = session_out.td_summaries
+            bu_summaries = session_out.bu_summaries
+            timed_out = session_out.timed_out
+            work = session_out.metrics.total_work
+        elapsed = time.perf_counter() - started
+        with self._lock:
+            self.solves += 1
+        # Exactly `repro-swift verify`'s report order: sorted by the
+        # (point, site) tuple's string form, rendered as str(point).
+        errors = [
+            [str(point), site]
+            for point, site in sorted(findings, key=str)
+        ]
+        return ok_response(
+            request["op"],
+            None,
+            property=prop.name,
+            engine=config.engine,
+            config=config_to_json(config),
+            config_fp=config_fp,
+            program_fp=digest[:_SHARD_CHARS],
+            shard=digest[:_SHARD_CHARS],
+            timed_out=timed_out,
+            errors=errors,
+            td_summaries=td_summaries,
+            bu_summaries=bu_summaries,
+            work=work,
+            elapsed_ms=round(elapsed * 1000.0, 3),
+            coalesced=False,
+            trace_events=sink.sent if sink is not None else 0,
+            **store_fields,
+        )
+
+    # -- query / stats ------------------------------------------------------------------
+    def _query(self, request) -> dict:
+        program, digest = self._program(request)
+        prop, config = self._prop_and_config(request)
+        _, config_fp = config_fingerprint(prop, config=config)
+        key = (digest, config_fp)
+        store = self.shard_store(digest)
+        with self._lock:
+            cached = self._results.get(key)
+            inflight = key in self._inflight
+        resident_key = (str(store.root.resolve()), config_fp)
+        snapshot_path = store.path_for(config_fp)
+        return ok_response(
+            "query",
+            request.get("id"),
+            property=prop.name,
+            config_fp=config_fp,
+            program_fp=digest[:_SHARD_CHARS],
+            shard=digest[:_SHARD_CHARS],
+            known=cached is not None,
+            in_flight=inflight,
+            resident=resident_key in self.warm_cache,
+            snapshot=snapshot_path.exists(),
+            result=dict(cached) if cached is not None else None,
+        )
+
+    def stats(self) -> dict:
+        shards = []
+        if self.root.is_dir():
+            for shard in sorted(self.root.iterdir()):
+                if shard.is_dir():
+                    shards.append(
+                        {
+                            "shard": shard.name,
+                            "snapshots": len(
+                                SummaryStore(shard).snapshot_paths()
+                            ),
+                        }
+                    )
+        with self._lock:
+            return {
+                "uptime_s": round(time.time() - self._started, 3),
+                "requests": self.requests,
+                "coalesced": self.coalesced,
+                "solves": self.solves,
+                "request_errors": self.errors,
+                "in_flight": self._active,
+                "closing": self._closing,
+                "warm_cache": self.warm_cache.stats(),
+                "programs_cached": len(self._programs),
+                "results_cached": len(self._results),
+                "store_root": str(self.root),
+                "shards": shards,
+            }

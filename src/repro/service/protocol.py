@@ -1,0 +1,141 @@
+"""Wire format of the analysis service.
+
+Requests and responses are JSON objects — one per line on the
+stdio-JSONL front end, one per HTTP POST body on the HTTP front end.
+A request names an operation and its inputs::
+
+    {"op": "analyze", "program": "<source>", "format": "mini",
+     "property": "File", "config": {"engine": "swift", "k": 5},
+     "trace": false, "id": "req-1"}
+
+Operations: ``analyze`` (run, through the shard's summary store),
+``edit`` (same, for a changed program — the response additionally
+reports the invalidation cone), ``query`` (what the service knows
+about a (program, config) pair without running anything), ``stats``
+(service counters), and ``shutdown`` (drain in-flight requests, then
+stop).  The optional ``id`` is echoed verbatim on every line the
+request produces, so clients multiplexing one connection can match
+responses — and streamed trace events — to requests.
+
+``config`` is parsed into a full
+:class:`repro.framework.config.AnalysisConfig` by
+:func:`config_from_json`: the JSON keys are exactly the config's
+constructor fields (plus ``budget`` as ``{"max_work", "max_seconds"}``),
+unknown keys raise :class:`ProtocolError` listing the allowed set, and
+value validation is the config's own (unknown engines/domains/
+schedulers report the registered choices).  Responses always carry
+``"ok"``; failures add ``"error"`` with a message and never take the
+daemon down.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.framework.config import AnalysisConfig
+from repro.framework.metrics import Budget
+
+
+class ProtocolError(ValueError):
+    """A malformed request (bad op, unknown config key, bad value)."""
+
+
+#: Every operation the service accepts.
+OPS = frozenset({"analyze", "edit", "query", "stats", "shutdown"})
+
+#: JSON keys accepted under ``"config"`` — the AnalysisConfig
+#: constructor fields a client may set, plus ``budget``.
+CONFIG_KEYS = frozenset(
+    {
+        "engine",
+        "domain",
+        "k",
+        "theta",
+        "scheduler",
+        "tracked_sites",
+        "enable_caches",
+        "indexed_summaries",
+        "batched",
+        "batch_size",
+        "batch_min_frontier",
+        "kernel",
+        "max_workers",
+        "budget",
+    }
+)
+
+_BUDGET_KEYS = frozenset({"max_work", "max_seconds"})
+
+
+def config_from_json(payload: Optional[Mapping]) -> AnalysisConfig:
+    """Parse a request's ``"config"`` object into an AnalysisConfig.
+
+    ``None``/``{}`` mean the defaults (the same ones ``repro-swift
+    verify`` uses: swift over the full type-state domain).
+    """
+    if payload is None:
+        payload = {}
+    if not isinstance(payload, Mapping):
+        raise ProtocolError(f"config must be an object, not {type(payload).__name__}")
+    fields = dict(payload)
+    unknown = sorted(set(fields) - CONFIG_KEYS)
+    if unknown:
+        raise ProtocolError(
+            f"unknown config key(s) {unknown}; allowed: {sorted(CONFIG_KEYS)}"
+        )
+    budget = fields.pop("budget", None)
+    if budget is not None:
+        if not isinstance(budget, Mapping) or set(budget) - _BUDGET_KEYS:
+            raise ProtocolError(
+                f'budget must be an object with keys from {sorted(_BUDGET_KEYS)}'
+            )
+        fields["budget"] = Budget(
+            max_work=budget.get("max_work"),
+            max_seconds=budget.get("max_seconds"),
+        )
+    sites = fields.get("tracked_sites")
+    if sites is not None:
+        if not isinstance(sites, (list, tuple)) or not all(
+            isinstance(site, str) for site in sites
+        ):
+            raise ProtocolError("tracked_sites must be a list of strings")
+        fields["tracked_sites"] = frozenset(sites)
+    fields.setdefault("domain", "full")
+    try:
+        return AnalysisConfig(**fields)
+    except (ValueError, TypeError) as exc:
+        raise ProtocolError(str(exc)) from None
+
+
+def config_to_json(config: AnalysisConfig) -> dict:
+    """The canonical identity of ``config`` (for responses/queries)."""
+    return config.canonical_dict()
+
+
+def parse_request(payload) -> dict:
+    """Validate the envelope of one request; returns it as a dict."""
+    if not isinstance(payload, Mapping):
+        raise ProtocolError(
+            f"request must be a JSON object, not {type(payload).__name__}"
+        )
+    op = payload.get("op")
+    if op not in OPS:
+        raise ProtocolError(f"unknown op {op!r}; expected one of {sorted(OPS)}")
+    return dict(payload)
+
+
+def ok_response(op: str, request_id=None, **fields) -> dict:
+    out = {"ok": True, "op": op}
+    if request_id is not None:
+        out["id"] = request_id
+    out.update(fields)
+    return out
+
+
+def error_response(message: str, op: Optional[str] = None, request_id=None) -> dict:
+    out = {"ok": False, "error": message}
+    if op is not None:
+        out["op"] = op
+    if request_id is not None:
+        out["id"] = request_id
+    return out

@@ -1,0 +1,85 @@
+"""Stdio-JSONL front end: one request per line in, JSONL out.
+
+Each stdin line is one request object; every line the service writes
+back is either a streamed trace event (``{"id": ..., "trace": {...}}``)
+or a response (the dict :meth:`AnalysisService.handle` returned, which
+echoes the request's ``id``).  Requests are dispatched to a bounded
+worker pool, so concurrent requests coalesce exactly as they do over
+HTTP — ``shutdown`` alone is handled inline on the reader thread: it
+drains the in-flight pool, writes its response, and ends the loop.
+
+Output is serialized by one lock and flushed per line, so a client
+reading the pipe sees complete JSON objects only.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.service.daemon import AnalysisService
+
+
+class StdioFrontend:
+    """Drive an :class:`AnalysisService` over (reader, writer) streams."""
+
+    def __init__(
+        self,
+        service: AnalysisService,
+        reader,
+        writer,
+        max_workers: int = 8,
+    ) -> None:
+        self.service = service
+        self._reader = reader
+        self._writer = writer
+        self._write_lock = threading.Lock()
+        self._max_workers = max_workers
+
+    def _write(self, payload: dict) -> None:
+        line = json.dumps(payload, sort_keys=True) + "\n"
+        with self._write_lock:
+            self._writer.write(line)
+            self._writer.flush()
+
+    def _dispatch(self, request: dict) -> None:
+        request_id = request.get("id")
+        emit = None
+        if request.get("trace"):
+            emit = lambda event: self._write({"id": request_id, "trace": event})
+        self._write(self.service.handle(request, emit=emit))
+
+    def serve(self) -> int:
+        """Read requests until EOF or a successful shutdown; returns 0."""
+        pending = []
+        with ThreadPoolExecutor(max_workers=self._max_workers) as pool:
+            for line in self._reader:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    request = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    self._write(
+                        {"ok": False, "error": f"request is not JSON: {exc}"}
+                    )
+                    continue
+                if isinstance(request, dict) and request.get("op") == "shutdown":
+                    # Inline, after every earlier request has answered:
+                    # JSONL order promises requests read before the
+                    # shutdown line are served, not refused, even if
+                    # the pool has not started them yet.  handle()
+                    # then drains anything still in flight elsewhere,
+                    # so this response is the last line written.
+                    for future in pending:
+                        future.result()
+                    pending.clear()
+                    response = self.service.handle(request)
+                    self._write(response)
+                    if response.get("ok"):
+                        return 0
+                    continue
+                pending.append(pool.submit(self._dispatch, request))
+                pending = [f for f in pending if not f.done()]
+        return 0

@@ -1,0 +1,427 @@
+"""Tests for the resident analysis service (daemon, front ends, client)."""
+
+import io
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+import repro.service.daemon as daemon_mod
+from repro.frontend import compile_minioo
+from repro.ir.printer import format_program
+from repro.service import (
+    AnalysisService,
+    ProtocolError,
+    ServiceClient,
+    ServiceError,
+    StdioFrontend,
+    config_from_json,
+    make_server,
+    program_digest,
+)
+from repro.typestate.client import run_typestate
+from repro.typestate.properties import FILE_PROPERTY
+
+GOOD_MINI = """
+class Writer { method flush(f) { f.#open(); f.#close(); } }
+main { w = new Writer(); r = new Writer(); w.flush(r); }
+"""
+
+BAD_MINI = """
+class Writer { method close2(f) { f.#close(); f.#close(); } }
+main { w = new Writer(); r = new Writer(); r.#open(); w.close2(r); }
+"""
+
+EDITED_MINI = """
+class Writer { method flush(f) { f.#open(); f.#close(); } }
+class Extra { method noop(g) { g.#open(); g.#close(); } }
+main { w = new Writer(); r = new Writer(); w.flush(r); x = new Extra(); x.noop(r); }
+"""
+
+
+@pytest.fixture
+def service(tmp_path):
+    return AnalysisService(tmp_path / "root", lru_size=4)
+
+
+# -- analyze round trips --------------------------------------------------------------
+def test_analyze_cold_then_warm(service):
+    first = service.handle({"op": "analyze", "program": GOOD_MINI})
+    assert first["ok"] and first["cold"] and first["work"] > 0
+    assert first["errors"] == [] and not first["timed_out"]
+    second = service.handle({"op": "analyze", "program": GOOD_MINI})
+    assert second["ok"] and not second["cold"]
+    assert second["work"] == 0 and second["store_hits"] > 0
+
+
+def test_analyze_matches_direct_session_run(service):
+    response = service.handle({"op": "analyze", "program": BAD_MINI})
+    program = compile_minioo(BAD_MINI)
+    direct = run_typestate(program, FILE_PROPERTY, engine="swift", domain="full")
+    expected = [
+        [str(point), site] for point, site in sorted(direct.errors, key=str)
+    ]
+    assert response["errors"] == expected and expected
+    assert response["td_summaries"] == direct.td_summaries
+
+
+def test_analyze_honors_config_and_id(service):
+    response = service.handle(
+        {
+            "op": "analyze",
+            "program": GOOD_MINI,
+            "id": "req-7",
+            "config": {"engine": "td", "domain": "simple", "kernel": "bitset"},
+        }
+    )
+    assert response["ok"] and response["id"] == "req-7"
+    assert response["engine"] == "td"
+    assert response["config"]["flags"]["kernel"] == "bitset"
+
+
+def test_mini_and_ir_spellings_share_a_shard(service):
+    program = compile_minioo(GOOD_MINI)
+    as_ir = format_program(program)
+    r1 = service.handle({"op": "analyze", "program": GOOD_MINI})
+    r2 = service.handle({"op": "analyze", "program": as_ir, "format": "ir"})
+    assert r1["shard"] == r2["shard"] == program_digest(program)[:16]
+    assert not r2["cold"] and r2["work"] == 0
+
+
+def test_different_programs_get_different_shards(service, tmp_path):
+    r1 = service.handle({"op": "analyze", "program": GOOD_MINI})
+    r2 = service.handle({"op": "analyze", "program": BAD_MINI})
+    assert r1["shard"] != r2["shard"]
+    shard_dirs = [p.name for p in (tmp_path / "root").iterdir() if p.is_dir()]
+    assert sorted(shard_dirs) == sorted([r1["shard"], r2["shard"]])
+
+
+def test_non_store_engine_runs_direct(service):
+    response = service.handle(
+        {"op": "analyze", "program": GOOD_MINI, "config": {"engine": "bu"}}
+    )
+    assert response["ok"] and response["stored"] is False
+    assert response["errors"] == []
+    assert response["bu_summaries"] > 0
+
+
+def test_edit_reports_invalidation(service):
+    service.handle({"op": "analyze", "program": GOOD_MINI})
+    response = service.handle({"op": "edit", "program": EDITED_MINI})
+    # A changed program is a different shard (content-addressed), so
+    # the edit is cold there but still reports its own added procs.
+    assert response["ok"] and response["op"] == "edit"
+    assert "Extra$noop" in response["added"]
+    direct = run_typestate(
+        compile_minioo(EDITED_MINI), FILE_PROPERTY, engine="swift", domain="full"
+    )
+    assert response["errors"] == [
+        [str(point), site] for point, site in sorted(direct.errors, key=str)
+    ]
+
+
+# -- coalescing -----------------------------------------------------------------------
+def test_concurrent_same_key_requests_coalesce(service, monkeypatch):
+    release = threading.Event()
+    entered = threading.Event()
+    real = daemon_mod.analyze_with_store
+
+    def gated(*args, **kwargs):
+        entered.set()
+        assert release.wait(10), "leader was never released"
+        return real(*args, **kwargs)
+
+    monkeypatch.setattr(daemon_mod, "analyze_with_store", gated)
+    request = {"op": "analyze", "program": GOOD_MINI}
+    with ThreadPoolExecutor(max_workers=3) as pool:
+        leader = pool.submit(service.handle, dict(request))
+        assert entered.wait(10)
+        followers = [pool.submit(service.handle, dict(request)) for _ in range(2)]
+        deadline = time.monotonic() + 10
+        while service.coalesced < 2:
+            assert time.monotonic() < deadline, "followers never coalesced"
+            time.sleep(0.01)
+        release.set()
+        lead, follows = leader.result(10), [f.result(10) for f in followers]
+    assert lead["ok"] and lead["coalesced"] is False
+    for resp in follows:
+        assert resp["ok"] and resp["coalesced"] is True
+        assert resp["errors"] == lead["errors"]
+        assert resp["work"] == lead["work"]
+    assert service.solves == 1  # one solve fanned out to three waiters
+
+
+def test_different_keys_do_not_coalesce(service):
+    with ThreadPoolExecutor(max_workers=2) as pool:
+        a = pool.submit(
+            service.handle, {"op": "analyze", "program": GOOD_MINI}
+        )
+        b = pool.submit(
+            service.handle, {"op": "analyze", "program": BAD_MINI}
+        )
+        ra, rb = a.result(30), b.result(30)
+    assert ra["ok"] and rb["ok"]
+    assert service.coalesced == 0 and service.solves == 2
+
+
+# -- resident LRU ---------------------------------------------------------------------
+def test_lru_eviction_under_config_churn(tmp_path):
+    service = AnalysisService(tmp_path, lru_size=1)
+    cfg_a = {"engine": "swift", "domain": "full", "k": 2}
+    cfg_b = {"engine": "swift", "domain": "full", "k": 3}
+    for config in (cfg_a, cfg_b, cfg_a, cfg_b):
+        response = service.handle(
+            {"op": "analyze", "program": GOOD_MINI, "config": config}
+        )
+        assert response["ok"] and response["errors"] == []
+    stats = service.warm_cache.stats()
+    assert stats["capacity"] == 1
+    assert stats["evictions"] >= 1
+    # Evicted configs still answer correctly from their snapshots.
+    again = service.handle(
+        {"op": "analyze", "program": GOOD_MINI, "config": cfg_a}
+    )
+    assert not again["cold"] and again["work"] == 0
+
+
+def test_warm_requests_hit_resident_cache(service):
+    service.handle({"op": "analyze", "program": GOOD_MINI})
+    service.handle({"op": "analyze", "program": GOOD_MINI})
+    third = service.handle({"op": "analyze", "program": GOOD_MINI})
+    assert third["work"] == 0
+    assert service.warm_cache.stats()["hits"] >= 1
+
+
+# -- query / stats --------------------------------------------------------------------
+def test_query_before_and_after(service):
+    before = service.handle({"op": "query", "program": GOOD_MINI})
+    assert before["ok"] and not before["known"]
+    assert not before["snapshot"] and not before["resident"]
+    service.handle({"op": "analyze", "program": GOOD_MINI})
+    mid = service.handle({"op": "query", "program": GOOD_MINI})
+    assert mid["known"] and mid["snapshot"]  # solved + saved, not yet decoded
+    service.handle({"op": "analyze", "program": GOOD_MINI})  # warm: decodes
+    after = service.handle({"op": "query", "program": GOOD_MINI})
+    assert after["known"] and after["snapshot"] and after["resident"]
+    assert after["result"]["errors"] == []
+
+
+def test_stats_counts_requests_and_shards(service, tmp_path):
+    service.handle({"op": "analyze", "program": GOOD_MINI})
+    stats = service.handle({"op": "stats"})
+    assert stats["ok"] and stats["requests"] == 2 and stats["solves"] == 1
+    assert stats["warm_cache"]["capacity"] == 4
+    assert len(stats["shards"]) == 1
+    assert stats["shards"][0]["snapshots"] == 1
+
+
+# -- shutdown -------------------------------------------------------------------------
+def test_shutdown_drains_in_flight_requests(service, monkeypatch):
+    release = threading.Event()
+    entered = threading.Event()
+    real = daemon_mod.analyze_with_store
+
+    def gated(*args, **kwargs):
+        entered.set()
+        assert release.wait(10)
+        return real(*args, **kwargs)
+
+    monkeypatch.setattr(daemon_mod, "analyze_with_store", gated)
+    with ThreadPoolExecutor(max_workers=2) as pool:
+        slow = pool.submit(
+            service.handle, {"op": "analyze", "program": GOOD_MINI}
+        )
+        assert entered.wait(10)
+        stop = pool.submit(service.handle, {"op": "shutdown"})
+        time.sleep(0.1)
+        assert not stop.done()  # draining: waits for the in-flight solve
+        release.set()
+        assert stop.result(10)["ok"]
+        assert slow.result(10)["ok"]  # the in-flight request completed
+    refused = service.handle({"op": "analyze", "program": GOOD_MINI})
+    assert not refused["ok"] and "shutting down" in refused["error"]
+
+
+# -- error handling -------------------------------------------------------------------
+def test_bad_requests_become_error_responses(service):
+    assert not service.handle({"op": "nope"})["ok"]
+    assert not service.handle(["not", "an", "object"])["ok"]
+    no_program = service.handle({"op": "analyze"})
+    assert not no_program["ok"] and "program" in no_program["error"]
+    bad_parse = service.handle({"op": "analyze", "program": "class {{{"})
+    assert not bad_parse["ok"] and "parse" in bad_parse["error"]
+    bad_engine = service.handle(
+        {"op": "analyze", "program": GOOD_MINI, "config": {"engine": "magic"}}
+    )
+    assert not bad_engine["ok"]
+    bad_domain = service.handle(
+        {"op": "analyze", "program": GOOD_MINI, "config": {"domain": "killgen"}}
+    )
+    assert not bad_domain["ok"] and "type-state" in bad_domain["error"]
+    # The daemon survived all of it.
+    assert service.handle({"op": "analyze", "program": GOOD_MINI})["ok"]
+
+
+def test_config_from_json_validation():
+    config = config_from_json(
+        {"engine": "td", "k": 3, "budget": {"max_work": 10}}
+    )
+    assert config.engine == "td" and config.k == 3
+    assert config.budget.max_work == 10
+    assert config.domain == "typestate-full"  # service default = verify's
+    assert config_from_json(None).engine == "swift"
+    with pytest.raises(ProtocolError, match="unknown config key"):
+        config_from_json({"engin": "td"})
+    with pytest.raises(ProtocolError, match="budget"):
+        config_from_json({"budget": {"max_wark": 10}})
+    with pytest.raises(ProtocolError, match="tracked_sites"):
+        config_from_json({"tracked_sites": "h1"})
+    with pytest.raises(ProtocolError):
+        config_from_json({"engine": "warp-drive"})
+    with pytest.raises(ProtocolError):
+        config_from_json("not an object")
+    sites = config_from_json({"tracked_sites": ["h1", "h2"]})
+    assert sites.tracked_sites == frozenset({"h1", "h2"})
+
+
+# -- trace streaming ------------------------------------------------------------------
+def test_trace_streams_to_the_emit_callback(service):
+    events = []
+    response = service.handle(
+        {"op": "analyze", "program": GOOD_MINI, "trace": True},
+        emit=events.append,
+    )
+    assert response["ok"]
+    assert response["trace_events"] == len(events) > 0
+    kinds = {event["kind"] for event in events}
+    assert "propagate" in kinds
+
+
+def test_trace_callback_failure_does_not_fail_the_run(service):
+    calls = []
+
+    def broken(event):
+        calls.append(event)
+        raise OSError("client went away")
+
+    response = service.handle(
+        {"op": "analyze", "program": GOOD_MINI, "trace": True}, emit=broken
+    )
+    assert response["ok"]
+    assert response["trace_events"] == 0 and len(calls) == 1
+
+
+# -- stdio front end ------------------------------------------------------------------
+def test_stdio_frontend_round_trip(service):
+    requests = [
+        {"op": "analyze", "program": GOOD_MINI, "id": 1},
+        {"op": "analyze", "program": GOOD_MINI, "id": 2},
+        {"op": "stats", "id": 3},
+        {"op": "shutdown", "id": 4},
+    ]
+    reader = io.StringIO(
+        "".join(json.dumps(request) + "\n" for request in requests)
+        + "not json\n"  # after shutdown: never read
+    )
+    writer = io.StringIO()
+    assert StdioFrontend(service, reader, writer).serve() == 0
+    lines = [json.loads(line) for line in writer.getvalue().splitlines()]
+    by_id = {line.get("id"): line for line in lines}
+    assert by_id[1]["ok"] and by_id[2]["ok"] and by_id[3]["ok"]
+    assert by_id[4]["ok"] and by_id[4]["op"] == "shutdown"
+    warm = by_id[2]
+    assert warm["work"] == 0 or warm["coalesced"]
+    assert lines[-1]["op"] == "shutdown"  # drain: shutdown answered last
+
+
+def test_stdio_frontend_reports_bad_json_and_continues(service):
+    reader = io.StringIO(
+        "this is not json\n"
+        + json.dumps({"op": "stats", "id": 1})
+        + "\n"
+        + json.dumps({"op": "shutdown", "id": 2})
+        + "\n"
+    )
+    writer = io.StringIO()
+    StdioFrontend(service, reader, writer).serve()
+    lines = [json.loads(line) for line in writer.getvalue().splitlines()]
+    assert any(not line["ok"] and "JSON" in line["error"] for line in lines)
+    assert any(line.get("id") == 1 and line["ok"] for line in lines)
+
+
+def test_stdio_trace_lines_carry_the_request_id(service):
+    reader = io.StringIO(
+        json.dumps({"op": "analyze", "program": GOOD_MINI, "id": "t", "trace": True})
+        + "\n"
+        + json.dumps({"op": "shutdown"})
+        + "\n"
+    )
+    writer = io.StringIO()
+    StdioFrontend(service, reader, writer).serve()
+    lines = [json.loads(line) for line in writer.getvalue().splitlines()]
+    traces = [line for line in lines if "trace" in line and "ok" not in line]
+    assert traces and all(line["id"] == "t" for line in traces)
+    response = next(line for line in lines if line.get("id") == "t" and "ok" in line)
+    assert response["trace_events"] == len(traces)
+
+
+# -- HTTP front end + client ----------------------------------------------------------
+@pytest.fixture
+def http_service(tmp_path):
+    service = AnalysisService(tmp_path / "http-root", lru_size=4)
+    server = make_server(service)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    client = ServiceClient(f"http://127.0.0.1:{server.server_address[1]}")
+    assert client.wait_ready(10)
+    yield service, client, thread
+    if thread.is_alive():
+        server.shutdown()
+        thread.join(5)
+    server.server_close()
+
+
+def test_http_round_trip_and_shutdown(http_service):
+    service, client, thread = http_service
+    first = client.analyze(GOOD_MINI)
+    assert first["cold"] and first["errors"] == []
+    second = client.analyze(GOOD_MINI)
+    assert not second["cold"] and second["work"] == 0
+    stats = client.stats()
+    assert stats["requests"] == 3
+    assert client.shutdown()["ok"]
+    thread.join(5)
+    assert not thread.is_alive()
+
+
+def test_http_trace_streaming(http_service):
+    _, client, _ = http_service
+    events = []
+    response = client.analyze(BAD_MINI, trace=True, on_trace=events.append)
+    assert response["ok"] and response["errors"]
+    assert len(events) == response["trace_events"] > 0
+
+
+def test_http_error_becomes_service_error(http_service):
+    _, client, _ = http_service
+    with pytest.raises(ServiceError, match="unknown op"):
+        client.call({"op": "frobnicate"})
+
+
+def test_http_concurrent_clients_coalesce_or_reuse(http_service):
+    service, client, _ = http_service
+    with ThreadPoolExecutor(max_workers=4) as pool:
+        futures = [
+            pool.submit(client.analyze, GOOD_MINI, request_id=i)
+            for i in range(4)
+        ]
+        responses = [f.result(60) for f in futures]
+    assert all(r["ok"] and r["errors"] == [] for r in responses)
+    # However the requests interleaved, the service never solved the
+    # same key twice concurrently: solves + coalesced + warm hits
+    # account for all four.
+    assert service.solves + service.coalesced + sum(
+        1 for r in responses if not r["cold"] and not r["coalesced"]
+    ) >= 4

@@ -1,0 +1,266 @@
+"""Demand-query proof: per-query work proportional to the cone.
+
+The headline row answers the subsystem's acceptance question on a
+generated 166-procedure program (``wide-fanout-160``) with a populated
+summary store:
+
+* **cold** — whole-program cold ``analyze --store`` (wall + work);
+* **first query** — one ``run_query`` against the fresh store.  Pays
+  the snapshot decode (O(program)) once, so its wall clock is *not*
+  the steady state;
+* **steady query** — repeated queries through the process-level decode
+  cache (the resident-service scenario; best of ``STEADY_ROUNDS``).
+  Asserted to run ``MIN_SPEEDUP``x faster than the cold whole-program
+  run, to tabulate **zero** out-of-cone interior rows, and to report a
+  verdict identical to the whole-program reference (top-down) verdict
+  restricted to the target (``identical: true``).
+
+The proportionality rows then query three targets of increasing cone
+size on every registered shape and record ``(cone, work)`` pairs: work
+must grow with the cone and stay below the whole-program work.
+
+Run standalone to (re)generate ``BENCH_query.json``::
+
+    PYTHONPATH=src python benchmarks/bench_query.py [--quick] [--out PATH]
+
+(``--quick`` keeps only the headline shape but still writes the JSON —
+CI uploads it as an artifact) or collect under pytest::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_query.py
+"""
+
+import argparse
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench.suite import SHAPE_CONFIGS, load_shape
+from repro.incremental import SummaryStore, analyze_with_store
+from repro.query import QueryTarget, clear_query_cache, compute_cone, run_query
+from repro.typestate.client import run_typestate
+from repro.typestate.properties import FILE_PROPERTY
+
+HEADLINE_SHAPE = "wide-fanout-160"
+HEADLINE_TARGET = "worker3"
+ENGINE = "swift"
+DOMAIN = "simple"
+STEADY_ROUNDS = 3
+#: The steady-state query must beat the cold whole-program run by this
+#: factor on wall clock (measured headroom on this shape is ~8x).
+MIN_SPEEDUP = 5.0
+
+#: Three targets of increasing cone size per registered shape.
+PROPORTIONALITY_TARGETS = {
+    "deep-recursion-128": ["rec0", "rec49", "rec99"],
+    "wide-fanout-160": ["worker3", "svc1", "svc0"],
+    "diamond-sharing-144": ["d0_0", "d4_0", "d9_9"],
+    "scc-heavy-128": ["c0_0", "c4_0", "c9_3"],
+}
+
+
+def _timed(fn, *args, **kwargs):
+    started = time.perf_counter()
+    out = fn(*args, **kwargs)
+    return out, time.perf_counter() - started
+
+
+def reference_errors(program, target_proc, domain=DOMAIN):
+    """Whole-program top-down findings restricted to ``target_proc``."""
+    report = run_typestate(program, FILE_PROPERTY, engine="td", domain=domain)
+    target = QueryTarget(target_proc)
+    return frozenset(
+        (point, site) for point, site in report.errors if target.covers(point)
+    )
+
+
+def run_headline() -> dict:
+    """Cold whole-program vs first vs steady-state query on the headline shape."""
+    benchmark = load_shape(HEADLINE_SHAPE)
+    program = benchmark.program
+    assert len(program) >= 128, f"headline shape has only {len(program)} procs"
+    clear_query_cache()
+    with tempfile.TemporaryDirectory() as root:
+        store = SummaryStore(root)
+        cold, cold_s = _timed(
+            analyze_with_store, program, FILE_PROPERTY, store,
+            engine=ENGINE, domain=DOMAIN,
+        )
+        first, first_s = _timed(
+            run_query, program, FILE_PROPERTY, store, HEADLINE_TARGET,
+            engine=ENGINE, domain=DOMAIN,
+        )
+        steady_s = None
+        for _ in range(STEADY_ROUNDS):
+            steady, took = _timed(
+                run_query, program, FILE_PROPERTY, store, HEADLINE_TARGET,
+                engine=ENGINE, domain=DOMAIN,
+            )
+            steady_s = took if steady_s is None else min(steady_s, took)
+
+    cold_work = cold.report.result.metrics.total_work
+    reference = reference_errors(program, HEADLINE_TARGET)
+    identical = first.answer == reference and steady.answer == reference
+    assert identical, "query verdict diverged from the whole-program reference"
+    assert not first.cold, "store snapshot was not picked up"
+    assert first.out_of_cone_interior_rows == 0, (
+        f"{first.out_of_cone_interior_rows} out-of-cone interior rows tabulated"
+    )
+    assert steady.out_of_cone_interior_rows == 0
+    assert steady.total_work < cold_work, "query work not below whole-program work"
+    speedup = cold_s / steady_s if steady_s else float("inf")
+    assert speedup >= MIN_SPEEDUP, (
+        f"steady query {steady_s:.4f}s is only {speedup:.1f}x faster than "
+        f"cold whole-program {cold_s:.4f}s (need {MIN_SPEEDUP}x)"
+    )
+    return {
+        "shape": HEADLINE_SHAPE,
+        "procedures": len(program),
+        "target": HEADLINE_TARGET,
+        "engine": ENGINE,
+        "domain": DOMAIN,
+        "cold": {"work": cold_work, "seconds": round(cold_s, 4)},
+        "first_query": {
+            "work": first.total_work,
+            "seconds": round(first_s, 4),
+            "store_load_s": round(first.store_load_seconds, 4),
+        },
+        "steady_query": {
+            "work": steady.total_work,
+            "seconds": round(steady_s, 4),
+            "cone": steady.cone_size,
+            "frontier": steady.frontier_size,
+            "out_of_cone_interior_rows": steady.out_of_cone_interior_rows,
+        },
+        "speedup": round(speedup, 2),
+        "identical": identical,
+        "errors_at_target": len(reference),
+    }
+
+
+def run_proportionality(shape_name: str) -> dict:
+    """Three queries of increasing cone size on one shape.
+
+    Query work is compared against the whole-program *reference* (TD)
+    work — the precision a query answers at.  The whole-program SWIFT
+    work is recorded too: for cones approaching the whole program a
+    reference-precision cone solve can exceed it (the TUNING crossover),
+    but it must always stay below solving the whole program at the same
+    precision.
+    """
+    benchmark = load_shape(shape_name)
+    program = benchmark.program
+    clear_query_cache()
+    queries = []
+    reference = run_typestate(program, FILE_PROPERTY, engine="td", domain=DOMAIN)
+    reference_work = reference.result.metrics.total_work
+    with tempfile.TemporaryDirectory() as root:
+        store = SummaryStore(root)
+        cold, _ = _timed(
+            analyze_with_store, program, FILE_PROPERTY, store,
+            engine=ENGINE, domain=DOMAIN,
+        )
+        cold_work = cold.report.result.metrics.total_work
+        for target in PROPORTIONALITY_TARGETS[shape_name]:
+            cone = compute_cone(program, QueryTarget(target))
+            run_query(  # decode warm-up: steady state, like the headline
+                program, FILE_PROPERTY, store, target,
+                engine=ENGINE, domain=DOMAIN,
+            )
+            outcome, seconds = _timed(
+                run_query, program, FILE_PROPERTY, store, target,
+                engine=ENGINE, domain=DOMAIN,
+            )
+            assert outcome.out_of_cone_interior_rows == 0, (shape_name, target)
+            assert outcome.total_work < reference_work, (shape_name, target)
+            want = frozenset(
+                (point, site)
+                for point, site in reference.errors
+                if QueryTarget(target).covers(point)
+            )
+            assert outcome.answer == want, (shape_name, target)
+            queries.append(
+                {
+                    "target": target,
+                    "cone": cone.size,
+                    "work": outcome.total_work,
+                    "seconds": round(seconds, 4),
+                }
+            )
+    works = [q["work"] for q in sorted(queries, key=lambda q: q["cone"])]
+    assert works[0] < works[-1], (
+        f"{shape_name}: work did not grow with the cone ({queries})"
+    )
+    return {
+        "shape": shape_name,
+        "procedures": len(program),
+        "engine": ENGINE,
+        "domain": DOMAIN,
+        "whole_program_work": cold_work,
+        "reference_work": reference_work,
+        "queries": queries,
+        "identical": True,
+    }
+
+
+def collect(quick: bool = False):
+    rows = [run_headline()]
+    head = rows[0]
+    print(
+        f"  {head['shape']}/{head['engine']}: cold {head['cold']['seconds']}s "
+        f"work={head['cold']['work']}; first query "
+        f"{head['first_query']['seconds']}s; steady "
+        f"{head['steady_query']['seconds']}s work={head['steady_query']['work']} "
+        f"cone={head['steady_query']['cone']}/{head['procedures']} -> "
+        f"{head['speedup']}x, identical={head['identical']}",
+        flush=True,
+    )
+    shapes = [HEADLINE_SHAPE] if quick else [cfg.name for cfg in SHAPE_CONFIGS]
+    for shape_name in shapes:
+        row = run_proportionality(shape_name)
+        rows.append(row)
+        pairs = ", ".join(f"{q['cone']}->{q['work']}" for q in row["queries"])
+        print(
+            f"  {row['shape']}: whole-program work={row['whole_program_work']} "
+            f"per-query cone->work: {pairs}",
+            flush=True,
+        )
+    return rows
+
+
+# -- pytest entry points (cheap; the full sweep is standalone-only) -------------------
+def test_query_headline(once):
+    row = once(run_headline)
+    assert row["identical"]
+    assert row["speedup"] >= MIN_SPEEDUP
+    assert row["steady_query"]["out_of_cone_interior_rows"] == 0
+
+
+def test_query_proportionality(once):
+    row = once(run_proportionality, "scc-heavy-128")
+    assert row["identical"]
+    works = sorted(q["work"] for q in row["queries"])
+    assert works[-1] < row["whole_program_work"]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_query.json")
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke: headline shape only (still writes the JSON)",
+    )
+    args = parser.parse_args(argv)
+    rows = collect(quick=args.quick)
+    from repro.experiments.export import export_query
+
+    path = export_query(rows, args.out)
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -19,15 +19,34 @@ Scales are roughly 1/10th of the paper's method counts so the suite
 runs in minutes under CPython.
 """
 
-from repro.bench.generator import BenchmarkConfig, GeneratedBenchmark, generate
-from repro.bench.suite import SUITE_CONFIGS, benchmark_names, load_benchmark, load_suite
+from repro.bench.generator import (
+    BenchmarkConfig,
+    GeneratedBenchmark,
+    ShapeConfig,
+    generate,
+    generate_shape,
+)
+from repro.bench.suite import (
+    SHAPE_CONFIGS,
+    SUITE_CONFIGS,
+    benchmark_names,
+    load_benchmark,
+    load_shape,
+    load_suite,
+    shape_names,
+)
 
 __all__ = [
     "BenchmarkConfig",
     "GeneratedBenchmark",
+    "SHAPE_CONFIGS",
+    "ShapeConfig",
     "SUITE_CONFIGS",
     "benchmark_names",
     "generate",
+    "generate_shape",
     "load_benchmark",
+    "load_shape",
     "load_suite",
+    "shape_names",
 ]

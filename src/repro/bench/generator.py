@@ -260,6 +260,61 @@ def _emit_worker(
         p.call(target)
 
 
+# ---------------------------------------------------------------------------
+# Large-scale shape generation (demand-driven query workloads)
+# ---------------------------------------------------------------------------
+
+#: The registered call-graph shapes (builders live in
+#: :mod:`repro.bench.workloads`; see ``SHAPE_BUILDERS`` there).
+SHAPE_NAMES = (
+    "deep_recursion",
+    "wide_fanout",
+    "diamond_sharing",
+    "scc_heavy",
+)
+
+
+@dataclass(frozen=True)
+class ShapeConfig:
+    """One named instance of a parameterized large-scale shape.
+
+    Unlike :class:`BenchmarkConfig` — which mimics the mixed regime of
+    the paper's Table 1 programs — a shape isolates a single
+    call-graph topology at 100+ procedures.  ``seed`` steers the minor
+    structural choices; the same ``(shape, size, seed, n_resources)``
+    always generates the same program byte for byte.
+    """
+
+    name: str
+    shape: str
+    size: int
+    seed: int = 0
+    n_resources: int = 8
+
+    def __post_init__(self) -> None:
+        if self.shape not in SHAPE_NAMES:
+            raise ValueError(
+                f"unknown shape {self.shape!r}; expected one of {SHAPE_NAMES}"
+            )
+        if self.size < 1:
+            raise ValueError("size must be positive")
+        if self.n_resources < 1:
+            raise ValueError("need at least one resource object")
+
+
+def generate_shape(config: ShapeConfig) -> GeneratedBenchmark:
+    """Generate one shape deterministically from its config."""
+    from repro.bench.workloads import SHAPE_BUILDERS
+
+    program = SHAPE_BUILDERS[config.shape](
+        config.size, seed=config.seed, n_resources=config.n_resources
+    )
+    # Shapes have no app/library split: every procedure is "the
+    # program" (class metadata only matters for the Table 1 exhibits).
+    procs = frozenset(program.names())
+    return GeneratedBenchmark(config, program, procs, frozenset(), {})
+
+
 def _assign_classes(
     config: BenchmarkConfig, app_procs: List[str], lib_procs: List[str]
 ) -> Dict[str, str]:

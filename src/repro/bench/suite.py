@@ -13,9 +13,16 @@ the Table 2 dynamics reproduce under the experiment budgets:
 
 from __future__ import annotations
 
-from typing import Dict, List
+import dataclasses
+from typing import Dict, List, Optional, Tuple
 
-from repro.bench.generator import BenchmarkConfig, GeneratedBenchmark, generate
+from repro.bench.generator import (
+    BenchmarkConfig,
+    GeneratedBenchmark,
+    ShapeConfig,
+    generate,
+    generate_shape,
+)
 
 #: Configs in the paper's Table 1 order.
 SUITE_CONFIGS: List[BenchmarkConfig] = [
@@ -101,3 +108,39 @@ def load_benchmark(name: str) -> GeneratedBenchmark:
 def load_suite() -> List[GeneratedBenchmark]:
     """Generate the whole suite (cached)."""
     return [load_benchmark(name) for name in benchmark_names()]
+
+
+#: Named large-scale shape instances (100+ procedures each), next to —
+#: but deliberately separate from — the Table 1 suite: the paper
+#: exhibits iterate ``benchmark_names()`` and must not change.
+SHAPE_CONFIGS: List[ShapeConfig] = [
+    ShapeConfig(name="deep-recursion-128", shape="deep_recursion", size=128, seed=7),
+    ShapeConfig(name="wide-fanout-160", shape="wide_fanout", size=160, seed=11),
+    ShapeConfig(name="diamond-sharing-144", shape="diamond_sharing", size=144, seed=13),
+    ShapeConfig(name="scc-heavy-128", shape="scc_heavy", size=128, seed=17),
+]
+
+_SHAPES_BY_NAME: Dict[str, ShapeConfig] = {c.name: c for c in SHAPE_CONFIGS}
+_SHAPE_CACHE: Dict[Tuple[str, int], GeneratedBenchmark] = {}
+
+
+def shape_names() -> List[str]:
+    return [c.name for c in SHAPE_CONFIGS]
+
+
+def load_shape(name: str, seed: Optional[int] = None) -> GeneratedBenchmark:
+    """Generate (and cache) one shape by name.
+
+    ``seed`` overrides the registered seed — generation is a pure
+    function of (shape, size, seed), so the same override reproduces
+    the same program byte for byte anywhere.
+    """
+    if name not in _SHAPES_BY_NAME:
+        raise KeyError(f"unknown shape {name!r}; see shape_names()")
+    config = _SHAPES_BY_NAME[name]
+    if seed is not None and seed != config.seed:
+        config = dataclasses.replace(config, seed=seed)
+    key = (name, config.seed)
+    if key not in _SHAPE_CACHE:
+        _SHAPE_CACHE[key] = generate_shape(config)
+    return _SHAPE_CACHE[key]

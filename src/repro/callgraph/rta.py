@@ -10,7 +10,7 @@ the experiment harness and the frontend's dispatch resolution.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.ir.program import Program
 
@@ -61,6 +61,6 @@ class CallGraph:
         return max((len(d) for d in self._edges.values()), default=0)
 
 
-def build_call_graph(program: Program, root: str = None) -> CallGraph:
+def build_call_graph(program: Program, root: Optional[str] = None) -> CallGraph:
     """Build the reachable call graph (root defaults to ``main``)."""
     return CallGraph(program, root if root is not None else program.main)

@@ -7,8 +7,11 @@
     repro-swift verify prog.mini --engine concurrent --scheduler fifo
     repro-swift verify prog.mini --domain killgen
     repro-swift analyze prog.mini --store .repro-store
+    repro-swift query-point prog.mini worker3 --store .repro-store
+    repro-swift query-point prog.mini hub:4 --kind summaries --store .repro-store
     repro-swift serve --root .repro-service --http 127.0.0.1:8731
     repro-swift client analyze prog.mini --server http://127.0.0.1:8731
+    repro-swift client demand prog.mini --target worker3 --server http://127.0.0.1:8731
     repro-swift client stats --server http://127.0.0.1:8731
     repro-swift client shutdown --server http://127.0.0.1:8731
     repro-swift store stats .repro-store
@@ -147,13 +150,26 @@ def cmd_dot(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
-    from repro.bench import benchmark_names, load_benchmark
+    from repro.bench import (
+        benchmark_names,
+        load_benchmark,
+        load_shape,
+        shape_names,
+    )
     from repro.experiments.harness import run_engine
 
-    if args.name not in benchmark_names():
-        print(f"unknown benchmark {args.name!r}; choose from {benchmark_names()}")
+    if args.name in benchmark_names():
+        benchmark = load_benchmark(args.name)
+    elif args.name in shape_names():
+        # Generated shapes are pure functions of (shape, size, seed):
+        # --seed reproduces the exact same program anywhere.
+        benchmark = load_shape(args.name, seed=args.seed)
+    else:
+        print(
+            f"unknown benchmark {args.name!r}; choose from "
+            f"{benchmark_names() + shape_names()}"
+        )
         return 2
-    benchmark = load_benchmark(args.name)
     for engine in ("td", "bu", "swift"):
         run = run_engine(benchmark, engine, k=args.k, theta=args.theta)
         print(
@@ -270,6 +286,67 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     return 1
 
 
+def cmd_query_point(args: argparse.Namespace) -> int:
+    from repro.framework.metrics import Budget
+    from repro.incremental import SummaryStore
+    from repro.query import QueryError, run_query
+    from repro.typestate.properties import property_by_name
+
+    program = load_program(args.file)
+    budget = Budget(max_work=args.budget) if args.budget else None
+    try:
+        outcome = run_query(
+            program,
+            property_by_name(args.property),
+            SummaryStore(args.store),
+            args.target,
+            kind=args.kind,
+            engine=args.engine,
+            k=args.k,
+            theta=args.theta,
+            budget=budget,
+            domain=args.domain,
+            kernel=args.kernel,
+        )
+    except QueryError as exc:
+        print(f"query error: {exc}")
+        return 2
+    start = "cold" if outcome.cold else "warm"
+    print(
+        f"{args.property}: demand {outcome.target} ({outcome.kind}), "
+        f"{start} store, cone={outcome.cone_size}/{len(program)} "
+        f"frontier={outcome.frontier_size} "
+        f"hits={outcome.store_hits} misses={outcome.store_misses} "
+        f"work={outcome.total_work} "
+        f"out-of-cone-rows={outcome.out_of_cone_interior_rows}"
+    )
+    if outcome.timed_out:
+        print(f"{args.property}: analysis exceeded its budget")
+        return 2
+    if args.kind == "errors":
+        # Verdict lines are byte-identical to `repro-swift verify`'s
+        # report restricted to the target (CI compares them directly).
+        if not outcome.answer:
+            print(f"{args.property}: ok at {outcome.target}")
+            return 0
+        print(
+            f"{args.property}: {len(outcome.answer)} possible protocol "
+            f"violation(s) at {outcome.target}"
+        )
+        for point, site in sorted(outcome.answer, key=str):
+            print(f"  object from {site} may be in the error state at {point}")
+        return 1
+    if args.kind == "summaries":
+        print(f"{outcome.target}: {len(outcome.answer)} summary pair(s)")
+        for entry, exit_state in sorted(outcome.answer, key=str):
+            print(f"  {entry} -> {exit_state}")
+        return 0
+    print(f"{outcome.target}: {len(outcome.answer)} entry state(s)")
+    for state in sorted(outcome.answer, key=str):
+        print(f"  {state}")
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     from repro.service.daemon import AnalysisService
 
@@ -367,6 +444,56 @@ def cmd_client(args: argparse.Namespace) -> int:
                 f"shard={response['shard']} known={response['known']} "
                 f"resident={response['resident']} snapshot={response['snapshot']}"
             )
+            return 0
+        if args.client_command == "demand":
+            text = Path(args.file).read_text()
+            fmt = "mini" if args.file.endswith(".mini") else "ir"
+            config = {
+                "engine": args.engine,
+                "domain": args.domain,
+                "k": args.k,
+                "theta": args.theta,
+            }
+            response = client.demand(
+                text,
+                args.target,
+                kind=args.kind,
+                fmt=fmt,
+                prop=args.property,
+                config=config,
+            )
+            start = "cold" if response["cold"] else "warm"
+            print(
+                f"{args.property}: demand {response['target']} "
+                f"({response['kind']}), {start} store, "
+                f"cone={response['cone_size']}/{response['program_procs']} "
+                f"work={response['work']} ({response['elapsed_ms']}ms)"
+            )
+            if response["timed_out"]:
+                print(f"{args.property}: analysis exceeded its budget")
+                return 2
+            answer = response["answer"]
+            if response["kind"] == "errors":
+                if not answer:
+                    print(f"{args.property}: ok at {response['target']}")
+                    return 0
+                print(
+                    f"{args.property}: {len(answer)} possible protocol "
+                    f"violation(s) at {response['target']}"
+                )
+                for point, site in answer:
+                    print(
+                        f"  object from {site} may be in the error state at {point}"
+                    )
+                return 1
+            if response["kind"] == "summaries":
+                print(f"{response['target']}: {len(answer)} summary pair(s)")
+                for entry, exit_state in answer:
+                    print(f"  {entry} -> {exit_state}")
+                return 0
+            print(f"{response['target']}: {len(answer)} entry state(s)")
+            for state in answer:
+                print(f"  {state}")
             return 0
         if args.client_command == "stats":
             import json as _json
@@ -491,6 +618,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     analyze.set_defaults(fn=cmd_analyze)
 
+    query_point = sub.add_parser(
+        "query-point",
+        help="demand query: analyze only the target's cone, reusing the store",
+    )
+    query_point.add_argument("file")
+    query_point.add_argument(
+        "target", help="procedure name, or proc:index for one program point"
+    )
+    query_point.add_argument(
+        "--store", required=True, metavar="DIR", help="store directory"
+    )
+    query_point.add_argument(
+        "--kind",
+        choices=["errors", "summaries", "entries"],
+        default="errors",
+        help="question asked: error reachability, summary pairs, entry states",
+    )
+    query_point.add_argument("--property", default="File")
+    query_point.add_argument("--engine", choices=["td", "swift"], default="swift")
+    query_point.add_argument("--domain", choices=["simple", "full"], default="full")
+    query_point.add_argument("--k", type=int, default=5)
+    query_point.add_argument("--theta", type=int, default=1)
+    query_point.add_argument("--budget", type=int, default=None, help="work budget")
+    query_point.add_argument(
+        "--kernel", choices=["object", "bitset", "numpy"], default="object"
+    )
+    query_point.set_defaults(fn=cmd_query_point)
+
     serve = sub.add_parser(
         "serve", help="run the resident analysis service (daemon)"
     )
@@ -563,7 +718,9 @@ def build_parser() -> argparse.ArgumentParser:
         )
 
     query = client_sub.add_parser(
-        "query", help="what the service knows about (program, config)"
+        "query",
+        help="metadata only: what the service knows about (program, config) "
+        "— runs no analysis; to answer a point question, use 'demand'",
     )
     _client_common(query)
     query.add_argument("--property", default="File")
@@ -571,6 +728,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine", choices=["td", "bu", "swift", "concurrent"], default="swift"
     )
     query.add_argument("--domain", choices=["simple", "full"], default="full")
+
+    demand = client_sub.add_parser(
+        "demand",
+        help="run a demand (point) query: analyze only the target's cone "
+        "through the service — distinct from 'query', which runs nothing",
+    )
+    _client_common(demand)
+    demand.add_argument(
+        "--target",
+        required=True,
+        help="procedure name, or proc:index for one program point",
+    )
+    demand.add_argument(
+        "--kind",
+        choices=["errors", "summaries", "entries"],
+        default="errors",
+    )
+    demand.add_argument("--property", default="File")
+    demand.add_argument("--engine", choices=["td", "swift"], default="swift")
+    demand.add_argument("--domain", choices=["simple", "full"], default="full")
+    demand.add_argument("--k", type=int, default=5)
+    demand.add_argument("--theta", type=int, default=1)
 
     stats = client_sub.add_parser("stats", help="service counters as JSON")
     _client_common(stats, with_file=False)
@@ -602,10 +781,18 @@ def build_parser() -> argparse.ArgumentParser:
     dot.add_argument("--proc", default=None)
     dot.set_defaults(fn=cmd_dot)
 
-    bench = sub.add_parser("bench", help="race the engines on a suite benchmark")
+    bench = sub.add_parser(
+        "bench", help="race the engines on a suite benchmark or generated shape"
+    )
     bench.add_argument("name")
     bench.add_argument("--k", type=int, default=5)
     bench.add_argument("--theta", type=int, default=1)
+    bench.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="override a generated shape's seed (byte-for-byte reproducible)",
+    )
     bench.set_defaults(fn=cmd_bench)
 
     experiments = sub.add_parser("experiments", help="regenerate tables/figures")

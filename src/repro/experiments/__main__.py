@@ -14,7 +14,16 @@ from __future__ import annotations
 
 import sys
 
-from repro.experiments import ablations, figure5, harness, table1, table2, table3, table4
+from repro.experiments import (
+    ablations,
+    figure5,
+    harness,
+    shapes,
+    table1,
+    table2,
+    table3,
+    table4,
+)
 
 #: Exhibits whose ``main`` accepts a ``parallel`` worker count.
 _PARALLEL_EXHIBITS = frozenset({"table2", "figure5", "table4"})
@@ -45,6 +54,7 @@ def main() -> None:
         ("table3", table3),
         ("table4", table4),
         ("ablations", ablations),
+        ("shapes", shapes),
     ]
     for name, module in exhibits:
         if wanted and name not in wanted:

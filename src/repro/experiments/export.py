@@ -141,6 +141,22 @@ def export_service(rows: Iterable[dict], path: str = "BENCH_service.json") -> Pa
     return out
 
 
+def export_query(rows: Iterable[dict], path: str = "BENCH_query.json") -> Path:
+    """Write the demand-query benchmark rows
+    (benchmarks/bench_query.py) as JSON."""
+    import json
+
+    out = Path(path)
+    payload = {
+        "benchmark": "bench_query",
+        "description": "demand (cone-restricted) point queries vs "
+        "whole-program cold analysis on generated large-scale shapes",
+        "rows": list(rows),
+    }
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return out
+
+
 def export_all(directory: str = "results") -> List[Path]:
     """Export every exhibit; returns the written paths."""
     base = Path(directory)

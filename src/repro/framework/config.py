@@ -42,7 +42,8 @@ class AnalysisConfig:
     """A validated, immutable description of one analysis run.
 
     Identity fields (part of :meth:`canonical_dict`): ``engine``,
-    ``domain``, ``k``, ``theta``, ``scheduler``, ``tracked_sites``,
+    ``domain``, ``k``, ``theta``, ``bu_triggers``, ``scheduler``,
+    ``tracked_sites``,
     ``enable_caches``, ``indexed_summaries``, ``batched``,
     ``batch_size``, ``batch_min_frontier``, ``kernel``.  Runtime
     fields (not part of the canonical form): ``budget``, ``sink``,
@@ -59,6 +60,7 @@ class AnalysisConfig:
     domain: str = "typestate-full"
     k: int = 5
     theta: int = 1
+    bu_triggers: bool = True
     scheduler: str = DEFAULT_SCHEDULER
     tracked_sites: Optional[FrozenSet[str]] = None
     enable_caches: bool = True
@@ -152,6 +154,12 @@ class AnalysisConfig:
             "domain": self.domain,
             "k": self.k if uses else None,
             "theta": self.theta if uses else None,
+            # Like k/theta: only the hybrid engines consult the BU
+            # trigger gate, so td/bu configs fingerprint the same
+            # whatever it carried.  The default (True) is the historical
+            # behavior; the query engine sets False so a cone solve
+            # never introduces summaries of its own.
+            "bu_triggers": self.bu_triggers if uses else None,
             "tracked_sites": (
                 sorted(self.tracked_sites)
                 if self.tracked_sites is not None

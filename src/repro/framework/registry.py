@@ -258,6 +258,7 @@ def _run_hybrid(engine_cls, program, instance, config, **extra) -> EngineOutcome
         instance.bu_analysis,
         k=config.k,
         theta=config.theta,
+        bu_triggers=config.bu_triggers,
         budget=config.budget,
         enable_caches=config.enable_caches,
         indexed_summaries=config.indexed_summaries,

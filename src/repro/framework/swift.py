@@ -125,6 +125,7 @@ class SwiftEngine(TopDownEngine):
         batch_min_frontier: int = DEFAULT_BATCH_MIN_FRONTIER,
         kernel: str = DEFAULT_KERNEL,
         kernel_seeds: Optional[Iterable] = None,
+        bu_triggers: bool = True,
     ) -> None:
         super().__init__(
             program,
@@ -148,6 +149,11 @@ class SwiftEngine(TopDownEngine):
         self.bu_analysis = bu_analysis
         self.k = k
         self.theta = theta
+        # When False, preloaded summaries are still consulted but no
+        # *new* bottom-up runs ever fire — the demand-driven query
+        # engine relies on this to keep a cone solve at full top-down
+        # precision while frontier calls are answered from the store.
+        self.bu_triggers = bu_triggers
         self.postpone_unseen = postpone_unseen
         # Algorithm 1's run_bu recomputes every procedure reachable from
         # the trigger; by default we keep summaries computed by earlier
@@ -262,6 +268,8 @@ class SwiftEngine(TopDownEngine):
         # Line 16: fall back to the top-down analysis.
         self._tabulate_call(edge, entry_sigma, sigma)
         # Lines 17-19: maybe trigger the bottom-up analysis.
+        if not self.bu_triggers:
+            return
         if callee in self.bu or callee in self._bu_disabled:
             return
         incoming = self._entry_counts.get(callee)

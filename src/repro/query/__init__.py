@@ -1,0 +1,40 @@
+"""Demand-driven queries over backward slices (DESIGN §13).
+
+Instead of solving the whole program to answer one question, a demand
+query computes the *cone* of its target — the transitive callers that
+can reach it — solves only that cone at full top-down precision, and
+satisfies every call edge leaving the cone from the persistent summary
+store.  :mod:`repro.query.slice` computes cones over the call graph's
+SCC condensation; :mod:`repro.query.engine` runs cone-restricted
+solves through the existing engines' ``preload=`` hook and extracts
+typed answers ("can an error state reach point p?", "summaries of f",
+"entry states observed at f").
+"""
+
+from repro.query.slice import (
+    QueryCone,
+    QueryError,
+    QueryTarget,
+    UnknownTargetError,
+    compute_cone,
+    resolve_target,
+)
+from repro.query.engine import (
+    QUERY_KINDS,
+    QueryOutcome,
+    clear_query_cache,
+    run_query,
+)
+
+__all__ = [
+    "QUERY_KINDS",
+    "QueryCone",
+    "QueryError",
+    "QueryOutcome",
+    "QueryTarget",
+    "UnknownTargetError",
+    "clear_query_cache",
+    "compute_cone",
+    "resolve_target",
+    "run_query",
+]

@@ -1,0 +1,350 @@
+"""Cone-restricted solves: answer one question, analyze one cone.
+
+:func:`run_query` is the demand-driven counterpart of
+:func:`repro.incremental.driver.analyze_with_store`.  It computes the
+target's backward-slice cone (:mod:`repro.query.slice`), loads the
+store snapshot for the *same* config fingerprint a whole-program
+``analyze --store`` run would use, and runs the configured engine with
+a **trimmed** warm start:
+
+* stored contexts and bottom-up summaries are preloaded **only for
+  out-of-cone procedures** (and only when their fingerprints survived
+  the invalidation diff), so every cone procedure is tabulated fresh;
+* preloaded contexts keep only their entry and exit rows, with no call
+  records — activation is O(rows) and spawns no children, because a
+  frontier call only needs the callee's exit summaries;
+* new bottom-up triggers are disabled (``bu_triggers=False``), so the
+  cone itself is solved at full top-down precision whatever hybrid
+  engine runs it.
+
+Together (DESIGN §13) this makes the query verdict at the target equal
+to the whole-program *reference* (top-down) verdict restricted to the
+target — identical across engines, schedulers, and kernels — while
+the work counters stay proportional to the cone: the solve never
+tabulates an out-of-cone interior point (``QueryOutcome.
+out_of_cone_interior_rows`` proves it per run).
+
+Queries never write the store: a cone solve is a partial fixpoint of
+the whole program, and stored snapshots must be complete.  Decoded
+trimmed warm starts are cached per ``(store, config, target proc)`` in
+a :class:`~repro.incremental.driver.WarmCache`, so a resident host
+answering repeated queries skips the JSON decode too.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional
+
+from repro.framework.config import AnalysisConfig
+from repro.framework.metrics import Budget
+from repro.framework.session import analysis_session
+from repro.incremental.codec import Codec
+from repro.incremental.driver import (
+    _SHORT_DOMAINS,
+    WarmCache,
+    _snapshot_signature,
+)
+from repro.incremental.fingerprint import (
+    ProgramFingerprints,
+    alias_facts,
+    config_fingerprint,
+)
+from repro.incremental.invalidate import (
+    InvalidationPlan,
+    WarmContext,
+    WarmStart,
+    diff_fingerprints,
+)
+from repro.incremental.store import Snapshot, SummaryStore
+from repro.ir.cfg import ControlFlowGraphs, ProgramPoint
+from repro.ir.program import Program
+from repro.query.slice import (
+    QueryCone,
+    QueryError,
+    QueryTarget,
+    TargetSpec,
+    compute_cone,
+    resolve_target,
+)
+from repro.typestate.client import make_analyses
+from repro.typestate.dfa import TypestateProperty
+
+#: The typed questions a demand query can ask.
+QUERY_KINDS = ("errors", "summaries", "entries")
+
+#: Process-level decode cache for trimmed query warm starts.  Distinct
+#: from the analyze-path cache: keys carry the target procedure, and
+#: the cached ``WarmStart`` objects are cone-trimmed.
+_QUERY_CACHE = WarmCache(capacity=64)
+
+
+def clear_query_cache() -> None:
+    """Drop every cached trimmed warm start (tests, long-lived hosts)."""
+    _QUERY_CACHE.clear()
+
+
+@dataclass
+class QueryOutcome:
+    """One answered demand query, with the evidence for its cost."""
+
+    kind: str
+    target: QueryTarget
+    answer: FrozenSet  # kind-shaped: error pairs / summary pairs / states
+    cone: QueryCone = field(repr=False, default=None)
+    config_fp: str = ""
+    cold: bool = True  # no usable snapshot existed
+    store_hits: int = 0
+    store_misses: int = 0
+    store_invalidated: int = 0
+    total_work: int = 0
+    #: td rows at out-of-cone points other than entry/exit — always 0
+    #: when frontier calls were answered from the store; >0 only for
+    #: procedures the solve had to tabulate cold.
+    out_of_cone_interior_rows: int = 0
+    timed_out: bool = False
+    store_load_seconds: float = 0.0
+    result: object = field(repr=False, default=None)  # raw engine result
+
+    @property
+    def cone_size(self) -> int:
+        return self.cone.size if self.cone is not None else 0
+
+    @property
+    def frontier_size(self) -> int:
+        return len(self.cone.frontier) if self.cone is not None else 0
+
+
+def build_query_warm(
+    snapshot: Snapshot,
+    plan: InvalidationPlan,
+    codec: Codec,
+    cone: FrozenSet[str],
+    cfgs: ControlFlowGraphs,
+) -> WarmStart:
+    """Decode a snapshot into a cone-trimmed :class:`WarmStart`.
+
+    Three trims on top of the incremental path's
+    :func:`~repro.incremental.invalidate.build_warm_start`:
+
+    * procedures **in the cone** are excluded entirely — the query
+      must tabulate them fresh at reference precision;
+    * surviving contexts keep only their entry and exit rows (a
+      frontier call consumes exactly the exit summaries; interior
+      rows of out-of-cone procedures are the work being avoided);
+    * call records are dropped, so activating a context installs its
+      two rows and stops — no transitive child activation.
+
+    Ranking multisets are not loaded at all: new bottom-up triggers
+    are disabled during a query, so the data would never be read.
+    """
+    warm = WarmStart(invalidated=dict(plan.invalidated))
+    for ctx in snapshot.contexts:
+        if ctx.proc not in plan.valid or ctx.proc in cone:
+            continue
+        exit_index = cfgs.exit(ctx.proc).index
+        entry = codec.decode_state(ctx.entry)
+        rows = [
+            (ProgramPoint(ctx.proc, idx), codec.decode_state(enc))
+            for idx, enc in ctx.rows
+            if idx == 0 or idx == exit_index
+        ]
+        warm.contexts[(ctx.proc, entry)] = WarmContext(
+            ctx.proc, entry, rows, []
+        )
+    for proc, enc in snapshot.bu.items():
+        if proc in plan.valid and proc not in cone:
+            warm.bu[proc] = codec.decode_summary(enc)
+    return warm
+
+
+def _load_query_warm(
+    store: SummaryStore,
+    config_fp: str,
+    fingerprints: ProgramFingerprints,
+    codec: Codec,
+    cone: QueryCone,
+    cfgs: ControlFlowGraphs,
+    cache: WarmCache,
+):
+    """Load + diff + trim, through the query decode cache.
+
+    The cache key extends the analyze-path key with the target
+    procedure (two targets trim the same snapshot differently); the
+    snapshot file signature and program fingerprints validate hits
+    exactly as on the analyze path.
+    """
+    signature = _snapshot_signature(store, config_fp)
+    key = (
+        str(store.root.resolve()),
+        f"{config_fp}#demand:{cone.target.proc}",
+    )
+    fp_key = fingerprints.as_dict()
+    if signature is not None:
+        hit = cache.lookup(key, signature, fp_key)
+        if hit is not None:
+            return hit
+    snapshot = store.load(config_fp)
+    if snapshot is None:
+        cache.invalidate(key)
+        return None, None, None
+    plan = diff_fingerprints(snapshot.fingerprints, fingerprints)
+    warm = build_query_warm(snapshot, plan, codec, cone.cone, cfgs)
+    if signature is not None:
+        cache.insert(key, signature, fp_key, snapshot, plan, warm)
+    return snapshot, plan, warm
+
+
+def _extract_answer(kind: str, target: QueryTarget, session_out) -> FrozenSet:
+    """The kind-shaped answer from a finished cone solve."""
+    if kind == "errors":
+        return frozenset(
+            (point, site)
+            for point, site in session_out.findings
+            if target.covers(point)
+        )
+    result = session_out.result
+    if kind == "summaries":
+        return frozenset(result.summaries(target.proc))
+    return frozenset(result.incoming_states(target.proc))
+
+
+def run_query(
+    program: Program,
+    prop: TypestateProperty,
+    store: SummaryStore,
+    target: TargetSpec,
+    kind: str = "errors",
+    engine: str = "swift",
+    k: int = 5,
+    theta: int = 1,
+    domain: str = "simple",
+    budget: Optional[Budget] = None,
+    tracked_sites: Optional[FrozenSet[str]] = None,
+    enable_caches: bool = True,
+    indexed_summaries: bool = True,
+    scheduler: Optional[str] = None,
+    sink=None,
+    kernel: str = "object",
+    config: Optional[AnalysisConfig] = None,
+    warm_cache: Optional[WarmCache] = None,
+) -> QueryOutcome:
+    """Answer one demand query against ``program`` and ``store``.
+
+    ``target`` is a procedure name, ``"proc:index"`` point spelling,
+    :class:`~repro.ir.cfg.ProgramPoint`, or :class:`QueryTarget`.
+    ``kind`` selects the question: ``"errors"`` ("can an error state
+    reach the target?"), ``"summaries"`` (the target procedure's
+    entry/exit summary pairs), ``"entries"`` (the entry states
+    observed at the target procedure).  The verdict is always at
+    reference (top-down) precision regardless of ``engine`` — see the
+    module docstring.
+
+    The store is read with the fingerprint of the *user's* config, so
+    snapshots populated by ``analyze --store`` (or the service) are
+    what queries consume; an empty or fully-invalidated store degrades
+    to solving the cone cold, never to an error.  Queries never save.
+    """
+    if kind not in QUERY_KINDS:
+        raise QueryError(
+            f"unknown query kind {kind!r}; expected one of {QUERY_KINDS}"
+        )
+    if config is None:
+        config = AnalysisConfig(
+            engine=engine,
+            domain=domain,
+            k=k,
+            theta=theta,
+            tracked_sites=tracked_sites,
+            enable_caches=enable_caches,
+            indexed_summaries=indexed_summaries,
+            scheduler=scheduler if scheduler is not None else "lifo",
+            kernel=kernel,
+        )
+    if budget is not None and config.budget is not budget:
+        config = config.replace(budget=budget)
+    if sink is not None and config.sink is not sink:
+        config = config.replace(sink=sink)
+    if config.engine not in ("td", "swift"):
+        raise ValueError(
+            f"run_query supports td and swift, not {config.engine!r}"
+        )
+    domain_short = _SHORT_DOMAINS.get(config.domain)
+    if domain_short is None:
+        raise ValueError(
+            f"run_query is type-state only, not {config.domain!r}"
+        )
+    cache = warm_cache if warm_cache is not None else _QUERY_CACHE
+
+    cfgs = ControlFlowGraphs(program)
+    resolved = resolve_target(program, target, cfgs)
+    cone = compute_cone(program, resolved)
+
+    oracle = None
+    facts = None
+    if domain_short == "full":
+        from repro.alias import points_to_oracle
+
+        oracle = points_to_oracle(program)
+        facts = alias_facts(program, oracle)
+    fingerprints = ProgramFingerprints(program, facts)
+    _, config_fp = config_fingerprint(prop, config=config)
+
+    if not cone.cone:
+        # Unreachable from main: the whole-program analysis has no rows
+        # at the target, so the empty answer is exact — and free.
+        return QueryOutcome(
+            kind=kind,
+            target=resolved,
+            answer=frozenset(),
+            cone=cone,
+            config_fp=config_fp,
+        )
+
+    _, bu_analysis, _ = make_analyses(
+        program, prop, domain_short, config.tracked_sites, oracle
+    )
+    codec = Codec(domain_short, bu_analysis)
+
+    load_started = time.perf_counter()
+    snapshot, plan, warm = _load_query_warm(
+        store, config_fp, fingerprints, codec, cone, cfgs, cache
+    )
+    store_load_seconds = time.perf_counter() - load_started
+
+    session_out = analysis_session().run(
+        program,
+        config.replace(preload=warm, bu_triggers=False),
+        prop=prop,
+        oracle=oracle,
+    )
+    result = session_out.result
+    metrics = result.metrics
+    metrics.store_load_seconds += store_load_seconds
+
+    out_rows = 0
+    in_cone = cone.cone
+    for point, pairs in result.td.items():
+        if point.proc in in_cone:
+            continue
+        if point.index == 0 or point == cfgs.exit(point.proc):
+            continue
+        out_rows += len(pairs)
+
+    return QueryOutcome(
+        kind=kind,
+        target=resolved,
+        answer=_extract_answer(kind, resolved, session_out),
+        cone=cone,
+        config_fp=config_fp,
+        cold=snapshot is None,
+        store_hits=metrics.store_hits,
+        store_misses=metrics.store_misses,
+        store_invalidated=metrics.store_invalidated,
+        total_work=metrics.total_work,
+        out_of_cone_interior_rows=out_rows,
+        timed_out=session_out.timed_out,
+        store_load_seconds=store_load_seconds,
+        result=result,
+    )

@@ -1,0 +1,185 @@
+"""Query targets and backward-slice cones over the call graph.
+
+The *cone* of a query target ``t`` is the set of procedures whose
+analysis the answer at ``t`` can depend on from above::
+
+    cone(t) = { q | t is reachable from q in the call graph }
+              ∩ reachable_from(main)
+
+i.e. the transitive callers of ``t`` (including ``t`` itself, and the
+whole SCC of every caller), restricted to what ``main`` can reach at
+all.  Both directions matter: a procedure that cannot reach ``t``
+never contributes a context to it, and a "caller" that ``main`` cannot
+reach never runs.  The cone is computed on the SCC condensation from
+:mod:`repro.callgraph.scc` — reverse reachability over component
+edges, then expanded back to members — so a target inside a recursive
+SCC automatically pulls its whole cycle into the cone.
+
+Because the cone is closed under callers, *no out-of-cone procedure
+ever calls into the cone*: every call edge crossing the boundary
+leaves it.  The procedures those edges land on are the cone's
+``frontier`` — the out-of-cone direct callees of cone procedures —
+and they are exactly the places a cone-restricted solve may satisfy
+from stored summaries (see DESIGN §13 for the soundness argument).
+
+Malformed targets raise :class:`UnknownTargetError` (a ``ValueError``
+subclass), never an engine crash: queries arrive from CLI arguments
+and service requests, so "no such procedure" is an answer, not a bug.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Union
+
+from repro.callgraph.scc import condensation
+from repro.ir.cfg import ControlFlowGraphs, ProgramPoint
+from repro.ir.program import Program
+
+
+class QueryError(ValueError):
+    """A malformed or unanswerable demand query (typed, not a crash)."""
+
+
+class UnknownTargetError(QueryError):
+    """The query names a procedure or point the program does not have."""
+
+
+@dataclass(frozen=True)
+class QueryTarget:
+    """A resolved query target: a procedure, or one point inside it.
+
+    ``index=None`` targets the whole procedure (any point in it);
+    an integer index targets the single point ``proc:index``.
+    """
+
+    proc: str
+    index: Optional[int] = None
+
+    def __str__(self) -> str:
+        if self.index is None:
+            return self.proc
+        return f"{self.proc}:{self.index}"
+
+    def point(self) -> Optional[ProgramPoint]:
+        if self.index is None:
+            return None
+        return ProgramPoint(self.proc, self.index)
+
+    def covers(self, point: ProgramPoint) -> bool:
+        """Does this target include ``point``?"""
+        if point.proc != self.proc:
+            return False
+        return self.index is None or point.index == self.index
+
+
+TargetSpec = Union[QueryTarget, ProgramPoint, str]
+
+
+def resolve_target(
+    program: Program,
+    spec: TargetSpec,
+    cfgs: Optional[ControlFlowGraphs] = None,
+) -> QueryTarget:
+    """Parse and validate a target against ``program``.
+
+    Accepts a :class:`QueryTarget`, a :class:`ProgramPoint`, or a
+    string — ``"proc"`` for a whole procedure, ``"proc:index"`` for a
+    single point (the same spelling ``ProgramPoint`` prints).  Raises
+    :class:`UnknownTargetError` when the procedure does not exist or
+    the index is outside the procedure's CFG.
+    """
+    if isinstance(spec, QueryTarget):
+        proc, index = spec.proc, spec.index
+    elif isinstance(spec, ProgramPoint):
+        proc, index = spec.proc, spec.index
+    elif isinstance(spec, str):
+        text = spec.strip()
+        if not text:
+            raise UnknownTargetError("empty query target")
+        proc, sep, idx_text = text.rpartition(":")
+        if sep and proc:
+            try:
+                index = int(idx_text)
+            except ValueError:
+                raise UnknownTargetError(
+                    f"bad point index {idx_text!r} in target {text!r}"
+                ) from None
+        else:
+            proc, index = text, None
+    else:
+        raise UnknownTargetError(
+            f"unsupported query target of type {type(spec).__name__}"
+        )
+    if proc not in program:
+        raise UnknownTargetError(f"no procedure named {proc!r} in the program")
+    if index is not None:
+        if cfgs is None:
+            cfgs = ControlFlowGraphs(program)
+        n_points = len(cfgs[proc].points)
+        if not 0 <= index < n_points:
+            raise UnknownTargetError(
+                f"point index {index} out of range for {proc!r} "
+                f"(has points 0..{n_points - 1})"
+            )
+    return QueryTarget(proc, index)
+
+
+@dataclass(frozen=True)
+class QueryCone:
+    """The slice of the program one query can observe.
+
+    ``cone`` — procedures the solve must tabulate; ``frontier`` —
+    out-of-cone procedures called directly from the cone (candidates
+    for stored-summary reuse); ``reachable`` — everything ``main``
+    reaches (cone ⊆ reachable).  An empty cone means the target is
+    unreachable from ``main``: the whole-program analysis has no rows
+    there, so the query short-circuits to the safe empty answer.
+    """
+
+    target: QueryTarget
+    cone: FrozenSet[str]
+    frontier: FrozenSet[str]
+    reachable: FrozenSet[str]
+
+    @property
+    def size(self) -> int:
+        return len(self.cone)
+
+    def out_of_cone(self) -> FrozenSet[str]:
+        return self.reachable - self.cone
+
+
+def compute_cone(program: Program, target: QueryTarget) -> QueryCone:
+    """The backward-slice cone of ``target`` (see module docstring)."""
+    if target.proc not in program:
+        raise UnknownTargetError(
+            f"no procedure named {target.proc!r} in the program"
+        )
+    cond = condensation(program)
+    n = len(cond.sccs)
+    reverse = [[] for _ in range(n)]
+    for i in range(n):
+        for j in cond.callee_sccs(i):
+            reverse[j].append(i)
+    start = cond.scc_index(target.proc)
+    seen = {start}
+    stack = [start]
+    while stack:
+        i = stack.pop()
+        for j in reverse[i]:
+            if j not in seen:
+                seen.add(j)
+                stack.append(j)
+    callers = set()
+    for i in seen:
+        callers.update(cond.members(i))
+    reachable = program.reachable_from(program.main)
+    cone = frozenset(callers) & reachable
+    frontier = frozenset(
+        callee
+        for proc in cone
+        for callee in program.callees(proc)
+        if callee not in cone
+    )
+    return QueryCone(target, cone, frontier, reachable)

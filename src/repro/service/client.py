@@ -115,7 +115,36 @@ class ServiceClient:
         prop: str = "File",
         config: Optional[dict] = None,
     ) -> dict:
+        """Metadata only: what the service knows about (program, config)."""
         payload = {"op": "query", "program": program, "property": prop}
+        if fmt is not None:
+            payload["format"] = fmt
+        if config is not None:
+            payload["config"] = config
+        return self.call(payload)
+
+    def demand(
+        self,
+        program: str,
+        target: str,
+        kind: str = "errors",
+        fmt: Optional[str] = None,
+        prop: str = "File",
+        config: Optional[dict] = None,
+    ) -> dict:
+        """Run a demand query: analyze only ``target``'s cone.
+
+        ``target`` is a procedure name or ``"proc:index"`` point;
+        ``kind`` is ``errors`` | ``summaries`` | ``entries``.  Distinct
+        from :meth:`query`, which never analyzes anything.
+        """
+        payload = {
+            "op": "demand",
+            "program": program,
+            "property": prop,
+            "target": target,
+            "kind": kind,
+        }
         if fmt is not None:
             payload["format"] = fmt
         if config is not None:

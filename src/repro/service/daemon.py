@@ -162,6 +162,7 @@ class AnalysisService:
         self.requests = 0
         self.coalesced = 0
         self.solves = 0
+        self.demands = 0
         self.errors = 0
 
     # -- lifecycle ----------------------------------------------------------------------
@@ -195,6 +196,8 @@ class AnalysisService:
                 return self._analyze(request, emit)
             if op == "query":
                 return self._query(request)
+            if op == "demand":
+                return self._demand(request)
             if op == "stats":
                 return ok_response("stats", request_id, **self.stats())
             return self._shutdown(request)
@@ -400,6 +403,82 @@ class AnalysisService:
             **store_fields,
         )
 
+    # -- demand (run a point query) -----------------------------------------------------
+    def _demand(self, request) -> dict:
+        """Answer a demand query from the shard store and warm LRU.
+
+        Unlike ``analyze``, this never solves the whole program: only
+        the target's backward-slice cone is tabulated, with
+        out-of-cone calls satisfied from the shard's snapshot (see
+        :mod:`repro.query`).  Malformed targets (no such procedure /
+        point, unknown kind) are client errors, not daemon faults.
+        """
+        from repro.query import QueryError, run_query
+
+        program, digest = self._program(request)
+        prop, config = self._prop_and_config(request)
+        if config.engine not in ("td", "swift"):
+            raise ProtocolError(
+                f"demand queries run on td or swift, not {config.engine!r}"
+            )
+        target = request.get("target")
+        if not isinstance(target, str) or not target.strip():
+            raise ProtocolError('demand needs a non-empty "target" string')
+        kind = request.get("kind", "errors")
+        store = self.shard_store(digest)
+        started = time.perf_counter()
+        try:
+            outcome = run_query(
+                program,
+                prop,
+                store,
+                target,
+                kind=kind,
+                config=config,
+                warm_cache=self.warm_cache,
+            )
+        except QueryError as exc:
+            raise ProtocolError(str(exc)) from None
+        elapsed = time.perf_counter() - started
+        with self._lock:
+            self.demands += 1
+        if kind == "errors":
+            answer = [
+                [str(point), site]
+                for point, site in sorted(outcome.answer, key=str)
+            ]
+        elif kind == "summaries":
+            answer = [
+                [str(entry), str(exit_state)]
+                for entry, exit_state in sorted(outcome.answer, key=str)
+            ]
+        else:
+            answer = sorted(str(state) for state in outcome.answer)
+        return ok_response(
+            "demand",
+            request.get("id"),
+            property=prop.name,
+            engine=config.engine,
+            config=config_to_json(config),
+            config_fp=outcome.config_fp,
+            program_fp=digest[:_SHARD_CHARS],
+            shard=digest[:_SHARD_CHARS],
+            target=str(outcome.target),
+            kind=kind,
+            answer=answer,
+            cone_size=outcome.cone_size,
+            frontier_size=outcome.frontier_size,
+            program_procs=len(program),
+            cold=outcome.cold,
+            store_hits=outcome.store_hits,
+            store_misses=outcome.store_misses,
+            store_invalidated=outcome.store_invalidated,
+            work=outcome.total_work,
+            out_of_cone_interior_rows=outcome.out_of_cone_interior_rows,
+            timed_out=outcome.timed_out,
+            elapsed_ms=round(elapsed * 1000.0, 3),
+        )
+
     # -- query / stats ------------------------------------------------------------------
     def _query(self, request) -> dict:
         program, digest = self._program(request)
@@ -445,6 +524,7 @@ class AnalysisService:
                 "requests": self.requests,
                 "coalesced": self.coalesced,
                 "solves": self.solves,
+                "demands": self.demands,
                 "request_errors": self.errors,
                 "in_flight": self._active,
                 "closing": self._closing,

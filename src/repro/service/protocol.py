@@ -10,10 +10,18 @@ A request names an operation and its inputs::
 
 Operations: ``analyze`` (run, through the shard's summary store),
 ``edit`` (same, for a changed program — the response additionally
-reports the invalidation cone), ``query`` (what the service knows
-about a (program, config) pair without running anything), ``stats``
-(service counters), and ``shutdown`` (drain in-flight requests, then
-stop).  The optional ``id`` is echoed verbatim on every line the
+reports the invalidation cone), ``query`` (**metadata only**: what the
+service knows about a (program, config) pair — shard, snapshot,
+residency — without running anything), ``demand`` (**run a demand
+query**: analyze only the backward-slice cone of a target procedure or
+point, answering out-of-cone calls from the shard's stored summaries;
+see :mod:`repro.query`), ``stats`` (service counters), and
+``shutdown`` (drain in-flight requests, then stop).  ``query`` and
+``demand`` are deliberately distinct: the first never analyzes
+anything, the second is the cheap way to *get* an analysis answer.  A
+``demand`` request adds ``"target"`` (``"proc"`` or ``"proc:index"``)
+and an optional ``"kind"`` (``errors`` | ``summaries`` | ``entries``,
+default ``errors``).  The optional ``id`` is echoed verbatim on every line the
 request produces, so clients multiplexing one connection can match
 responses — and streamed trace events — to requests.
 
@@ -40,8 +48,9 @@ class ProtocolError(ValueError):
     """A malformed request (bad op, unknown config key, bad value)."""
 
 
-#: Every operation the service accepts.
-OPS = frozenset({"analyze", "edit", "query", "stats", "shutdown"})
+#: Every operation the service accepts.  ``query`` reports metadata
+#: (never analyzes); ``demand`` runs a cone-restricted point query.
+OPS = frozenset({"analyze", "edit", "query", "demand", "stats", "shutdown"})
 
 #: JSON keys accepted under ``"config"`` — the AnalysisConfig
 #: constructor fields a client may set, plus ``budget``.

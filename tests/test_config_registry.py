@@ -108,7 +108,15 @@ def test_canonical_dict_contains_identity_fields():
     d = AnalysisConfig(scheduler="fifo", tracked_sites={"h2", "h1"}).canonical_dict()
     assert d["tracked_sites"] == ["h1", "h2"]
     assert d["flags"]["scheduler"] == "fifo"
-    assert set(d) == {"engine", "domain", "k", "theta", "tracked_sites", "flags"}
+    assert set(d) == {
+        "engine",
+        "domain",
+        "k",
+        "theta",
+        "bu_triggers",
+        "tracked_sites",
+        "flags",
+    }
 
 
 # -- experiment configs -------------------------------------------------------------

@@ -1,0 +1,352 @@
+"""Demand-driven queries: cones, trimmed warm starts, and the oracle.
+
+The load-bearing property (DESIGN §13): the answer of
+:func:`repro.query.run_query` at a target equals the whole-program
+*reference* (top-down) verdict restricted to that target — for every
+engine, domain, scheduler, and kernel — while the solve tabulates no
+out-of-cone interior point once the store is warm.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.bench.workloads import hub_flood, scc_heavy, wide_fanout
+from repro.framework.kernel import numpy_available
+from repro.incremental import SummaryStore, analyze_with_store
+from repro.ir.cfg import ControlFlowGraphs, ProgramPoint
+from repro.ir.parser import parse_program
+from repro.query import (
+    QUERY_KINDS,
+    QueryError,
+    QueryTarget,
+    UnknownTargetError,
+    clear_query_cache,
+    compute_cone,
+    resolve_target,
+    run_query,
+)
+from repro.service.daemon import AnalysisService
+from repro.typestate.client import run_typestate
+from repro.typestate.properties import FILE_PROPERTY
+
+from tests.test_property_based import programs
+
+CHAIN = """
+proc main { v = new h1; v.open(); call mid; v.close(); }
+proc mid { call leaf; }
+proc leaf { f = new h2; f.open(); f.close(); }
+"""
+
+#: main calls a/b; b is self-recursive; orphan is never called.
+SHAPES = """
+proc main { v = new h1; v.open(); call a; call b; v.close(); }
+proc a { call b; }
+proc b { choose { call b; } or { f = new h2; f.open(); f.read(); } }
+proc orphan { g = new h3; g.open(); }
+"""
+
+KERNELS = ["object", "bitset"] + (["numpy"] if numpy_available() else [])
+
+
+def reference_errors(program, target, domain="simple"):
+    """Whole-program top-down findings restricted to ``target``."""
+    report = run_typestate(program, FILE_PROPERTY, engine="td", domain=domain)
+    return frozenset(
+        (point, site) for point, site in report.errors if target.covers(point)
+    )
+
+
+# -- target resolution ------------------------------------------------------------------
+
+
+def test_resolve_target_spellings():
+    program = parse_program(CHAIN)
+    cfgs = ControlFlowGraphs(program)
+    assert resolve_target(program, "mid") == QueryTarget("mid")
+    assert resolve_target(program, "mid:1", cfgs) == QueryTarget("mid", 1)
+    assert resolve_target(program, QueryTarget("leaf")) == QueryTarget("leaf")
+    point = ProgramPoint("leaf", 2)
+    assert resolve_target(program, point) == QueryTarget("leaf", 2)
+    # A point target covers exactly its point; a proc target, the proc.
+    assert resolve_target(program, "mid:1").covers(ProgramPoint("mid", 1))
+    assert not resolve_target(program, "mid:1").covers(ProgramPoint("mid", 0))
+    assert resolve_target(program, "mid").covers(ProgramPoint("mid", 0))
+
+
+def test_resolve_target_errors():
+    program = parse_program(CHAIN)
+    cfgs = ControlFlowGraphs(program)
+    with pytest.raises(UnknownTargetError):
+        resolve_target(program, "nosuch")
+    with pytest.raises(UnknownTargetError):
+        resolve_target(program, "mid:banana")
+    with pytest.raises(UnknownTargetError):
+        resolve_target(program, "mid:9999", cfgs)
+    # UnknownTargetError is a QueryError is a ValueError.
+    assert issubclass(UnknownTargetError, QueryError)
+    assert issubclass(QueryError, ValueError)
+
+
+# -- cone computation -------------------------------------------------------------------
+
+
+def test_cone_is_callers_of_target():
+    program = parse_program(CHAIN)
+    cone = compute_cone(program, QueryTarget("mid"))
+    assert cone.cone == frozenset({"main", "mid"})
+    assert cone.frontier == frozenset({"leaf"})
+    leaf = compute_cone(program, QueryTarget("leaf"))
+    assert leaf.cone == frozenset({"main", "mid", "leaf"})
+    assert leaf.frontier == frozenset()
+
+
+def test_cone_includes_whole_recursive_scc():
+    program = parse_program(SHAPES)
+    cone = compute_cone(program, QueryTarget("b"))
+    # b is its own SCC (self-loop); both callers reach it.
+    assert cone.cone == frozenset({"main", "a", "b"})
+    # scc_heavy clusters: every member of the target's SCC is in the cone.
+    heavy = scc_heavy(24, seed=5)
+    cluster = sorted(n for n in heavy.names() if n.startswith("c0_"))
+    assert len(cluster) >= 2
+    heavy_cone = compute_cone(heavy, QueryTarget(cluster[-1]))
+    assert set(cluster) <= heavy_cone.cone
+
+
+def test_cone_of_unreachable_proc_is_empty():
+    program = parse_program(SHAPES)
+    cone = compute_cone(program, QueryTarget("orphan"))
+    assert cone.cone == frozenset()
+    assert cone.size == 0
+
+
+# -- run_query edge cases ---------------------------------------------------------------
+
+
+def test_unreachable_target_answers_empty_for_free(tmp_path):
+    program = parse_program(SHAPES)
+    store = SummaryStore(tmp_path / "store")
+    for kind in QUERY_KINDS:
+        outcome = run_query(program, FILE_PROPERTY, store, "orphan", kind=kind)
+        assert outcome.answer == frozenset()
+        assert outcome.cone_size == 0
+        assert outcome.total_work == 0
+
+
+def test_bad_target_and_bad_kind_raise(tmp_path):
+    program = parse_program(CHAIN)
+    store = SummaryStore(tmp_path / "store")
+    with pytest.raises(UnknownTargetError):
+        run_query(program, FILE_PROPERTY, store, "nosuch")
+    with pytest.raises(QueryError):
+        run_query(program, FILE_PROPERTY, store, "mid", kind="vibes")
+    with pytest.raises(ValueError):
+        run_query(program, FILE_PROPERTY, store, "mid", engine="bu")
+    with pytest.raises(ValueError):
+        run_query(program, FILE_PROPERTY, store, "mid", domain="killgen")
+
+
+def test_empty_store_falls_back_to_cold_cone_solve(tmp_path):
+    program = hub_flood(6)
+    store = SummaryStore(tmp_path / "store")  # never populated
+    target = resolve_target(program, "caller3")
+    outcome = run_query(program, FILE_PROPERTY, store, "caller3")
+    assert outcome.cold
+    assert outcome.answer == reference_errors(program, target)
+
+
+# -- warm behavior ----------------------------------------------------------------------
+
+
+def test_warm_query_skips_out_of_cone_interiors(tmp_path):
+    program = wide_fanout(48, seed=3)
+    store = SummaryStore(tmp_path / "store")
+    clear_query_cache()
+    whole = analyze_with_store(
+        program, FILE_PROPERTY, store, engine="swift", domain="simple"
+    )
+    outcome = run_query(program, FILE_PROPERTY, store, "worker5")
+    assert not outcome.cold
+    assert outcome.out_of_cone_interior_rows == 0
+    assert outcome.total_work < whole.report.result.metrics.total_work
+    assert outcome.cone_size == 2  # {main, worker5}
+    target = resolve_target(program, "worker5")
+    assert outcome.answer == reference_errors(program, target)
+
+
+def test_repeated_queries_are_deterministic(tmp_path):
+    program = wide_fanout(48, seed=3)
+    store = SummaryStore(tmp_path / "store")
+    analyze_with_store(program, FILE_PROPERTY, store, engine="swift", domain="simple")
+    clear_query_cache()
+    first = run_query(program, FILE_PROPERTY, store, "worker2")
+    again = run_query(program, FILE_PROPERTY, store, "worker2")
+    assert first.answer == again.answer
+    assert first.total_work == again.total_work
+    assert again.out_of_cone_interior_rows == 0
+
+
+def test_queries_never_write_the_store(tmp_path):
+    program = hub_flood(6)
+    store = SummaryStore(tmp_path / "store")
+    analyze_with_store(program, FILE_PROPERTY, store, engine="td", domain="simple")
+    before = sorted(p.name for p in (tmp_path / "store").iterdir())
+    run_query(program, FILE_PROPERTY, store, "caller2", engine="td")
+    after = sorted(p.name for p in (tmp_path / "store").iterdir())
+    assert before == after
+
+
+# -- the oracle: query == whole-program reference at the target -------------------------
+
+
+@pytest.mark.parametrize("engine", ["td", "swift"])
+@pytest.mark.parametrize("domain", ["simple", "full"])
+def test_query_matches_reference_across_engines_and_domains(
+    tmp_path, engine, domain
+):
+    program = hub_flood(5)
+    store = SummaryStore(tmp_path / "store")
+    analyze_with_store(program, FILE_PROPERTY, store, engine=engine, domain=domain)
+    for name in ("caller1", "hub", "hub:2"):
+        target = resolve_target(program, name, ControlFlowGraphs(program))
+        outcome = run_query(
+            program, FILE_PROPERTY, store, name, engine=engine, domain=domain
+        )
+        assert outcome.answer == reference_errors(program, target, domain), (
+            engine,
+            domain,
+            name,
+        )
+
+
+@pytest.mark.parametrize("scheduler", ["fifo", "lifo", "scc-topo", "callee-depth"])
+def test_query_matches_reference_across_schedulers(tmp_path, scheduler):
+    program = wide_fanout(32, seed=1)
+    store = SummaryStore(tmp_path / "store")
+    analyze_with_store(
+        program, FILE_PROPERTY, store, engine="swift", domain="simple",
+        scheduler=scheduler,
+    )
+    target = resolve_target(program, "worker1")
+    outcome = run_query(
+        program, FILE_PROPERTY, store, "worker1", scheduler=scheduler
+    )
+    assert outcome.answer == reference_errors(program, target)
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_query_matches_reference_across_kernels(tmp_path, kernel):
+    program = scc_heavy(20, seed=2)
+    store = SummaryStore(tmp_path / "store")
+    analyze_with_store(
+        program, FILE_PROPERTY, store, engine="swift", domain="simple",
+        kernel=kernel,
+    )
+    name = sorted(n for n in program.names() if n.startswith("c1_"))[0]
+    target = resolve_target(program, name)
+    outcome = run_query(
+        program, FILE_PROPERTY, store, name, kernel=kernel
+    )
+    assert outcome.answer == reference_errors(program, target)
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(program=programs(), engine=st.sampled_from(["td", "swift"]))
+def test_query_matches_reference_on_random_programs(program, engine):
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as root:
+        store = SummaryStore(root)
+        analyze_with_store(
+            program, FILE_PROPERTY, store, engine=engine, domain="simple"
+        )
+        for name in program.names():
+            target = resolve_target(program, name)
+            outcome = run_query(
+                program, FILE_PROPERTY, store, name, engine=engine
+            )
+            assert outcome.answer == reference_errors(program, target)
+
+
+# -- other query kinds ------------------------------------------------------------------
+
+
+def test_summaries_and_entries_match_whole_program(tmp_path):
+    program = hub_flood(5)
+    store = SummaryStore(tmp_path / "store")
+    analyze_with_store(program, FILE_PROPERTY, store, engine="td", domain="simple")
+    whole = run_typestate(program, FILE_PROPERTY, engine="td", domain="simple")
+    got = run_query(
+        program, FILE_PROPERTY, store, "hub", kind="summaries", engine="td"
+    )
+    assert got.answer == frozenset(whole.result.summaries("hub"))
+    got = run_query(
+        program, FILE_PROPERTY, store, "hub", kind="entries", engine="td"
+    )
+    assert got.answer == frozenset(whole.result.incoming_states("hub"))
+
+
+# -- the service demand op --------------------------------------------------------------
+
+
+def test_service_demand_op(tmp_path):
+    from repro.ir.printer import format_program
+
+    program = hub_flood(5)
+    src = format_program(program)
+    service = AnalysisService(tmp_path / "svc")
+    cfg = {"engine": "td", "domain": "simple"}
+    ran = service.handle(
+        {"op": "analyze", "program": src, "format": "ir", "property": "File",
+         "config": cfg}
+    )
+    assert ran["ok"]
+    response = service.handle(
+        {"op": "demand", "program": src, "format": "ir", "property": "File",
+         "target": "caller2", "config": cfg}
+    )
+    assert response["ok"]
+    assert response["op"] == "demand"
+    assert response["kind"] == "errors"
+    assert response["target"] == "caller2"
+    assert not response["cold"]
+    assert response["out_of_cone_interior_rows"] == 0
+    assert response["cone_size"] == 2
+    target = resolve_target(program, "caller2")
+    want = sorted(
+        [str(point), site] for point, site in reference_errors(program, target)
+    )
+    assert sorted(response["answer"]) == want
+    stats = service.handle({"op": "stats"})
+    assert stats["demands"] == 1
+
+
+def test_service_demand_errors(tmp_path):
+    from repro.ir.printer import format_program
+
+    src = format_program(hub_flood(4))
+    service = AnalysisService(tmp_path / "svc")
+    no_target = service.handle(
+        {"op": "demand", "program": src, "format": "ir", "property": "File"}
+    )
+    assert not no_target["ok"] and "target" in no_target["error"]
+    bad_proc = service.handle(
+        {"op": "demand", "program": src, "format": "ir", "property": "File",
+         "target": "nosuch"}
+    )
+    assert not bad_proc["ok"]
+    bad_kind = service.handle(
+        {"op": "demand", "program": src, "format": "ir", "property": "File",
+         "target": "hub", "kind": "vibes"}
+    )
+    assert not bad_kind["ok"]
+    bad_engine = service.handle(
+        {"op": "demand", "program": src, "format": "ir", "property": "File",
+         "target": "hub", "config": {"engine": "bu"}}
+    )
+    assert not bad_engine["ok"]

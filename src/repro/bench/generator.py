@@ -271,6 +271,7 @@ SHAPE_NAMES = (
     "wide_fanout",
     "diamond_sharing",
     "scc_heavy",
+    "loop_nest",
 )
 
 

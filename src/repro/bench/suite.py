@@ -118,6 +118,7 @@ SHAPE_CONFIGS: List[ShapeConfig] = [
     ShapeConfig(name="wide-fanout-160", shape="wide_fanout", size=160, seed=11),
     ShapeConfig(name="diamond-sharing-144", shape="diamond_sharing", size=144, seed=13),
     ShapeConfig(name="scc-heavy-128", shape="scc_heavy", size=128, seed=17),
+    ShapeConfig(name="loop-nest-64", shape="loop_nest", size=64, seed=19),
 ]
 
 _SHAPES_BY_NAME: Dict[str, ShapeConfig] = {c.name: c for c in SHAPE_CONFIGS}

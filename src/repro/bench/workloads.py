@@ -322,10 +322,65 @@ def scc_heavy(size: int, seed: int = 0, n_resources: int = 8) -> Program:
     return b.build()
 
 
+def loop_nest(size: int, seed: int = 0, n_resources: int = 8) -> Program:
+    """``size`` workers running the protocol inside seeded loop nests.
+
+    Each worker opens its resource, then runs a 1–3-deep nest of
+    ``Star`` loops whose bodies bump a per-worker counter (``incr``)
+    and touch the resource, and closes after the nest; a seeded ~30%
+    also call a shared ``tick`` helper that increments recursively (a
+    genuine cyclic SCC).  Interval environments at the loop heads
+    ascend ``cnt:[0,0], [0,1], [0,2], ...`` — an infinite strictly
+    ascending chain, so this is the shape the lattice layer's widening
+    termination regression (and the ``numeric-smoke`` CI job) runs on.
+    Finite domains see the loops as ordinary ``Star`` commands.
+    """
+    if size < 1:
+        raise ValueError("size must be positive")
+    rng = random.Random(seed)
+    b = ProgramBuilder()
+    with b.proc("init") as p:
+        for i in range(n_resources):
+            p.new(f"r{i}", f"res_site{i}")
+    with b.proc("tick") as p:
+        p.invoke("cnt", "incr")
+        with p.choose() as c:
+            with c.branch() as t:
+                t.call("tick")
+            with c.branch() as e:
+                e.skip()
+
+    def _nest(body, depth: int, event: str) -> None:
+        with body.loop() as inner:
+            inner.invoke("cnt", "incr")
+            inner.invoke("arg0", event)
+            if depth > 1:
+                _nest(inner, depth - 1, event)
+
+    for i in range(size):
+        depth = rng.randint(1, 3)
+        event = rng.choice(("read", "write"))
+        ticks = rng.random() < 0.3
+        with b.proc(f"work{i}") as p:
+            p.assign("arg0", f"r{i % n_resources}")
+            p.new("cnt", f"cnt_site{i}")
+            p.invoke("arg0", "open")
+            _nest(p, depth, event)
+            if ticks:
+                p.call("tick")
+            p.invoke("arg0", "close")
+    with b.proc("main") as p:
+        p.call("init")
+        for i in range(size):
+            p.call(f"work{i}")
+    return b.build()
+
+
 #: Shape name -> builder, for the generator's ``ShapeConfig``.
 SHAPE_BUILDERS = {
     "deep_recursion": deep_recursion,
     "wide_fanout": wide_fanout,
     "diamond_sharing": diamond_sharing,
     "scc_heavy": scc_heavy,
+    "loop_nest": loop_nest,
 }

@@ -55,13 +55,23 @@ def load_program(path: str) -> Program:
 
 
 def cmd_verify(args: argparse.Namespace) -> int:
+    from repro.framework.interfaces import UnsupportedDomainError
+
+    try:
+        return _verify(args)
+    except UnsupportedDomainError as exc:
+        print(f"unsupported domain: {exc}")
+        return 2
+
+
+def _verify(args: argparse.Namespace) -> int:
     from repro.framework.metrics import Budget
     from repro.typestate.client import run_typestate
     from repro.typestate.multi import run_multi_property
 
     program = load_program(args.file)
     budget = Budget(max_work=args.budget) if args.budget else None
-    if args.domain in ("killgen", "copyprop"):
+    if args.domain in ("killgen", "copyprop", "interval"):
         # Fact domains carry no type-state property: run the session
         # directly and report the facts reaching main's exit.
         from repro.framework.config import AnalysisConfig
@@ -80,6 +90,8 @@ def cmd_verify(args: argparse.Namespace) -> int:
             batched=args.batched,
             batch_size=args.batch_size,
             kernel=args.kernel,
+            widening_delay=args.widening_delay,
+            descending_iters=args.descending_iters,
         )
         outcome = analysis_session().run(program, config)
         if outcome.timed_out:
@@ -117,6 +129,8 @@ def cmd_verify(args: argparse.Namespace) -> int:
         batched=args.batched,
         batch_size=args.batch_size,
         kernel=args.kernel,
+        widening_delay=args.widening_delay,
+        descending_iters=args.descending_iters,
     )
     if report.timed_out:
         print(f"{prop.name}: analysis exceeded its budget")
@@ -244,6 +258,16 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.framework.interfaces import UnsupportedDomainError
+
+    try:
+        return _analyze(args)
+    except UnsupportedDomainError as exc:
+        print(f"unsupported domain: {exc}")
+        return 2
+
+
+def _analyze(args: argparse.Namespace) -> int:
     from repro.framework.metrics import Budget
     from repro.incremental import SummaryStore, analyze_with_store
     from repro.typestate.properties import property_by_name
@@ -261,6 +285,8 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         domain=args.domain,
         meta={"file": args.file},
         kernel=args.kernel,
+        widening_delay=args.widening_delay,
+        descending_iters=args.descending_iters,
     )
     report = outcome.report
     start = "cold" if outcome.cold else "warm"
@@ -564,7 +590,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     verify.add_argument(
         "--domain",
-        choices=["simple", "full", "killgen", "copyprop"],
+        choices=[
+            "simple",
+            "full",
+            "killgen",
+            "copyprop",
+            "interval",
+            "interval-typestate",
+        ],
         default="full",
     )
     verify.add_argument("--k", type=int, default=5)
@@ -596,6 +629,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=64,
         help="max frontier items drained per batch (with --batched)",
     )
+    verify.add_argument(
+        "--widening-delay",
+        type=int,
+        default=2,
+        help="join visits at a widening point before widening kicks in "
+        "(infinite-height domains only; finite domains ignore it)",
+    )
+    verify.add_argument(
+        "--descending-iters",
+        type=int,
+        default=0,
+        help="narrowing (descending) passes after the ascending fixpoint "
+        "(infinite-height domains only)",
+    )
     verify.set_defaults(fn=cmd_verify)
 
     analyze = sub.add_parser(
@@ -605,7 +652,11 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--store", required=True, metavar="DIR", help="store directory")
     analyze.add_argument("--property", default="File")
     analyze.add_argument("--engine", choices=["td", "swift"], default="swift")
-    analyze.add_argument("--domain", choices=["simple", "full"], default="full")
+    analyze.add_argument(
+        "--domain",
+        choices=["simple", "full", "interval-typestate"],
+        default="full",
+    )
     analyze.add_argument("--k", type=int, default=5)
     analyze.add_argument("--theta", type=int, default=1)
     analyze.add_argument("--budget", type=int, default=None, help="work budget")
@@ -615,6 +666,20 @@ def build_parser() -> argparse.ArgumentParser:
         default="object",
         help="operator representation (see `verify --kernel`); part of "
         "the store fingerprint, so each kernel keeps its own snapshot",
+    )
+    analyze.add_argument(
+        "--widening-delay",
+        type=int,
+        default=2,
+        help="join visits before widening (infinite-height domains only); "
+        "part of the store fingerprint for those domains",
+    )
+    analyze.add_argument(
+        "--descending-iters",
+        type=int,
+        default=0,
+        help="narrowing passes after the ascending fixpoint "
+        "(infinite-height domains only)",
     )
     analyze.set_defaults(fn=cmd_analyze)
 

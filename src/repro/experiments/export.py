@@ -157,6 +157,22 @@ def export_query(rows: Iterable[dict], path: str = "BENCH_query.json") -> Path:
     return out
 
 
+def export_numeric(rows: Iterable[dict], path: str = "BENCH_numeric.json") -> Path:
+    """Write the value-mode benchmark rows
+    (benchmarks/bench_numeric.py) as JSON."""
+    import json
+
+    out = Path(path)
+    payload = {
+        "benchmark": "bench_numeric",
+        "description": "interval×typestate product on the loop_nest shape: "
+        "per-engine termination plus the widening-knob sweep",
+        "rows": list(rows),
+    }
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return out
+
+
 def export_all(directory: str = "results") -> List[Path]:
     """Export every exhibit; returns the written paths."""
     base = Path(directory)

@@ -34,7 +34,7 @@ from repro.framework.caching import (
     canonical_relations,
 )
 from repro.framework.ignored import IgnoredStates
-from repro.framework.interfaces import BottomUpAnalysis
+from repro.framework.interfaces import BottomUpAnalysis, UnsupportedDomainError
 from repro.framework.kernel import (
     DEFAULT_KERNEL,
     RelationKernel,
@@ -145,11 +145,28 @@ class BottomUpEngine:
         rcompose_set_cache: Optional[RComposeSetCache] = None,
         kernel: str = DEFAULT_KERNEL,
         kernel_ops: Optional[RelationKernel] = None,
+        widening_delay: int = 2,
     ) -> None:
+        if widening_delay < 0:
+            raise ValueError("widening_delay must be non-negative")
         self.program = program
         self.analysis = analysis
         self.pruner = pruner if pruner is not None else NoPruner(analysis)
         self.budget = budget
+        # Relation-set widening for infinite R (DESIGN §14): after
+        # ``widening_delay`` iterations, loop (Star) fixpoints and the
+        # outer η rounds widen the joined relation set via
+        # ``analysis.rwiden``.  Finite relation sets never take these
+        # branches, so the paper's saturation semantics is untouched.
+        self.widening_delay = widening_delay
+        self._lattice_r = not analysis.r_is_finite()
+        if self._lattice_r and (kernel != DEFAULT_KERNEL or kernel_ops is not None):
+            raise UnsupportedDomainError(
+                f"kernel {kernel!r} enumerates finite relation sets and "
+                f"cannot represent {type(analysis).__name__}; use the "
+                "'object' kernel fallback",
+                supported=(DEFAULT_KERNEL,),
+            )
         # Tracing sink (see repro.framework.tracing); the pruner emits
         # its prune_drop events through the same sink unless the caller
         # already gave it one.
@@ -256,6 +273,7 @@ class BottomUpEngine:
         timed_out = False
         try:
             changed = True
+            rounds = 0
             while changed:
                 changed = False
                 for proc in order:
@@ -269,10 +287,19 @@ class BottomUpEngine:
                     joined = self._join(
                         (eta[proc].relations, eta[proc].ignored), (relations, ignored)
                     )
+                    if self._lattice_r and rounds >= self.widening_delay:
+                        # Widen the η chain for recursive programs: the
+                        # summary sets of a cyclic SCC would otherwise
+                        # keep growing round after round.
+                        joined = (
+                            self.analysis.rwiden(eta[proc].relations, joined[0]),
+                            joined[1],
+                        )
                     new_summary = ProcedureSummary(*joined)
                     if new_summary != eta[proc]:
                         eta[proc] = new_summary
                         changed = True
+                rounds += 1
         except BudgetExceededError as exc:
             timed_out = True
             if self._tracing:
@@ -374,9 +401,15 @@ class BottomUpEngine:
             return self._prune(proc, *joined)
         if isinstance(cmd, Star):
             state = (relations, ignored)
-            for _ in range(_MAX_LOOP_ITERATIONS):
+            for iteration in range(_MAX_LOOP_ITERATIONS):
                 body = self._eval(proc, cmd.body, state[0], state[1], eta)
-                new_state = self._prune(proc, *self._join(state, body))
+                joined = self._join(state, body)
+                if self._lattice_r and iteration >= self.widening_delay:
+                    joined = (
+                        self.analysis.rwiden(state[0], joined[0]),
+                        joined[1],
+                    )
+                new_state = self._prune(proc, *joined)
                 if new_state[0] == state[0] and new_state[1] == state[1]:
                     return state
                 state = new_state

@@ -256,6 +256,7 @@ class ConcurrentSwiftEngine(SwiftEngine):
             # the object caches: SWIFT's shared RelationKernel is not
             # touched off the tabulation thread.
             kernel=self.kernel,
+            widening_delay=self.widening_delay,
         )
         future = self._executor.submit(self._timed_analyze, engine, targets, bu_snapshot)
         self._job_plan[future] = (plan, component)

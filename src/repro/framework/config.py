@@ -27,6 +27,7 @@ import dataclasses
 from dataclasses import dataclass
 from typing import FrozenSet, Iterable, Optional
 
+from repro.framework.interfaces import UnsupportedDomainError
 from repro.framework.kernel import DEFAULT_KERNEL, validate_kernel
 from repro.framework.metrics import Budget
 from repro.framework.registry import DOMAINS, ENGINES, EngineSpec
@@ -45,7 +46,8 @@ class AnalysisConfig:
     ``domain``, ``k``, ``theta``, ``bu_triggers``, ``scheduler``,
     ``tracked_sites``,
     ``enable_caches``, ``indexed_summaries``, ``batched``,
-    ``batch_size``, ``batch_min_frontier``, ``kernel``.  Runtime
+    ``batch_size``, ``batch_min_frontier``, ``kernel``,
+    ``widening_delay``, ``descending_iters``.  Runtime
     fields (not part of the canonical form): ``budget``, ``sink``,
     ``preload``, ``max_workers``.
 
@@ -69,6 +71,11 @@ class AnalysisConfig:
     batch_size: int = 64
     batch_min_frontier: int = DEFAULT_BATCH_MIN_FRONTIER
     kernel: str = DEFAULT_KERNEL
+    # Widening knobs (crab-style; see DESIGN §14 and TUNING): only
+    # consulted by infinite-height (lattice) domains, so they normalize
+    # to None in the canonical form for finite ones.
+    widening_delay: int = 2
+    descending_iters: int = 0
     budget: Optional[Budget] = None
     sink: Optional[object] = None
     preload: Optional[object] = None
@@ -90,9 +97,23 @@ class AnalysisConfig:
             raise ValueError("batch_size must be at least 1")
         if self.batch_min_frontier < 0:
             raise ValueError("batch_min_frontier must be non-negative")
+        if self.widening_delay < 0:
+            raise ValueError("widening_delay must be non-negative")
+        if self.descending_iters < 0:
+            raise ValueError("descending_iters must be non-negative")
         # Name check only: numpy availability is probed when an engine
         # is built, so a numpy config can be fingerprinted anywhere.
         validate_kernel(self.kernel)
+        if not self.domain_spec.is_finite and self.kernel != DEFAULT_KERNEL:
+            raise UnsupportedDomainError(
+                f"kernel {self.kernel!r} compiles finite domains by "
+                f"enumeration and cannot represent the infinite-height "
+                f"domain {self.domain!r}; use the {DEFAULT_KERNEL!r} kernel "
+                "fallback",
+                supported=sorted(
+                    name for name in DOMAINS.names() if DOMAINS.get(name).is_finite
+                ),
+            )
         if self.tracked_sites is not None:
             object.__setattr__(
                 self, "tracked_sites", frozenset(self.tracked_sites)
@@ -178,5 +199,16 @@ class AnalysisConfig:
                     self.batch_min_frontier if self.batched else None
                 ),
                 "kernel": self.kernel,
+                # Widening knobs only steer infinite-height domains;
+                # finite-domain configs fingerprint the same whatever
+                # they carried.  (Adding these keys at all re-keys every
+                # fingerprint once: stored snapshots go cold, never
+                # wrong.)
+                "widening_delay": (
+                    None if self.domain_spec.is_finite else self.widening_delay
+                ),
+                "descending_iters": (
+                    None if self.domain_spec.is_finite else self.descending_iters
+                ),
             },
         }

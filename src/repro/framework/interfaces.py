@@ -26,6 +26,20 @@ the analyses of this library is a partial *function* on abstract
 states, the existential pre-image (needed to propagate ``Sigma``
 backwards through calls, Section 3.5) coincides with
 ``dom(r) /\\ wp(r, .)``.
+
+**Infinite-height domains.**  The paper assumes ``S`` and ``R`` are
+finite; :class:`LatticeDomain` is the optional signature that lifts
+that assumption.  A finite domain implements it trivially — its join
+is set union, realized by the engines' workset saturation, and its
+widening is the join — so the defaults below leave every finite-domain
+code path (and every byte-locked baseline) untouched.  A domain that
+returns ``False`` from :meth:`LatticeDomain.is_finite` switches the
+engines into *value mode*: one lattice value per (program point, entry
+context), ascending iteration through ``leq``/``join``, widening at
+loop heads and recursive SCC headers, and an optional descending
+(narrowing) pass.  On the bottom-up side,
+:meth:`BottomUpAnalysis.r_is_finite` and
+:meth:`BottomUpAnalysis.rwiden` play the same role for relation sets.
 """
 
 from __future__ import annotations
@@ -40,7 +54,71 @@ R = TypeVar("R", bound=Hashable)  # abstract relations
 P = TypeVar("P", bound=Hashable)  # predicates over abstract states
 
 
-class TopDownAnalysis(ABC, Generic[S]):
+class UnsupportedDomainError(ValueError):
+    """A component was handed a domain outside what it supports.
+
+    Raised by the finite-domain machinery — the compiled kernels'
+    state enumeration, the bitset/numpy kernel gate in
+    ``AnalysisConfig`` — when given an infinite-height (lattice)
+    domain, and by codecs/drivers restricted to specific domains.  The
+    message always names the supported alternatives (and, for kernel
+    gating, the ``object`` fallback), so callers see a configuration
+    error rather than a crash deep inside enumeration.
+    """
+
+    def __init__(self, message: str, supported: Iterable[str] = ()) -> None:
+        self.supported = tuple(supported)
+        if self.supported:
+            message = f"{message} (supported: {', '.join(self.supported)})"
+        super().__init__(message)
+
+
+class LatticeDomain:
+    """Optional lattice signature over a domain's propagated values.
+
+    The engines consult :meth:`is_finite` once per run.  ``True`` (the
+    default) means the domain is the paper's finite powerset: the join
+    is set union and is realized by workset saturation, widening
+    coincides with the join, and none of the methods below are ever
+    invoked on the hot path — finite-domain behavior is bit-for-bit
+    what it was before this class existed.  ``False`` switches the
+    engines into value mode, where the methods below define an
+    ascending/descending iteration on single lattice values.
+    """
+
+    def is_finite(self) -> bool:
+        """Does this domain have finitely many abstract values?"""
+        return True
+
+    def leq(self, a, b) -> bool:
+        """The partial order ``a <= b``.  Default: equality — the
+        discrete element-level order of a finite powerset, whose real
+        subsumption (set membership) the engines handle by saturation."""
+        return a == b
+
+    def join(self, a, b):
+        """Least upper bound of two values.  Finite domains join at the
+        set level (union by saturation), so only equal elements ever
+        meet here."""
+        if a == b:
+            return a
+        raise UnsupportedDomainError(
+            f"{type(self).__name__} is a finite domain: joins happen by "
+            "powerset saturation, not element-level join"
+        )
+
+    def widen(self, prev, new):
+        """Widening ``prev widen new``.  Default: the join, which is the
+        exact (and terminating) choice for finite-height domains."""
+        return self.join(prev, new)
+
+    def narrow(self, prev, new):
+        """Narrowing ``prev narrow new`` (``new <= prev`` on entry).
+        Default: take the refined value."""
+        return new
+
+
+class TopDownAnalysis(LatticeDomain, ABC, Generic[S]):
     """The top-down analysis signature ``A = (S, trans)``."""
 
     @abstractmethod
@@ -107,6 +185,25 @@ class BottomUpAnalysis(ABC, Generic[S, R, P]):
         condition C3, restricted to the domain.  An empty result means
         the pre-image is empty.
         """
+
+    # -- optional: lattice structure over relation sets ------------------------------
+    def r_is_finite(self) -> bool:
+        """Is the relation set ``R`` finite?  ``False`` makes the
+        bottom-up engine widen loop fixpoints (:meth:`rwiden`) and the
+        pruner widen retained relations, since plain saturation need
+        not terminate."""
+        return True
+
+    def rwiden(self, prev: FrozenSet[R], new: FrozenSet[R]) -> FrozenSet[R]:
+        """Widen an ascending chain of relation *sets*.
+
+        ``prev`` is the previous iterate, ``new`` the joined next one
+        (``prev`` is a subset of ``new``).  The result must cover
+        ``new`` (``gamma``-wise) and must stabilize every ascending
+        chain in finitely many steps.  Default: ``new`` — a no-op,
+        correct exactly when ``R`` is finite.
+        """
+        return frozenset(new)
 
     # -- optional: enumeration for testing on small universes -----------------------
     def gamma(self, r: R, states: Iterable[S]) -> Iterator[Tuple[S, S]]:

@@ -135,6 +135,13 @@ class FrequencyPruner(PruneOperator):
             relations, key=lambda r: (-self.rank(proc, r), type(r).__name__, str(r))
         )
         kept = frozenset(ranked[: self.theta])
+        if not self.analysis.r_is_finite():
+            # Infinite R (DESIGN §14): ranking against M bounds the
+            # *count* of retained relations but not the *height* of
+            # their payload chains; collapsing the kept set through the
+            # analysis's widening (rwiden(X, X) is a pure same-skeleton
+            # collapse) makes repeated prune-join rounds stabilize.
+            kept = self.analysis.rwiden(kept, kept)
         dropped = [r for r in ranked[self.theta :]]
         if self.metrics is not None:
             self.metrics.pruned_relations += len(dropped)

@@ -140,6 +140,9 @@ class DomainSpec:
     #: (program, **options) -> DomainInstance
     builder: Callable[..., DomainInstance] = field(compare=False)
     description: str = ""
+    #: Finite state/relation universe?  False switches the engines into
+    #: value (lattice) mode and gates the compiled kernels (DESIGN §14).
+    is_finite: bool = True
 
     def build(self, program: Program, **options) -> DomainInstance:
         return self.builder(program, **options)
@@ -162,6 +165,83 @@ def _build_typestate(domain: str):
         return _TypestateInstance(prop, td_analysis, bu_analysis, [init])
 
     return build
+
+
+class _ProductTypestateInstance(_TypestateInstance):
+    """Interval×typestate product: findings are error rows of product
+    values, reported as the same ``(point, site)`` pairs the plain
+    type-state domains use."""
+
+    def kernel_seed_states(self, program: Program) -> List:
+        # Compiled kernels refuse infinite domains (config gate); never
+        # enumerate.
+        return list(self.initial_states)
+
+    def findings_from_tables(self, result: TopDownResult) -> FrozenSet:
+        from repro.typestate.dfa import ERROR
+        from repro.typestate.states import BOOTSTRAP_SITE
+
+        out = set()
+        for point, pairs in result.td.items():
+            for (_, value) in pairs:
+                for sigma, _env in value.rows:
+                    if sigma.state == ERROR and sigma.site != BOOTSTRAP_SITE:
+                        out.add((point, sigma.site))
+        return frozenset(out)
+
+    def findings_from_summary(
+        self, result: BottomUpResult, program: Program
+    ) -> FrozenSet:
+        from repro.typestate.dfa import ERROR
+        from repro.typestate.states import BOOTSTRAP_SITE
+
+        exit_point = ProgramPoint(program.main, -1)
+        out = set()
+        for value in result.apply_to(program.main, self.initial_states):
+            for sigma, _env in value.rows:
+                if sigma.state == ERROR and sigma.site != BOOTSTRAP_SITE:
+                    out.add((exit_point, sigma.site))
+        return frozenset(out)
+
+
+class _JoinedFactInstance(_FactInstance):
+    """Lattice-valued fact domain: the finding is the single joined
+    value at ``main``'s exit (environments from different contexts are
+    joined, which is what every engine agrees on)."""
+
+    def _joined(self, values) -> FrozenSet:
+        joined = None
+        for value in values:
+            joined = value if joined is None else self.td_analysis.join(joined, value)
+        return frozenset() if joined is None else frozenset({joined})
+
+    def findings_from_tables(self, result: TopDownResult) -> FrozenSet:
+        return self._joined(result.exit_states())
+
+    def findings_from_summary(
+        self, result: BottomUpResult, program: Program
+    ) -> FrozenSet:
+        return self._joined(result.apply_to(program.main, self.initial_states))
+
+
+def _build_interval_typestate(
+    program: Program, prop=None, tracked_sites=None, oracle=None
+) -> DomainInstance:
+    from repro.numeric import product_analyses
+
+    if prop is None:
+        raise ValueError(
+            "the 'typestate-interval' domain needs a type-state property "
+            "(pass prop=...)"
+        )
+    td_analysis, bu_analysis, init = product_analyses(prop, tracked_sites)
+    return _ProductTypestateInstance(prop, td_analysis, bu_analysis, [init])
+
+
+def _build_interval(program: Program, tracked_sites=None) -> DomainInstance:
+    from repro.numeric import EMPTY_ENV, IntervalBU, IntervalTD
+
+    return _JoinedFactInstance(IntervalTD(), IntervalBU(), [EMPTY_ENV])
 
 
 def _build_killgen(program: Program, spec=None) -> DomainInstance:
@@ -239,6 +319,8 @@ def _run_td(program, instance, config) -> EngineOutcome:
         batched=config.batched,
         batch_size=config.batch_size,
         batch_min_frontier=config.batch_min_frontier,
+        widening_delay=config.widening_delay,
+        descending_iters=config.descending_iters,
         **_kernel_options(instance, config, program),
     )
     result = engine.run(instance.initial_states)
@@ -268,6 +350,8 @@ def _run_hybrid(engine_cls, program, instance, config, **extra) -> EngineOutcome
         batched=config.batched,
         batch_size=config.batch_size,
         batch_min_frontier=config.batch_min_frontier,
+        widening_delay=config.widening_delay,
+        descending_iters=config.descending_iters,
         **_kernel_options(instance, config, program),
         **extra,
     )
@@ -305,6 +389,7 @@ def _run_bu(program, instance, config) -> EngineOutcome:
         sink=config.sink,
         batched=config.batched,
         kernel=config.kernel,
+        widening_delay=config.widening_delay,
     )
     result = engine.analyze()
     findings: FrozenSet = frozenset()
@@ -425,6 +510,20 @@ for _spec in (
         aliases=(),
         builder=_build_copyprop,
         description="copy propagation over substitution relations",
+    ),
+    DomainSpec(
+        "typestate-interval",
+        aliases=("interval-typestate",),
+        builder=_build_interval_typestate,
+        description="interval x typestate reduced product (DESIGN §14)",
+        is_finite=False,
+    ),
+    DomainSpec(
+        "interval",
+        aliases=(),
+        builder=_build_interval,
+        description="integer interval environments (infinite height)",
+        is_finite=False,
     ),
 ):
     DOMAINS.register(_spec)

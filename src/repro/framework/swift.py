@@ -126,6 +126,8 @@ class SwiftEngine(TopDownEngine):
         kernel: str = DEFAULT_KERNEL,
         kernel_seeds: Optional[Iterable] = None,
         bu_triggers: bool = True,
+        widening_delay: int = 2,
+        descending_iters: int = 0,
     ) -> None:
         super().__init__(
             program,
@@ -143,6 +145,8 @@ class SwiftEngine(TopDownEngine):
             batch_min_frontier=batch_min_frontier,
             kernel=kernel,
             kernel_seeds=kernel_seeds,
+            widening_delay=widening_delay,
+            descending_iters=descending_iters,
         )
         if k < 1:
             raise ValueError("k must be at least 1")
@@ -337,6 +341,7 @@ class SwiftEngine(TopDownEngine):
             rcompose_set_cache=self._bu_rcompose_set_cache,
             kernel=self.kernel,
             kernel_ops=self._krels,
+            widening_delay=self.widening_delay,
         )
         self.metrics.bu_triggers += 1
         bu_started = time.perf_counter() if self._tracing else 0.0

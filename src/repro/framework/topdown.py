@@ -26,8 +26,9 @@ import time
 from collections import Counter
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
+from repro.callgraph.scc import condensation
 from repro.framework.caching import TransferCache, TransferSetCache
-from repro.framework.interfaces import TopDownAnalysis
+from repro.framework.interfaces import TopDownAnalysis, UnsupportedDomainError
 from repro.framework.kernel import DEFAULT_KERNEL, StateKernel, resolve_backend, validate_kernel
 from repro.framework.metrics import Budget, BudgetExceededError, Metrics
 from repro.framework.scheduling import (
@@ -339,6 +340,8 @@ class TopDownEngine:
         kernel: str = DEFAULT_KERNEL,
         kernel_seeds: Optional[Iterable] = None,
         kernel_tables: Optional["CompiledKernel"] = None,
+        widening_delay: int = 2,
+        descending_iters: int = 0,
     ) -> None:
         if order not in ("lifo", "fifo"):
             raise ValueError("order must be 'lifo' or 'fifo'")
@@ -346,6 +349,10 @@ class TopDownEngine:
             raise ValueError("batch_size must be positive")
         if batch_min_frontier < 0:
             raise ValueError("batch_min_frontier must be non-negative")
+        if widening_delay < 0:
+            raise ValueError("widening_delay must be non-negative")
+        if descending_iters < 0:
+            raise ValueError("descending_iters must be non-negative")
         self.program = program
         self.analysis = analysis
         self.budget = budget
@@ -482,6 +489,41 @@ class TopDownEngine:
         # activation installs it without re-deriving anything.
         self._preload = preload
         self._activated: Set[Tuple[str, object]] = set()
+        # -- lattice (value) mode: infinite-height domains (DESIGN §14) -------
+        # Finite domains never enter any of the branches below: the
+        # whole block is gated on ``analysis.is_finite()`` returning
+        # False, so the paper's powerset saturation — and every
+        # byte-locked baseline — is untouched when it returns True.
+        self.widening_delay = widening_delay
+        self.descending_iters = descending_iters
+        self._lattice = not analysis.is_finite()
+        if self._lattice:
+            if self.kernel != DEFAULT_KERNEL or kernel_tables is not None:
+                raise UnsupportedDomainError(
+                    f"kernel {self.kernel!r} enumerates finite domains and "
+                    f"cannot represent {type(analysis).__name__}; use the "
+                    "'object' kernel fallback",
+                    supported=(DEFAULT_KERNEL,),
+                )
+            # Batched draining assumes set-union joins; value mode joins
+            # through the lattice one value at a time.
+            self.batched = False
+            self._transfer_set = None
+            self._kernel_solver = False
+            # One current value per (point, entry context): the latest
+            # element of that key's ascending chain.  ``_td`` keeps its
+            # pair-set shape, but holds exactly one pair per entry.
+            self._cur: Dict[Tuple[ProgramPoint, object], object] = {}
+            # Join visits per widening-point key (the crab-style delay
+            # counts joins before the first widen) and per-proc widening
+            # point sets, filled by _proc_points.
+            self._visits: Dict[Tuple[ProgramPoint, object], int] = {}
+            self._widen_points: Dict[str, FrozenSet[ProgramPoint]] = {}
+            # Accumulated entry value per recursive-SCC callee: widening
+            # it cuts unbounded chains of ever-larger fresh contexts.
+            self._ctx_acc: Dict[str, object] = {}
+            self._ctx_visits: Dict[str, int] = {}
+            self._cyclic: Dict[str, bool] = {}
 
     # -- driver -----------------------------------------------------------------------
     def run(self, initial_states: Iterable) -> TopDownResult:
@@ -501,6 +543,8 @@ class TopDownEngine:
             self._propagate(main_entry, sigma, sigma)
         try:
             self._solve()
+            if self._lattice and self.descending_iters > 0:
+                self._descend()
         except BudgetExceededError as exc:
             self._timed_out = True
             if self._tracing:
@@ -544,6 +588,7 @@ class TopDownEngine:
             self._solve_batched()
             return
         tracing = self._tracing
+        lattice = self._lattice
         while self._workset:
             if self.budget is not None:
                 self.budget.check(self.metrics)
@@ -551,6 +596,10 @@ class TopDownEngine:
             # depth-first — see repro.framework.scheduling for why, and
             # for the other registered policies).
             point, entry_sigma, sigma = self._workset.pop()
+            if lattice and self._cur.get((point, entry_sigma)) != sigma:
+                # A later join replaced this value; its successors were
+                # (or will be) explored from the replacement.
+                continue
             if tracing:
                 pop_started = time.perf_counter()
             succs = self._succ_cache.get(point)
@@ -1247,6 +1296,11 @@ class TopDownEngine:
 
     def _tabulate_call(self, edge: CFGEdge, entry_sigma, sigma) -> None:
         callee = edge.label.proc
+        if self._lattice and self._is_cyclic_proc(callee):
+            # Recursive callees would otherwise spawn an unbounded chain
+            # of ever-larger fresh contexts; analyze from the widened
+            # accumulated entry instead (sound: transfers are monotone).
+            sigma = self._ctx_widen(callee, sigma)
         record_key = (callee, sigma)
         records = self._call_records.setdefault(record_key, set())
         record = (edge.target, entry_sigma)
@@ -1360,9 +1414,45 @@ class TopDownEngine:
             entry = self._entry_points[proc] = cfg.entry
             self._exit_points[proc] = cfg.exit
             self._exit_point_set.add(cfg.exit)
+            if self._lattice:
+                # Widening points: loop heads cut every intraprocedural
+                # cycle; the exit of a recursive-SCC member cuts the
+                # interprocedural summary cycle (DESIGN §14).
+                heads = set(cfg.loop_heads())
+                if self._is_cyclic_proc(proc):
+                    heads.add(cfg.exit)
+                self._widen_points[proc] = frozenset(heads)
         return entry, self._exit_points[proc]
 
+    def _is_cyclic_proc(self, proc: str) -> bool:
+        """Is ``proc`` in a cyclic call-graph SCC (or self-recursive)?"""
+        cyclic = self._cyclic.get(proc)
+        if cyclic is None:
+            cond = condensation(self.program)
+            cyclic = self._cyclic[proc] = cond.is_cyclic(cond.scc_index(proc))
+        return cyclic
+
+    def _ctx_widen(self, callee: str, sigma):
+        """The entry value to use for a recursive-SCC callee context."""
+        analysis = self.analysis
+        acc = self._ctx_acc.get(callee)
+        if acc is None:
+            self._ctx_acc[callee] = sigma
+            return sigma
+        if analysis.leq(sigma, acc):
+            return acc
+        new = analysis.join(acc, sigma)
+        visits = self._ctx_visits.get(callee, 0) + 1
+        self._ctx_visits[callee] = visits
+        if visits > self.widening_delay:
+            new = analysis.widen(acc, new)
+        self._ctx_acc[callee] = new
+        return new
+
     def _propagate(self, point: ProgramPoint, entry_sigma, sigma) -> None:
+        if self._lattice:
+            self._propagate_lattice(point, entry_sigma, sigma)
+            return
         edges = self._td.get(point)
         if edges is None:
             edges = self._td[point] = set()
@@ -1395,6 +1485,139 @@ class TopDownEngine:
                 )
             )
         self._workset.push((point, entry_sigma, sigma))
+
+    def _propagate_lattice(self, point: ProgramPoint, entry_sigma, sigma) -> None:
+        """Value-mode twin of :meth:`_propagate` (DESIGN §14).
+
+        The table holds exactly one lattice value per (point, entry
+        context).  An arriving value that is subsumed (``leq``) is
+        dropped; otherwise it is joined into the current value — widened
+        at the procedure's widening points once ``widening_delay`` join
+        visits are spent — and the *replacement* (not the increment) is
+        what re-enters the workset.  The old pair is discarded from
+        ``_td`` and the exit-summary index, so stale values are never
+        observable: old snapshots of the chain simply cease to exist.
+        """
+        analysis = self.analysis
+        key = (point, entry_sigma)
+        cur = self._cur.get(key)
+        if cur is not None:
+            if analysis.leq(sigma, cur):
+                return
+            new = analysis.join(cur, sigma)
+            if point in self._widen_points.get(point.proc, ()):
+                visits = self._visits.get(key, 0) + 1
+                self._visits[key] = visits
+                if visits > self.widening_delay:
+                    new = analysis.widen(cur, new)
+            if new == cur:
+                return
+            edges = self._td[point]
+            edges.discard((entry_sigma, cur))
+            edges.add((entry_sigma, new))
+            if self.indexed_summaries and point in self._exit_point_set:
+                by_entry = self._exit_index.setdefault(point.proc, {})
+                outs = by_entry.get(entry_sigma)
+                if outs is None:
+                    outs = by_entry[entry_sigma] = set()
+                outs.discard(cur)
+                outs.add(new)
+        else:
+            new = sigma
+            edges = self._td.get(point)
+            if edges is None:
+                edges = self._td[point] = set()
+            edges.add((entry_sigma, new))
+            if self.indexed_summaries and point in self._exit_point_set:
+                by_entry = self._exit_index.setdefault(point.proc, {})
+                outs = by_entry.get(entry_sigma)
+                if outs is None:
+                    outs = by_entry[entry_sigma] = set()
+                outs.add(new)
+        self._cur[key] = new
+        self.metrics.propagations += 1
+        if self._tracing:
+            via, src, src_state, src_entry = self._cause
+            self._sink.emit(
+                TraceEvent(
+                    "propagate",
+                    point.proc,
+                    {
+                        "point": str(point),
+                        "entry": str(entry_sigma),
+                        "state": str(new),
+                        "via": via,
+                        "src": "" if src is None else str(src),
+                        "src_state": "" if src_state is None else str(src_state),
+                        "src_entry": "" if src_entry is None else str(src_entry),
+                    },
+                )
+            )
+        self._workset.push((point, entry_sigma, new))
+
+    def _descend(self) -> None:
+        """Descending (narrowing) pass after the ascending fixpoint.
+
+        Interior points are recomputed from their primitive-edge
+        predecessors, narrowing at widening points; entry points and
+        points fed by call or return edges keep their post-fixpoint
+        value.  Every iterate stays above the least fixpoint (the
+        recomputation applies monotone transfers to values that are),
+        so stopping after any number of ``descending_iters`` is sound.
+        """
+        analysis = self.analysis
+        # Group the live (point, entry) keys per procedure once.
+        per_proc: Dict[str, Dict[ProgramPoint, List]] = {}
+        for (point, entry_sigma) in self._cur:
+            per_proc.setdefault(point.proc, {}).setdefault(point, []).append(entry_sigma)
+        for _ in range(self.descending_iters):
+            changed = False
+            for proc in sorted(per_proc):
+                cfg = self.cfgs[proc]
+                entry_point = self._entry_points.get(proc)
+                widen_points = self._widen_points.get(proc, frozenset())
+                by_point = per_proc[proc]
+                for point in cfg.points:
+                    entries = by_point.get(point)
+                    if entries is None or point == entry_point:
+                        continue
+                    preds = cfg.predecessors(point)
+                    if not preds or any(e.is_call for e in preds):
+                        # Return points take callee exits, not a local
+                        # transfer; leave their ascending value alone.
+                        continue
+                    for entry_sigma in sorted(entries, key=state_sort_key):
+                        key = (point, entry_sigma)
+                        cur = self._cur.get(key)
+                        if cur is None:
+                            continue
+                        new = None
+                        for edge in preds:
+                            src = self._cur.get((edge.source, entry_sigma))
+                            if src is None:
+                                continue
+                            self.metrics.transfers += 1
+                            for out in self._transfer(edge.label, src):
+                                new = out if new is None else analysis.join(new, out)
+                        if new is None or new == cur:
+                            continue
+                        if point in widen_points:
+                            new = analysis.narrow(cur, new)
+                        if new == cur or not analysis.leq(new, cur):
+                            continue
+                        self._cur[key] = new
+                        edges = self._td[point]
+                        edges.discard((entry_sigma, cur))
+                        edges.add((entry_sigma, new))
+                        if self.indexed_summaries and point in self._exit_point_set:
+                            outs = self._exit_index.setdefault(point.proc, {}).setdefault(
+                                entry_sigma, set()
+                            )
+                            outs.discard(cur)
+                            outs.add(new)
+                        changed = True
+            if not changed:
+                break
 
     def _record_entry(self, proc: str, sigma) -> None:
         counts = self._entry_counts.get(proc)
@@ -1445,6 +1668,11 @@ class TopDownEngine:
                 if pair in edges:
                     continue
                 edges.add(pair)
+                if self._lattice:
+                    # A stored value-mode context has exactly one value
+                    # per (point, entry); install it as the current one
+                    # so warm re-runs re-do zero work.
+                    self._cur[(point, ctx.entry)] = sigma
                 if self.indexed_summaries and point in self._exit_point_set:
                     by_entry = self._exit_index.setdefault(point.proc, {})
                     outs = by_entry.get(ctx.entry)

@@ -11,7 +11,12 @@ domains:
   ``have``/``notHave`` atoms, const/transformer relations (Figure 3);
 * ``full`` — :class:`~repro.typestate.full.states.FullAbstractState`,
   path and may-alias atoms (including their oracle site sets), pattern
-  masks, and the four-component transformer relations.
+  masks, and the four-component transformer relations;
+* ``interval-typestate`` — :class:`~repro.numeric.product.ProductValue`
+  rows (simple states paired with interval environments; ``None``
+  bounds serialize as JSON null) and
+  :class:`~repro.numeric.product.ProductRelation` pairs of a simple
+  relation with an interval transform.
 
 Decoding rebuilds interned states and canonical relation forms, so a
 decode → encode round trip is the identity on the serialized text.
@@ -62,15 +67,45 @@ class Codec:
     """
 
     def __init__(self, domain: str, analysis) -> None:
-        if domain not in ("simple", "full"):
+        if domain not in ("simple", "full", "interval-typestate"):
             raise ValueError(f"unknown domain {domain!r}")
         self.domain = domain
         self.analysis = analysis
 
     # -- states ---------------------------------------------------------------------
+    @staticmethod
+    def _encode_simple_state(sigma) -> list:
+        return [sigma.site, sigma.state, sorted(sigma.must)]
+
+    @staticmethod
+    def _decode_simple_state(enc: list):
+        site, state, must = enc
+        return intern_state(AbstractState(site, state, frozenset(must)))
+
+    @staticmethod
+    def _encode_env(env) -> list:
+        # Bindings are already var-sorted and TOP-free (canonical).
+        return [[var, iv.lo, iv.hi] for var, iv in env.bindings]
+
+    @staticmethod
+    def _decode_env(enc: list):
+        from repro.numeric.interval import Interval, IntervalEnv
+
+        return IntervalEnv((var, Interval(lo, hi)) for var, lo, hi in enc)
+
     def encode_state(self, sigma) -> list:
+        if self.domain == "interval-typestate":
+            return [
+                "prod",
+                _sorted_enc(
+                    [
+                        [self._encode_simple_state(ts), self._encode_env(env)]
+                        for ts, env in sigma.rows
+                    ]
+                ),
+            ]
         if self.domain == "simple":
-            return [sigma.site, sigma.state, sorted(sigma.must)]
+            return self._encode_simple_state(sigma)
         return [
             sigma.site,
             sigma.state,
@@ -79,9 +114,16 @@ class Codec:
         ]
 
     def decode_state(self, enc: list):
+        if self.domain == "interval-typestate":
+            from repro.numeric.product import ProductValue
+
+            _, rows = enc
+            return ProductValue(
+                (self._decode_simple_state(ts), self._decode_env(env))
+                for ts, env in rows
+            )
         if self.domain == "simple":
-            site, state, must = enc
-            return intern_state(AbstractState(site, state, frozenset(must)))
+            return self._decode_simple_state(enc)
         site, state, must, mustnot = enc
         return intern_full_state(
             FullAbstractState(site, state, frozenset(must), frozenset(mustnot))
@@ -177,8 +219,75 @@ class Codec:
     def _encode_patterns(self, patterns: FrozenSet[PathPattern]) -> list:
         return _sorted_enc([self.encode_pattern(p) for p in patterns])
 
+    # -- interval transforms (product domain) -------------------------------------------
+    @staticmethod
+    def _encode_action(action: tuple) -> list:
+        if action[0] == "top":
+            return ["top"]
+        if action[0] == "const":
+            return ["const", action[1].lo, action[1].hi]
+        return ["shift", action[1], action[2].lo, action[2].hi]
+
+    @staticmethod
+    def _decode_action(enc: list) -> tuple:
+        from repro.numeric.interval import Interval
+
+        kind = enc[0]
+        if kind == "top":
+            return ("top",)
+        if kind == "const":
+            return ("const", Interval(enc[1], enc[2]))
+        if kind == "shift":
+            return ("shift", enc[1], Interval(enc[2], enc[3]))
+        raise ValueError(f"unknown transform action kind {kind!r}")
+
+    def _encode_transform(self, t) -> list:
+        # Actions are already var-sorted and identity-free (canonical).
+        return [[var, self._encode_action(a)] for var, a in t.actions]
+
+    def _decode_transform(self, enc: list):
+        from repro.numeric.bu_analysis import IntervalTransform
+
+        return IntervalTransform(
+            (var, self._decode_action(a)) for var, a in enc
+        )
+
+    def _encode_simple_relation(self, r) -> list:
+        if isinstance(r, ConstRelation):
+            return [
+                "const",
+                self._encode_simple_state(r.output),
+                self.encode_pred(r.pred),
+            ]
+        return [
+            "trans",
+            self.encode_tsfunction(r.iota),
+            sorted(r.removed),
+            sorted(r.added),
+            self.encode_pred(r.pred),
+        ]
+
+    def _decode_simple_relation(self, enc: list):
+        if enc[0] == "const":
+            return ConstRelation(
+                self._decode_simple_state(enc[1]), self.decode_pred(enc[2])
+            )
+        _, iota, removed, added, pred = enc
+        return TransformerRelation(
+            self.decode_tsfunction(iota),
+            frozenset(removed),
+            frozenset(added),
+            self.decode_pred(pred),
+        )
+
     # -- relations ----------------------------------------------------------------------
     def encode_relation(self, r) -> list:
+        if self.domain == "interval-typestate":
+            return [
+                "prod",
+                self._encode_simple_relation(r.ts),
+                self._encode_transform(r.num),
+            ]
         if isinstance(r, (ConstRelation, FullConstRelation)):
             return ["const", self.encode_state(r.output), self.encode_pred(r.pred)]
         if isinstance(r, TransformerRelation):
@@ -203,6 +312,15 @@ class Codec:
 
     def decode_relation(self, enc: list):
         kind = enc[0]
+        if self.domain == "interval-typestate":
+            from repro.numeric.product import ProductRelation
+
+            if kind != "prod":
+                raise ValueError(f"unknown relation kind {kind!r}")
+            return ProductRelation(
+                self._decode_simple_relation(enc[1]),
+                self._decode_transform(enc[2]),
+            )
         if kind == "const":
             output = self.decode_state(enc[1])
             pred = self.decode_pred(enc[2])

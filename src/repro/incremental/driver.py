@@ -58,7 +58,11 @@ from repro.typestate.dfa import TypestateProperty
 #: Canonical registry domain names back to the short spellings the
 #: codec and ``make_analyses`` use.  ``analyze_with_store`` is
 #: type-state only: the snapshot codec encodes type-state summaries.
-_SHORT_DOMAINS = {"typestate-simple": "simple", "typestate-full": "full"}
+_SHORT_DOMAINS = {
+    "typestate-simple": "simple",
+    "typestate-full": "full",
+    "typestate-interval": "interval-typestate",
+}
 
 
 class WarmCache:
@@ -229,6 +233,8 @@ def analyze_with_store(
     save: bool = True,
     meta: Optional[dict] = None,
     kernel: str = "object",
+    widening_delay: int = 2,
+    descending_iters: int = 0,
     config: Optional[AnalysisConfig] = None,
     warm_cache: Optional[WarmCache] = None,
 ) -> IncrementalOutcome:
@@ -260,6 +266,8 @@ def analyze_with_store(
             indexed_summaries=indexed_summaries,
             scheduler=scheduler if scheduler is not None else "lifo",
             kernel=kernel,
+            widening_delay=widening_delay,
+            descending_iters=descending_iters,
         )
     if budget is not None and config.budget is not budget:
         config = config.replace(budget=budget)

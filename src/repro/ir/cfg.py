@@ -74,6 +74,8 @@ class CFG:
         self._preds: Dict[ProgramPoint, List[CFGEdge]] = {}
         self.entry = self._fresh()
         self.exit = self._build(body, self.entry)
+        self._back_edges: Optional[List[CFGEdge]] = None
+        self._loop_heads: Optional[Tuple[ProgramPoint, ...]] = None
 
     # -- construction -------------------------------------------------------------
     def _fresh(self) -> ProgramPoint:
@@ -138,6 +140,64 @@ class CFG:
 
     def call_edges(self) -> Iterator[CFGEdge]:
         return (edge for edge in self.edges() if edge.is_call)
+
+    # -- loop structure -----------------------------------------------------------
+    def back_edges(self) -> List[CFGEdge]:
+        """The DFS back edges, in deterministic order.
+
+        An iterative depth-first search from the entry (then from any
+        point the entry does not reach, in creation order) colors
+        points white/gray/black; an edge into a gray point is a back
+        edge.  Points are created and successor lists appended in
+        lowering order, so the DFS — and hence the returned list — is
+        deterministic.  For the structured lowering every back edge is
+        the ``tail --skip--> head`` edge of a ``Star``, but the search
+        makes no reducibility assumption: it reports one back edge per
+        retreating edge of whatever graph it is given.
+        """
+        if self._back_edges is not None:
+            return list(self._back_edges)
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color = {point: WHITE for point in self._points}
+        back: List[CFGEdge] = []
+        for root in self._points:
+            if color[root] != WHITE:
+                continue
+            color[root] = GRAY
+            stack: List[Tuple[ProgramPoint, int]] = [(root, 0)]
+            while stack:
+                point, next_edge = stack.pop()
+                edges = self._succs[point]
+                if next_edge < len(edges):
+                    stack.append((point, next_edge + 1))
+                    target = edges[next_edge].target
+                    if color[target] == GRAY:
+                        back.append(edges[next_edge])
+                    elif color[target] == WHITE:
+                        color[target] = GRAY
+                        stack.append((target, 0))
+                else:
+                    color[point] = BLACK
+        self._back_edges = back
+        return list(back)
+
+    def loop_heads(self) -> Tuple[ProgramPoint, ...]:
+        """Back-edge targets, deduplicated, in first-discovery order.
+
+        These are the widening points of the value-mode fixpoint
+        (DESIGN §14): placing a widening on every back-edge target cuts
+        every cycle of the graph, which is what guarantees the
+        ascending iteration stabilizes for infinite-height domains.
+        """
+        if self._loop_heads is None:
+            heads: List[ProgramPoint] = []
+            seen = set()
+            for edge in self.back_edges():
+                if edge.target not in seen:
+                    seen.add(edge.target)
+                    heads.append(edge.target)
+            self._loop_heads = tuple(heads)
+        return self._loop_heads
 
     def __len__(self) -> int:
         return len(self._points)

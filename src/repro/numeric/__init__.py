@@ -1,0 +1,50 @@
+"""Numeric abstract domains for the lattice-aware fixpoint core.
+
+The interval domain (and its interval×typestate reduced product) is
+the first infinite-height instantiation of the engines' value mode —
+see DESIGN §14 and :mod:`repro.framework.interfaces`.
+"""
+
+from repro.numeric.interval import (
+    EMPTY_ENV,
+    TOP,
+    ZERO,
+    Interval,
+    IntervalEnv,
+    numeric_op,
+)
+from repro.numeric.td_analysis import IntervalTD
+from repro.numeric.bu_analysis import (
+    IDENTITY_TRANSFORM,
+    IntervalBU,
+    IntervalTransform,
+    collapse_by_skeleton,
+)
+from repro.numeric.product import (
+    IntervalTypestateBU,
+    IntervalTypestateTD,
+    ProductRelation,
+    ProductValue,
+    product_analyses,
+    product_bootstrap,
+)
+
+__all__ = [
+    "EMPTY_ENV",
+    "IDENTITY_TRANSFORM",
+    "Interval",
+    "IntervalBU",
+    "IntervalEnv",
+    "IntervalTD",
+    "IntervalTransform",
+    "IntervalTypestateBU",
+    "IntervalTypestateTD",
+    "ProductRelation",
+    "ProductValue",
+    "TOP",
+    "ZERO",
+    "collapse_by_skeleton",
+    "numeric_op",
+    "product_analyses",
+    "product_bootstrap",
+]

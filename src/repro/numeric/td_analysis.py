@@ -1,0 +1,65 @@
+"""Top-down interval analysis — the first value-mode client.
+
+An abstract state is one :class:`~repro.numeric.interval.IntervalEnv`
+(not a set element of a finite powerset): ``is_finite`` answers
+``False``, which switches the engines into value mode, where states at
+a program point are combined by ``join``/``widen`` instead of set
+union.  Transfer functions return singleton frozensets — or the empty
+set for an infeasible guard — so the signature stays the paper's
+``trans(c) : S -> 2^S``.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+from repro.framework.interfaces import TopDownAnalysis
+from repro.ir.commands import Assign, FieldLoad, FieldStore, Invoke, New, Prim, Skip
+from repro.numeric.interval import Interval, IntervalEnv, ZERO, numeric_op
+
+
+class IntervalTD(TopDownAnalysis):
+    """Interval environments with the method-name numeric encoding."""
+
+    # -- lattice ------------------------------------------------------------------
+    def is_finite(self) -> bool:
+        return False
+
+    def leq(self, a: IntervalEnv, b: IntervalEnv) -> bool:
+        return a.leq(b)
+
+    def join(self, a: IntervalEnv, b: IntervalEnv) -> IntervalEnv:
+        return a.join(b)
+
+    def widen(self, prev: IntervalEnv, new: IntervalEnv) -> IntervalEnv:
+        return prev.widen(new)
+
+    def narrow(self, prev: IntervalEnv, new: IntervalEnv) -> IntervalEnv:
+        return prev.narrow(new)
+
+    # -- transfer -----------------------------------------------------------------
+    def transfer(self, cmd: Prim, env: IntervalEnv) -> FrozenSet[IntervalEnv]:
+        if isinstance(cmd, New):
+            return frozenset({env.set(cmd.lhs, ZERO)})
+        if isinstance(cmd, Assign):
+            return frozenset({env.set(cmd.lhs, env.get(cmd.rhs))})
+        if isinstance(cmd, Invoke):
+            op = numeric_op(cmd.method)
+            if op is None:
+                return frozenset({env})
+            kind = op[0]
+            if kind == "shift":
+                shifted = env.get(cmd.receiver).shift(op[1])
+                return frozenset({env.set(cmd.receiver, shifted)})
+            if kind == "const":
+                return frozenset({env.set(cmd.receiver, op[1])})
+            guard = Interval(None, op[1]) if kind == "le" else Interval(op[1], None)
+            met = env.get(cmd.receiver).meet(guard)
+            if met is None:
+                return frozenset()  # infeasible branch
+            return frozenset({env.set(cmd.receiver, met)})
+        if isinstance(cmd, FieldLoad):
+            return frozenset({env.forget(cmd.lhs)})
+        if isinstance(cmd, (FieldStore, Skip)):
+            return frozenset({env})
+        raise TypeError(f"unsupported primitive command {cmd!r}")

@@ -60,10 +60,16 @@ def make_analyses(
 ):
     """Build the (td, bu, initial-state) triple for a domain.
 
-    ``domain`` is ``"simple"`` (Figures 2-3) or ``"full"`` (the
+    ``domain`` is ``"simple"`` (Figures 2-3), ``"full"`` (the
     four-component analysis of the evaluation; a may-alias oracle is
-    derived from an Andersen points-to run when not supplied).
+    derived from an Andersen points-to run when not supplied), or
+    ``"interval-typestate"`` (the reduced product with interval
+    environments — infinite height, runs the engines in value mode).
     """
+    if domain == "interval-typestate":
+        from repro.numeric import product_analyses
+
+        return product_analyses(prop, tracked_sites)
     if domain == "simple":
         return (
             SimpleTypestateTD(prop, tracked_sites),
@@ -87,7 +93,10 @@ def make_analyses(
             FullTypestateBU(prop, oracle, tracked_sites, variables),
             full_bootstrap_state(prop),
         )
-    raise ValueError(f"unknown domain {domain!r} (expected simple or full)")
+    raise ValueError(
+        f"unknown domain {domain!r} (expected simple, full, or "
+        "interval-typestate)"
+    )
 
 
 def run_typestate(
@@ -110,6 +119,8 @@ def run_typestate(
     batch_size: int = 64,
     batch_min_frontier: Optional[int] = None,
     kernel: str = "object",
+    widening_delay: int = 2,
+    descending_iters: int = 0,
 ) -> TypestateReport:
     """Verify ``prop`` over ``program`` with the chosen engine.
 
@@ -157,6 +168,8 @@ def run_typestate(
         batched=batched,
         batch_size=batch_size,
         kernel=kernel,
+        widening_delay=widening_delay,
+        descending_iters=descending_iters,
         **extra,
     )
     if not config.domain.startswith("typestate-"):

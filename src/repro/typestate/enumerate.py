@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import Iterator, List
 
+from repro.framework.interfaces import UnsupportedDomainError
 from repro.ir.commands import Call, Choice, Command, New, Prim, Seq, Star
 from repro.ir.program import Program
 from repro.typestate.dfa import TypestateProperty
@@ -85,7 +86,12 @@ def seed_states(program: Program, prop: TypestateProperty, td_analysis) -> List:
             for cmd in _tracked_news(program, td_analysis._tracks_site)
         )
     else:
-        raise TypeError(f"no seed enumerator for analysis {td_analysis!r}")
+        raise UnsupportedDomainError(
+            f"no seed enumerator for analysis {type(td_analysis).__name__}: "
+            "compiled kernels enumerate finite domains and cannot seed an "
+            "infinite-height one; use the 'object' kernel fallback",
+            supported=("typestate-simple", "typestate-full"),
+        )
     seeds = []
     for sigma in base:
         for state in prop.states:

@@ -161,3 +161,98 @@ def test_trace_diff(mini_file, tmp_path, capsys):
     assert main(["trace", "record", path, "--out", c, "--budget", "3"]) == 0
     assert main(["trace", "diff", a, c]) == 1
     assert "differing" in capsys.readouterr().out
+
+
+# -- value mode: widening knobs and unsupported-domain errors -------------------
+
+LOOP_IR = """
+proc main {
+  v = new h1;
+  v.open();
+  loop {
+    v.incr();
+    v.le10();
+  }
+  v.close();
+}
+"""
+
+
+def test_verify_interval_typestate_domain(mini_file, capsys):
+    path = mini_file(LOOP_IR, "loop.ir")
+    assert main(["verify", path, "--domain", "interval-typestate"]) == 0
+    assert "ok" in capsys.readouterr().out
+
+
+def test_verify_interval_fact_domain(mini_file, capsys):
+    path = mini_file(LOOP_IR, "loop.ir")
+    assert main(["verify", path, "--domain", "interval"]) == 0
+    out = capsys.readouterr().out
+    # The widened counter fact reaches main's exit.
+    assert "fact(s) at main's exit" in out
+    assert "v:[0,+inf]" in out
+
+
+def test_verify_widening_knob_flags_accepted(mini_file, capsys):
+    path = mini_file(LOOP_IR, "loop.ir")
+    code = main(
+        [
+            "verify",
+            path,
+            "--domain",
+            "interval-typestate",
+            "--widening-delay",
+            "0",
+            "--descending-iters",
+            "2",
+        ]
+    )
+    assert code == 0
+    assert "ok" in capsys.readouterr().out
+
+
+def test_verify_compiled_kernel_refuses_infinite_domain(mini_file, capsys):
+    path = mini_file(LOOP_IR, "loop.ir")
+    code = main(
+        ["verify", path, "--domain", "interval-typestate", "--kernel", "bitset"]
+    )
+    assert code == 2
+    out = capsys.readouterr().out
+    # Satellite (a): a typed config error naming the fallback, not a crash.
+    assert "unsupported domain" in out
+    assert "'object' kernel fallback" in out
+    assert "typestate-simple" in out
+
+
+def test_analyze_compiled_kernel_refuses_infinite_domain(
+    mini_file, tmp_path, capsys
+):
+    path = mini_file(LOOP_IR, "loop.ir")
+    store = str(tmp_path / "store")
+    code = main(
+        [
+            "analyze",
+            path,
+            "--store",
+            store,
+            "--domain",
+            "interval-typestate",
+            "--kernel",
+            "numpy",
+        ]
+    )
+    assert code == 2
+    assert "unsupported domain" in capsys.readouterr().out
+
+
+def test_analyze_widening_knobs_rekey_store(mini_file, tmp_path, capsys):
+    path = mini_file(LOOP_IR, "loop.ir")
+    store = str(tmp_path / "store")
+    base = ["analyze", path, "--store", store, "--domain", "interval-typestate"]
+    assert main(base) == 0
+    assert "cold start" in capsys.readouterr().out
+    assert main(base) == 0
+    assert "warm start" in capsys.readouterr().out
+    # A knob change is a new config fingerprint: cold again, never wrong.
+    assert main(base + ["--widening-delay", "4"]) == 0
+    assert "cold start" in capsys.readouterr().out

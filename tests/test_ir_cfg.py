@@ -67,3 +67,91 @@ def test_every_nonexit_point_has_successor():
         for point in cfg.points:
             if point != cfg.exit:
                 assert cfg.successors(point), f"dead point {point}"
+
+
+# -- loop structure (back edges / widening points, DESIGN §14) ------------------
+
+
+def test_straight_line_has_no_back_edges():
+    cfg = CFG("p", seq(Assign("a", "b"), Assign("b", "c")))
+    assert cfg.back_edges() == []
+    assert cfg.loop_heads() == ()
+
+
+def test_choice_has_no_back_edges():
+    cfg = CFG("p", choice(Assign("a", "b"), Assign("a", "c")))
+    assert cfg.back_edges() == []
+    assert cfg.loop_heads() == ()
+
+
+def test_single_star_back_edge_and_head():
+    cfg = CFG("p", star(Assign("a", "b")))
+    back = cfg.back_edges()
+    assert len(back) == 1
+    (edge,) = back
+    # The lowering's back edge is tail --skip--> head, and the head is
+    # the loop's join point: >= 2 predecessors and an edge to the exit.
+    assert isinstance(edge.label, Skip)
+    assert cfg.loop_heads() == (edge.target,)
+    assert len(cfg.predecessors(edge.target)) >= 2
+    assert any(e.target == cfg.exit for e in cfg.successors(edge.target))
+
+
+def test_nested_stars_two_distinct_heads():
+    cfg = CFG("p", star(seq(Assign("a", "b"), star(Assign("b", "c")))))
+    back = cfg.back_edges()
+    assert len(back) == 2
+    heads = cfg.loop_heads()
+    assert len(heads) == 2
+    assert len(set(heads)) == 2
+    assert set(heads) == {edge.target for edge in back}
+
+
+def test_sequential_stars_heads_in_flow_order():
+    cfg = CFG("p", seq(star(Assign("a", "b")), star(Assign("b", "c"))))
+    heads = cfg.loop_heads()
+    assert len(heads) == 2
+    # First-discovery order follows the flow: the first loop's head has
+    # the smaller point index.
+    assert heads[0].index < heads[1].index
+
+
+def test_triple_nest_every_cycle_cut():
+    cfg = CFG("p", star(star(star(Assign("a", "b")))))
+    heads = set(cfg.loop_heads())
+    assert len(heads) == 3
+    for edge in cfg.back_edges():
+        assert edge.target in heads
+
+
+def test_back_edges_deterministic_across_builds():
+    cmd = star(seq(Assign("a", "b"), choice(star(Assign("b", "c")), Skip())))
+    first = [(e.source.index, e.target.index) for e in CFG("p", cmd).back_edges()]
+    second = [(e.source.index, e.target.index) for e in CFG("p", cmd).back_edges()]
+    assert first and first == second
+
+
+def test_irreducible_graph_back_edge_cuts_the_cycle():
+    # Hand-build an irreducible-ish shape the structured lowering never
+    # produces: a two-node cycle entered at both nodes.  back_edges()
+    # makes no reducibility assumption — it must still report a back
+    # edge whose target cuts the cycle, deterministically.
+    cfg = CFG("p", Skip())
+    a = cfg._fresh()
+    b = cfg._fresh()
+    cfg._edge(cfg.entry, Skip(), a)
+    cfg._edge(cfg.entry, Skip(), b)
+    cfg._edge(a, Skip(), b)
+    cfg._edge(b, Skip(), a)
+    back = cfg.back_edges()
+    assert len(back) == 1
+    assert back[0].target in (a, b)  # some node of the cycle is cut
+    assert cfg.loop_heads() == (back[0].target,)
+    # Deterministic across calls (cached) and across identical builds.
+    assert cfg.back_edges() == back
+
+
+def test_loop_heads_cached_and_stable():
+    cfg = CFG("p", star(Assign("a", "b")))
+    assert cfg.loop_heads() == cfg.loop_heads()
+    assert cfg.back_edges() == cfg.back_edges()

@@ -1,0 +1,299 @@
+"""Unit tests for the interval domain and the interval×typestate product.
+
+The algebra layer of DESIGN §14: interval lattice laws (including the
+widening/narrowing contracts that make value-mode fixpoints terminate),
+sparse environments, compositional transforms and their skeleton-based
+relation-set widening, and the reduced product's row-wise reduction.
+"""
+
+import pytest
+
+from repro.ir.commands import Assign, FieldLoad, Invoke, New, Skip
+from repro.numeric.bu_analysis import (
+    IDENTITY_TRANSFORM,
+    IntervalBU,
+    IntervalTransform,
+    collapse_by_skeleton,
+    transform_skeleton,
+)
+from repro.numeric.interval import (
+    EMPTY_ENV,
+    TOP,
+    ZERO,
+    Interval,
+    IntervalEnv,
+    numeric_op,
+)
+from repro.numeric.product import (
+    IntervalTypestateBU,
+    IntervalTypestateTD,
+    ProductValue,
+    product_bootstrap,
+)
+from repro.numeric.td_analysis import IntervalTD
+from repro.typestate.properties import FILE_PROPERTY
+from repro.typestate.states import bootstrap_state
+
+
+# -- intervals -------------------------------------------------------------------
+
+
+def test_interval_empty_rejected():
+    with pytest.raises(ValueError):
+        Interval(3, 2)
+
+
+def test_interval_order_and_join_meet():
+    a, b = Interval(0, 5), Interval(3, 10)
+    assert a.leq(TOP) and b.leq(TOP)
+    assert not a.leq(b)
+    assert a.join(b) == Interval(0, 10)
+    assert a.meet(b) == Interval(3, 5)
+    assert Interval(0, 1).meet(Interval(5, 9)) is None
+    assert a.leq(a.join(b)) and b.leq(a.join(b))
+    assert a.meet(b).leq(a)
+
+
+def test_interval_widen_unstable_bounds_to_infinity():
+    prev, new = Interval(0, 3), Interval(0, 4)
+    widened = prev.widen(prev.join(new))
+    assert widened == Interval(0, None)  # hi moved: jumps to +inf
+    assert prev.widen(prev) == prev  # stable bounds survive
+    assert Interval(1, 3).widen(Interval(0, 3)) == Interval(None, 3)
+
+
+def test_interval_widen_covers_both_arguments():
+    for prev, new in [
+        (Interval(0, 0), Interval(0, 7)),
+        (Interval(-2, 5), Interval(-9, 5)),
+        (Interval(0, 1), Interval(None, 2)),
+    ]:
+        widened = prev.widen(prev.join(new))
+        assert prev.leq(widened) and new.leq(widened)
+
+
+def test_interval_narrow_refines_only_infinite_bounds():
+    widened = Interval(0, None)
+    assert widened.narrow(Interval(0, 7)) == Interval(0, 7)
+    # A finite bound is never moved by narrowing (termination).
+    assert Interval(0, 9).narrow(Interval(2, 5)) == Interval(0, 9)
+
+
+def test_interval_shift_and_add():
+    assert ZERO.shift(3) == Interval(3, 3)
+    assert Interval(1, None).shift(-1) == Interval(0, None)
+    assert Interval(1, 2).add(Interval(10, 20)) == Interval(11, 22)
+    assert Interval(1, 2).add(TOP) == TOP
+
+
+def test_numeric_op_parsing():
+    assert numeric_op("incr") == ("shift", 1)
+    assert numeric_op("decr") == ("shift", -1)
+    assert numeric_op("reset") == ("const", ZERO)
+    assert numeric_op("le10") == ("le", 10)
+    assert numeric_op("ge-3") == ("ge", -3)
+    for untracked in ("open", "close", "read", "write", "le", "gex", "le1x"):
+        assert numeric_op(untracked) is None
+
+
+# -- environments ----------------------------------------------------------------
+
+
+def test_env_absent_is_top_and_top_dropped():
+    env = IntervalEnv([("x", Interval(0, 1)), ("y", TOP)])
+    assert env.get("x") == Interval(0, 1)
+    assert env.get("y") == TOP
+    assert env.get("z") == TOP
+    assert env.set("x", TOP).bindings == ()
+    assert EMPTY_ENV.bindings == ()
+
+
+def test_env_join_keeps_only_shared_bindings():
+    a = IntervalEnv([("x", Interval(0, 1)), ("y", Interval(5, 5))])
+    b = IntervalEnv([("x", Interval(3, 4))])
+    joined = a.join(b)
+    assert joined.get("x") == Interval(0, 4)
+    assert joined.get("y") == TOP  # bound on one side only: joins to TOP
+    assert a.leq(joined) and b.leq(joined)
+
+
+def test_env_widen_then_narrow_round_trip():
+    prev = IntervalEnv([("c", Interval(0, 0))])
+    new = IntervalEnv([("c", Interval(0, 1))])
+    widened = prev.widen(prev.join(new))
+    assert widened.get("c") == Interval(0, None)
+    narrowed = widened.narrow(IntervalEnv([("c", Interval(0, 7))]))
+    assert narrowed.get("c") == Interval(0, 7)
+
+
+def test_env_canonical_equality_and_str():
+    a = IntervalEnv([("x", Interval(0, 1)), ("y", Interval(2, 3))])
+    b = IntervalEnv([("y", Interval(2, 3)), ("x", Interval(0, 1))])
+    assert a == b and hash(a) == hash(b) and str(a) == str(b)
+
+
+# -- top-down transfer -----------------------------------------------------------
+
+
+def test_td_transfer_new_assign_and_guards():
+    td = IntervalTD()
+    env = next(iter(td.transfer(New("x", "h"), EMPTY_ENV)))
+    assert env.get("x") == ZERO
+    env = next(iter(td.transfer(Invoke("x", "incr"), env)))
+    assert env.get("x") == Interval(1, 1)
+    env = next(iter(td.transfer(Assign("y", "x"), env)))
+    assert env.get("y") == Interval(1, 1)
+    # A satisfiable guard meets; an infeasible one kills the path.
+    env = next(iter(td.transfer(Invoke("x", "le5"), env)))
+    assert env.get("x") == Interval(1, 1)
+    assert td.transfer(Invoke("x", "ge9"), env) == frozenset()
+    # Untracked methods and loads are numeric no-ops / forgets.
+    assert td.transfer(Invoke("x", "open"), env) == frozenset({env})
+    forgot = next(iter(td.transfer(FieldLoad("x", "y", "fld"), env)))
+    assert forgot.get("x") == TOP
+
+
+def test_td_is_infinite_and_finite_lattice_hooks():
+    td = IntervalTD()
+    assert not td.is_finite()
+    a = IntervalEnv([("x", Interval(0, 1))])
+    b = IntervalEnv([("x", Interval(0, 5))])
+    assert td.leq(a, b) and not td.leq(b, a)
+    assert td.join(a, b) == b
+    assert td.widen(a, b).get("x") == Interval(0, None)
+    assert td.narrow(td.widen(a, b), b) == b
+
+
+# -- bottom-up transforms --------------------------------------------------------
+
+
+def test_transform_identity_actions_are_dropped():
+    t = IntervalTransform([("x", ("shift", "x", ZERO))])
+    assert t == IDENTITY_TRANSFORM
+    assert t.resolve("x") == ("shift", "x", ZERO)
+
+
+def test_rtransfer_and_rcompose_track_counters():
+    bu = IntervalBU()
+    (t,) = bu.rtransfer(New("c", "h"), bu.identity())
+    (t,) = bu.rtransfer(Invoke("c", "incr"), t)
+    assert t.resolve("c") == ("const", Interval(1, 1))
+    # Composition substitutes through the first transform.
+    (shift,) = bu.rtransfer(Invoke("d", "incr"), bu.identity())
+    (comp,) = bu.rcompose(shift, shift)
+    assert comp.resolve("d") == ("shift", "d", Interval(2, 2))
+    # Apply reads sources from the *entry* environment.
+    env = IntervalEnv([("d", Interval(5, 5))])
+    (out,) = bu.apply(comp, env)
+    assert out.get("d") == Interval(7, 7)
+
+
+def test_rtransfer_guard_on_const_is_exact():
+    bu = IntervalBU()
+    (t,) = bu.rtransfer(New("c", "h"), bu.identity())
+    (guarded,) = bu.rtransfer(Invoke("c", "le0"), t)
+    assert guarded.resolve("c") == ("const", ZERO)
+    assert bu.rtransfer(Invoke("c", "ge3"), t) == frozenset()
+    # Guard on a non-constant source is dropped (sound over-approx).
+    assert bu.rtransfer(Invoke("x", "le5"), bu.identity()) == frozenset(
+        {bu.identity()}
+    )
+
+
+def test_skeleton_collapse_bounds_set_and_widen_across_iterates():
+    def const(var, lo, hi):
+        return IntervalTransform([(var, ("const", Interval(lo, hi)))])
+
+    group = frozenset({const("c", 0, 1), const("c", 0, 2), const("c", 0, 3)})
+    collapsed = collapse_by_skeleton(group)
+    assert len(collapsed) == 1
+    (merged,) = collapsed
+    assert merged.resolve("c") == ("const", Interval(0, 3))
+    # Same skeleton, moved payload across iterates: widened to +inf.
+    again = collapse_by_skeleton(frozenset({const("c", 0, 4)}), collapsed)
+    (widened,) = again
+    assert widened.resolve("c") == ("const", Interval(0, None))
+    # Stable payload: widening leaves it alone (chain stabilizes).
+    stable = collapse_by_skeleton(again, again)
+    assert stable == again
+
+
+def test_rwiden_is_collapse():
+    bu = IntervalBU()
+    assert not bu.r_is_finite()
+    t1 = IntervalTransform([("c", ("const", Interval(0, 1)))])
+    t2 = IntervalTransform([("c", ("const", Interval(0, 2)))])
+    assert bu.rwiden(frozenset(), frozenset({t1, t2})) == collapse_by_skeleton(
+        frozenset({t1, t2})
+    )
+    assert transform_skeleton(t1) == transform_skeleton(t2)
+
+
+# -- the reduced product ---------------------------------------------------------
+
+
+def test_product_rows_merge_by_typestate():
+    sigma = bootstrap_state(FILE_PROPERTY)
+    pv = ProductValue(
+        [
+            (sigma, IntervalEnv([("x", Interval(0, 1))])),
+            (sigma, IntervalEnv([("x", Interval(3, 4))])),
+        ]
+    )
+    assert len(pv.rows) == 1
+    assert pv.rows[0][1].get("x") == Interval(0, 4)
+
+
+def test_product_lattice_rowwise():
+    sigma = bootstrap_state(FILE_PROPERTY)
+    small = ProductValue([(sigma, IntervalEnv([("x", Interval(0, 1))]))])
+    big = ProductValue([(sigma, IntervalEnv([("x", Interval(0, 9))]))])
+    assert small.leq(big) and not big.leq(small)
+    assert small.join(big) == big
+    widened = small.widen(big)
+    assert widened.rows[0][1].get("x") == Interval(0, None)
+    assert widened.narrow(big) == big
+
+
+def test_product_transfer_reduction_kills_infeasible_row():
+    td = IntervalTypestateTD(FILE_PROPERTY)
+    pv = product_bootstrap(FILE_PROPERTY)
+    (pv,) = td.transfer(New("x", "h"), pv)
+    # Every row binds x to [0,0]; a contradictory guard kills them all,
+    # sharpening the type-state side (the reduction).
+    assert td.transfer(Invoke("x", "ge7"), pv) == frozenset()
+    (ok,) = td.transfer(Invoke("x", "le7"), pv)
+    assert all(env.get("x") == ZERO for _, env in ok.rows)
+
+
+def test_product_bu_componentwise_and_predicates():
+    bu = IntervalTypestateBU(FILE_PROPERTY)
+    assert not bu.r_is_finite()
+    ident = bu.identity()
+    outs = bu.rtransfer(Skip(), ident)
+    assert outs == frozenset({ident})
+    pv = product_bootstrap(FILE_PROPERTY)
+    applied = bu.apply(ident, pv)
+    assert applied == frozenset({pv})
+    assert bu.in_domain(ident, pv)
+    assert bu.domain_predicate(ident) == bu.ts.domain_predicate(ident.ts)
+
+
+def test_product_rwiden_groups_by_ts_and_skeleton():
+    bu = IntervalTypestateBU(FILE_PROPERTY)
+    ident = bu.identity()
+
+    def with_const(lo, hi):
+        num = IntervalTransform([("c", ("const", Interval(lo, hi)))])
+        from repro.numeric.product import ProductRelation
+
+        return ProductRelation(ident.ts, num)
+
+    first = bu.rwiden(frozenset(), frozenset({with_const(0, 1), with_const(0, 2)}))
+    assert len(first) == 1
+    (merged,) = first
+    assert merged.num.resolve("c") == ("const", Interval(0, 2))
+    second = bu.rwiden(first, frozenset({with_const(0, 3)}))
+    (widened,) = second
+    assert widened.num.resolve("c") == ("const", Interval(0, None))
+    assert widened.ts == ident.ts

@@ -19,6 +19,21 @@ The proportionality rows then query three targets of increasing cone
 size on every registered shape and record ``(cone, work)`` pairs: work
 must grow with the cone and stay below the whole-program work.
 
+Three batch/frontier rows answer ISSUE 10's acceptance questions:
+
+* **batch** — a batch of ``BATCH_SIZE`` targets through
+  ``run_query_batch`` vs the same targets as sequential steady
+  ``run_query`` calls: answers byte-identical, wall clock asserted
+  ``MIN_BATCH_SPEEDUP``x faster (the cones share one component, so the
+  planner runs one cone-union solve instead of eight);
+* **batch_components** — the same program with a detached auxiliary
+  subsystem appended: targets split into two components, of which only
+  the main-reachable one is solved (the detached one answers empty at
+  zero cost), still byte-identical to sequential;
+* **frontier** — first-query ``store_load_s`` with the frontier
+  projection vs the full-snapshot decode (``use_frontier=False``),
+  asserted ``MIN_FRONTIER_SPEEDUP``x apart with identical answers.
+
 Run standalone to (re)generate ``BENCH_query.json``::
 
     PYTHONPATH=src python benchmarks/bench_query.py [--quick] [--out PATH]
@@ -39,7 +54,15 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.bench.suite import SHAPE_CONFIGS, load_shape
 from repro.incremental import SummaryStore, analyze_with_store
-from repro.query import QueryTarget, clear_query_cache, compute_cone, run_query
+from repro.ir.parser import parse_program
+from repro.ir.printer import format_program
+from repro.query import (
+    QueryTarget,
+    clear_query_cache,
+    compute_cone,
+    run_query,
+    run_query_batch,
+)
 from repro.typestate.client import run_typestate
 from repro.typestate.properties import FILE_PROPERTY
 
@@ -51,6 +74,22 @@ STEADY_ROUNDS = 3
 #: The steady-state query must beat the cold whole-program run by this
 #: factor on wall clock (measured headroom on this shape is ~8x).
 MIN_SPEEDUP = 5.0
+#: Targets per batch row, and the floor on batch-vs-sequential speedup
+#: (measured headroom on the headline shape is ~8-12x).
+BATCH_SIZE = 8
+MIN_BATCH_SPEEDUP = 3.0
+#: Floor on frontier-projection vs full-snapshot first-query
+#: ``store_load_s`` (measured headroom is ~30x: the lazy frontier load
+#: is the file read plus the invalidation diff).
+MIN_FRONTIER_SPEEDUP = 5.0
+
+#: A detached subsystem (unreachable from main) appended for the
+#: two-component batch row; targeting it exercises the planner's
+#: empty-solve-cone component path.
+DETACHED_AUX = """
+proc aux_top { call aux_leaf; }
+proc aux_leaf { g = new h9001; g.open(); g.read(); }
+"""
 
 #: Three targets of increasing cone size per registered shape.
 PROPORTIONALITY_TARGETS = {
@@ -140,6 +179,166 @@ def run_headline() -> dict:
     }
 
 
+def _batch_targets(program):
+    names = set(program.names())
+    targets = [f"worker{i}" for i in range(BATCH_SIZE)]
+    assert names.issuperset(targets), "headline shape changed under the bench"
+    return targets
+
+
+def _steady_sequential(program, store, targets):
+    """Per-target steady-state queries: (outcomes, total seconds)."""
+    for target in targets:  # decode warm-up
+        run_query(program, FILE_PROPERTY, store, target, engine=ENGINE, domain=DOMAIN)
+    outcomes, seconds = _timed(
+        lambda: [
+            run_query(program, FILE_PROPERTY, store, target, engine=ENGINE, domain=DOMAIN)
+            for target in targets
+        ]
+    )
+    return outcomes, seconds
+
+
+def run_batch() -> dict:
+    """A batch of ``BATCH_SIZE`` targets vs the same targets sequentially."""
+    program = load_shape(HEADLINE_SHAPE).program
+    targets = _batch_targets(program)
+    clear_query_cache()
+    with tempfile.TemporaryDirectory() as root:
+        store = SummaryStore(root)
+        analyze_with_store(
+            program, FILE_PROPERTY, store, engine=ENGINE, domain=DOMAIN
+        )
+        sequential, sequential_s = _steady_sequential(program, store, targets)
+        clear_query_cache()
+        run_query_batch(  # decode warm-up, like the sequential side
+            program, FILE_PROPERTY, store, targets, engine=ENGINE, domain=DOMAIN
+        )
+        batch, batch_s = _timed(
+            run_query_batch,
+            program, FILE_PROPERTY, store, targets, engine=ENGINE, domain=DOMAIN,
+        )
+    identical = all(
+        batch.answer_for(target) == single.answer
+        for target, single in zip(targets, sequential)
+    )
+    assert identical, "batch answers diverged from per-target queries"
+    assert batch.out_of_cone_interior_rows == 0
+    assert batch.batch_components == 1, "worker cones must share one component"
+    speedup = sequential_s / batch_s if batch_s else float("inf")
+    assert speedup >= MIN_BATCH_SPEEDUP, (
+        f"batch {batch_s:.4f}s is only {speedup:.1f}x faster than "
+        f"{len(targets)} sequential queries {sequential_s:.4f}s "
+        f"(need {MIN_BATCH_SPEEDUP}x)"
+    )
+    return {
+        "shape": HEADLINE_SHAPE,
+        "engine": ENGINE,
+        "domain": DOMAIN,
+        "targets": len(targets),
+        "batch": {
+            "seconds": round(batch_s, 4),
+            "work": batch.total_work,
+            "components": batch.batch_components,
+            "solves": batch.solves,
+            "solves_per_component": [
+                {"component": c.index, "targets": len(c.targets), "solved": c.solved}
+                for c in batch.components
+            ],
+        },
+        "sequential": {
+            "seconds": round(sequential_s, 4),
+            "work": sum(o.total_work for o in sequential),
+        },
+        "speedup": round(speedup, 2),
+        "identical": identical,
+    }
+
+
+def run_batch_components() -> dict:
+    """The two-component batch: headline shape plus a detached subsystem."""
+    base = load_shape(HEADLINE_SHAPE).program
+    program = parse_program(format_program(base) + DETACHED_AUX)
+    targets = _batch_targets(program)[: BATCH_SIZE - 2] + ["aux_top", "aux_leaf"]
+    clear_query_cache()
+    with tempfile.TemporaryDirectory() as root:
+        store = SummaryStore(root)
+        analyze_with_store(
+            program, FILE_PROPERTY, store, engine=ENGINE, domain=DOMAIN
+        )
+        sequential, _ = _steady_sequential(program, store, targets)
+        batch = run_query_batch(
+            program, FILE_PROPERTY, store, targets, engine=ENGINE, domain=DOMAIN
+        )
+    identical = all(
+        batch.answer_for(target) == single.answer
+        for target, single in zip(targets, sequential)
+    )
+    assert identical, "two-component batch diverged from per-target queries"
+    assert batch.batch_components == 2, batch.batch_components
+    assert batch.solves == 1, "the detached component must not be solved"
+    assert batch.answer_for("aux_leaf") == frozenset()
+    return {
+        "shape": f"{HEADLINE_SHAPE}+detached-aux",
+        "engine": ENGINE,
+        "domain": DOMAIN,
+        "targets": len(targets),
+        "components": batch.batch_components,
+        "solves": batch.solves,
+        "attribution": batch.attribution(),
+        "identical": identical,
+    }
+
+
+def run_frontier_ablation() -> dict:
+    """First-query ``store_load_s``: frontier projection vs full decode."""
+    program = load_shape(HEADLINE_SHAPE).program
+    with tempfile.TemporaryDirectory() as root:
+        store = SummaryStore(root)
+        analyze_with_store(
+            program, FILE_PROPERTY, store, engine=ENGINE, domain=DOMAIN
+        )
+        loads = {}
+        answers = {}
+        for mode, use_frontier in (("frontier", True), ("full", False)):
+            best = None
+            for _ in range(STEADY_ROUNDS):
+                clear_query_cache()  # every round pays the first-query load
+                outcome, _ = _timed(
+                    run_query,
+                    program, FILE_PROPERTY, store, HEADLINE_TARGET,
+                    engine=ENGINE, domain=DOMAIN, use_frontier=use_frontier,
+                )
+                assert outcome.out_of_cone_interior_rows == 0
+                best = (
+                    outcome.store_load_seconds
+                    if best is None
+                    else min(best, outcome.store_load_seconds)
+                )
+                answers[mode] = outcome.answer
+            loads[mode] = best
+            expected = "hit" if use_frontier else "fallback"
+            assert outcome.frontier_snapshot == expected, outcome.frontier_snapshot
+    assert answers["frontier"] == answers["full"], "ablation changed the verdict"
+    speedup = loads["full"] / loads["frontier"] if loads["frontier"] else float("inf")
+    assert speedup >= MIN_FRONTIER_SPEEDUP, (
+        f"frontier store load {loads['frontier']:.4f}s is only {speedup:.1f}x "
+        f"below the full decode {loads['full']:.4f}s (need {MIN_FRONTIER_SPEEDUP}x)"
+    )
+    return {
+        "shape": HEADLINE_SHAPE,
+        "target": HEADLINE_TARGET,
+        "engine": ENGINE,
+        "domain": DOMAIN,
+        "first_query_store_load_s": {
+            "frontier": round(loads["frontier"], 5),
+            "full": round(loads["full"], 5),
+        },
+        "speedup": round(speedup, 2),
+        "identical": True,
+    }
+
+
 def run_proportionality(shape_name: str) -> dict:
     """Three queries of increasing cone size on one shape.
 
@@ -217,7 +416,42 @@ def collect(quick: bool = False):
         f"{head['speedup']}x, identical={head['identical']}",
         flush=True,
     )
-    shapes = [HEADLINE_SHAPE] if quick else [cfg.name for cfg in SHAPE_CONFIGS]
+    batch = dict(run_batch(), row="batch")
+    rows.append(batch)
+    print(
+        f"  batch {batch['targets']} targets: {batch['batch']['seconds']}s vs "
+        f"sequential {batch['sequential']['seconds']}s -> {batch['speedup']}x, "
+        f"components={batch['batch']['components']} "
+        f"solves={batch['batch']['solves']} identical={batch['identical']}",
+        flush=True,
+    )
+    comp = dict(run_batch_components(), row="batch_components")
+    rows.append(comp)
+    print(
+        f"  {comp['shape']}: {comp['targets']} targets -> "
+        f"components={comp['components']} solves={comp['solves']} "
+        f"identical={comp['identical']}",
+        flush=True,
+    )
+    frontier = dict(run_frontier_ablation(), row="frontier")
+    rows.append(frontier)
+    loads = frontier["first_query_store_load_s"]
+    print(
+        f"  frontier first-query store load: {loads['frontier']}s vs full "
+        f"{loads['full']}s -> {frontier['speedup']}x",
+        flush=True,
+    )
+    shapes = (
+        [HEADLINE_SHAPE]
+        if quick
+        # Only shapes with registered targets (loop-nest-64 is a
+        # value-mode shape; bench_numeric covers it).
+        else [
+            cfg.name
+            for cfg in SHAPE_CONFIGS
+            if cfg.name in PROPORTIONALITY_TARGETS
+        ]
+    )
     for shape_name in shapes:
         row = run_proportionality(shape_name)
         rows.append(row)
@@ -243,6 +477,25 @@ def test_query_proportionality(once):
     assert row["identical"]
     works = sorted(q["work"] for q in row["queries"])
     assert works[-1] < row["whole_program_work"]
+
+
+def test_query_batch_speedup(once):
+    row = once(run_batch)
+    assert row["identical"]
+    assert row["speedup"] >= MIN_BATCH_SPEEDUP
+    assert row["batch"]["solves"] == 1
+
+
+def test_query_batch_components(once):
+    row = once(run_batch_components)
+    assert row["identical"]
+    assert (row["components"], row["solves"]) == (2, 1)
+
+
+def test_query_frontier_ablation(once):
+    row = once(run_frontier_ablation)
+    assert row["identical"]
+    assert row["speedup"] >= MIN_FRONTIER_SPEEDUP
 
 
 def main(argv=None) -> int:

@@ -333,6 +333,8 @@ def cmd_query_point(args: argparse.Namespace) -> int:
             budget=budget,
             domain=args.domain,
             kernel=args.kernel,
+            query_precision=args.query_precision,
+            use_frontier=not args.no_frontier,
         )
     except QueryError as exc:
         print(f"query error: {exc}")
@@ -344,33 +346,101 @@ def cmd_query_point(args: argparse.Namespace) -> int:
         f"frontier={outcome.frontier_size} "
         f"hits={outcome.store_hits} misses={outcome.store_misses} "
         f"work={outcome.total_work} "
-        f"out-of-cone-rows={outcome.out_of_cone_interior_rows}"
+        f"out-of-cone-rows={outcome.out_of_cone_interior_rows} "
+        f"frontier-snapshot={outcome.frontier_snapshot} "
+        f"store-load={outcome.store_load_seconds:.6f}s"
     )
     if outcome.timed_out:
         print(f"{args.property}: analysis exceeded its budget")
         return 2
-    if args.kind == "errors":
-        # Verdict lines are byte-identical to `repro-swift verify`'s
-        # report restricted to the target (CI compares them directly).
-        if not outcome.answer:
-            print(f"{args.property}: ok at {outcome.target}")
-            return 0
-        print(
-            f"{args.property}: {len(outcome.answer)} possible protocol "
-            f"violation(s) at {outcome.target}"
-        )
-        for point, site in sorted(outcome.answer, key=str):
-            print(f"  object from {site} may be in the error state at {point}")
+    _print_answer_lines(args.property, outcome.kind, outcome.target, outcome.answer)
+    if args.kind == "errors" and outcome.answer:
         return 1
-    if args.kind == "summaries":
-        print(f"{outcome.target}: {len(outcome.answer)} summary pair(s)")
-        for entry, exit_state in sorted(outcome.answer, key=str):
-            print(f"  {entry} -> {exit_state}")
-        return 0
-    print(f"{outcome.target}: {len(outcome.answer)} entry state(s)")
-    for state in sorted(outcome.answer, key=str):
-        print(f"  {state}")
     return 0
+
+
+def _print_answer_lines(prop: str, kind: str, target, answer) -> None:
+    """The per-target verdict lines, shared by query-point and
+    query-batch (CI byte-compares them between the two verbs, and —
+    for ``errors`` — against ``repro-swift verify`` restricted to the
+    target)."""
+    if kind == "errors":
+        if not answer:
+            print(f"{prop}: ok at {target}")
+            return
+        print(
+            f"{prop}: {len(answer)} possible protocol violation(s) at {target}"
+        )
+        for point, site in sorted(answer, key=str):
+            print(f"  object from {site} may be in the error state at {point}")
+        return
+    if kind == "summaries":
+        print(f"{target}: {len(answer)} summary pair(s)")
+        for entry, exit_state in sorted(answer, key=str):
+            print(f"  {entry} -> {exit_state}")
+        return
+    print(f"{target}: {len(answer)} entry state(s)")
+    for state in sorted(answer, key=str):
+        print(f"  {state}")
+
+
+def cmd_query_batch(args: argparse.Namespace) -> int:
+    from repro.framework.metrics import Budget
+    from repro.incremental import SummaryStore
+    from repro.query import QueryError, run_query_batch
+    from repro.typestate.properties import property_by_name
+
+    program = load_program(args.file)
+    budget = Budget(max_work=args.budget) if args.budget else None
+    try:
+        outcome = run_query_batch(
+            program,
+            property_by_name(args.property),
+            SummaryStore(args.store),
+            args.targets,
+            kind=args.kind,
+            engine=args.engine,
+            k=args.k,
+            theta=args.theta,
+            budget=budget,
+            domain=args.domain,
+            kernel=args.kernel,
+            query_precision=args.query_precision,
+            use_frontier=not args.no_frontier,
+            max_workers=args.workers,
+        )
+    except QueryError as exc:
+        print(f"query error: {exc}")
+        return 2
+    start = "cold" if outcome.cold else "warm"
+    print(
+        f"{args.property}: batch demand {len(outcome.plan.targets)} target(s) "
+        f"({outcome.kind}), {start} store, "
+        f"components={outcome.batch_components} solves={outcome.solves} "
+        f"frontier-hits={outcome.frontier_snapshot_hits} "
+        f"work={outcome.total_work} "
+        f"out-of-cone-rows={outcome.out_of_cone_interior_rows} "
+        f"store-load={outcome.store_load_seconds:.6f}s"
+    )
+    for comp in outcome.components:
+        solved = "solved" if comp.solved else "empty-cone"
+        print(
+            f"component {comp.index}: {len(comp.targets)} target(s) "
+            f"cone={comp.cone_size} frontier={comp.frontier_size} {solved} "
+            f"work={comp.total_work} "
+            f"frontier-snapshot={comp.frontier_snapshot}"
+        )
+    if outcome.timed_out:
+        print(f"{args.property}: analysis exceeded its budget")
+        return 2
+    any_errors = False
+    for target in outcome.plan.targets:
+        answer = outcome.answers[target]
+        print(f"-- target {target}")
+        _print_answer_lines(args.property, outcome.kind, target, answer)
+        if outcome.kind == "errors" and answer:
+            any_errors = True
+    return 1 if any_errors else 0
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
@@ -398,6 +468,29 @@ def cmd_serve(args: argparse.Namespace) -> int:
     finally:
         server.server_close()
     return 0
+
+
+def _print_client_answer(prop: str, kind: str, target, answer) -> None:
+    """Per-target verdict lines from a service ``demand`` answer (the
+    JSON encoding: pairs arrive as 2-lists of strings)."""
+    if kind == "errors":
+        if not answer:
+            print(f"{prop}: ok at {target}")
+            return
+        print(
+            f"{prop}: {len(answer)} possible protocol violation(s) at {target}"
+        )
+        for point, site in answer:
+            print(f"  object from {site} may be in the error state at {point}")
+        return
+    if kind == "summaries":
+        print(f"{target}: {len(answer)} summary pair(s)")
+        for entry, exit_state in answer:
+            print(f"  {entry} -> {exit_state}")
+        return
+    print(f"{target}: {len(answer)} entry state(s)")
+    for state in answer:
+        print(f"  {state}")
 
 
 def cmd_client(args: argparse.Namespace) -> int:
@@ -480,13 +573,49 @@ def cmd_client(args: argparse.Namespace) -> int:
                 "k": args.k,
                 "theta": args.theta,
             }
+            if len(args.targets) > 1:
+                response = client.demand(
+                    text,
+                    targets=args.targets,
+                    kind=args.kind,
+                    fmt=fmt,
+                    prop=args.property,
+                    config=config,
+                    precision=args.precision,
+                    workers=args.workers,
+                )
+                start = "cold" if response["cold"] else "warm"
+                coalesced = " (coalesced)" if response.get("coalesced") else ""
+                print(
+                    f"{args.property}: batch demand "
+                    f"{len(response['targets'])} target(s) "
+                    f"({response['kind']}), {start} store{coalesced}, "
+                    f"components={response['batch_components']} "
+                    f"solves={response['solves']} "
+                    f"frontier-hits={response['frontier_snapshot_hits']} "
+                    f"work={response['work']} ({response['elapsed_ms']}ms)"
+                )
+                if response["timed_out"]:
+                    print(f"{args.property}: analysis exceeded its budget")
+                    return 2
+                any_errors = False
+                for target in response["targets"]:
+                    answer = response["answers"][target]
+                    print(f"-- target {target}")
+                    _print_client_answer(
+                        args.property, response["kind"], target, answer
+                    )
+                    if response["kind"] == "errors" and answer:
+                        any_errors = True
+                return 1 if any_errors else 0
             response = client.demand(
                 text,
-                args.target,
+                args.targets[0],
                 kind=args.kind,
                 fmt=fmt,
                 prop=args.property,
                 config=config,
+                precision=args.precision,
             )
             start = "cold" if response["cold"] else "warm"
             print(
@@ -499,27 +628,11 @@ def cmd_client(args: argparse.Namespace) -> int:
                 print(f"{args.property}: analysis exceeded its budget")
                 return 2
             answer = response["answer"]
-            if response["kind"] == "errors":
-                if not answer:
-                    print(f"{args.property}: ok at {response['target']}")
-                    return 0
-                print(
-                    f"{args.property}: {len(answer)} possible protocol "
-                    f"violation(s) at {response['target']}"
-                )
-                for point, site in answer:
-                    print(
-                        f"  object from {site} may be in the error state at {point}"
-                    )
+            _print_client_answer(
+                args.property, response["kind"], response["target"], answer
+            )
+            if response["kind"] == "errors" and answer:
                 return 1
-            if response["kind"] == "summaries":
-                print(f"{response['target']}: {len(answer)} summary pair(s)")
-                for entry, exit_state in answer:
-                    print(f"  {entry} -> {exit_state}")
-                return 0
-            print(f"{response['target']}: {len(answer)} entry state(s)")
-            for state in answer:
-                print(f"  {state}")
             return 0
         if args.client_command == "stats":
             import json as _json
@@ -552,14 +665,27 @@ def cmd_store(args: argparse.Namespace) -> int:
             print(f"no snapshots under {args.dir}")
             return 0
         for row in rows:
+            if row.get("orphan_frontier"):
+                print(
+                    f"{row['file']}: ORPHAN frontier ({row['bytes']} bytes)"
+                )
+                continue
             if row.get("corrupt"):
                 print(f"{row['file']}: CORRUPT ({row['bytes']} bytes)")
                 continue
+            frontier = row.get("frontier")
+            suffix = (
+                f" frontier={frontier['procs']} procs"
+                f"/{frontier['bytes']} bytes"
+                if frontier
+                else ""
+            )
             print(
                 f"{row['file']}: {row['engine']}/{row['domain']} "
                 f"property={row['property']} procs={row['procedures']} "
                 f"contexts={row['contexts']} td-rows={row['td_rows']} "
                 f"bu-summaries={row['bu_summaries']} ({row['bytes']} bytes)"
+                f"{suffix}"
             )
         return 0
     if args.store_command == "gc":
@@ -709,7 +835,63 @@ def build_parser() -> argparse.ArgumentParser:
     query_point.add_argument(
         "--kernel", choices=["object", "bitset", "numpy"], default="object"
     )
+    query_point.add_argument(
+        "--query-precision",
+        choices=["td", "swift"],
+        default="td",
+        help="td pins the cone to reference precision; swift leaves "
+        "BU triggers live inside the cone",
+    )
+    query_point.add_argument(
+        "--no-frontier",
+        action="store_true",
+        help="skip the frontier-snapshot fast path (decode the full "
+        "snapshot; benchmark ablation)",
+    )
     query_point.set_defaults(fn=cmd_query_point)
+
+    query_batch = sub.add_parser(
+        "query-batch",
+        help="batch demand query: one warm-start solve per connected "
+        "cone-union component, per-target verdicts identical to query-point",
+    )
+    query_batch.add_argument("file")
+    query_batch.add_argument(
+        "targets",
+        nargs="+",
+        metavar="target",
+        help="procedure names and/or proc:index points",
+    )
+    query_batch.add_argument(
+        "--store", required=True, metavar="DIR", help="store directory"
+    )
+    query_batch.add_argument(
+        "--kind",
+        choices=["errors", "summaries", "entries"],
+        default="errors",
+        help="question asked: error reachability, summary pairs, entry states",
+    )
+    query_batch.add_argument("--property", default="File")
+    query_batch.add_argument("--engine", choices=["td", "swift"], default="swift")
+    query_batch.add_argument("--domain", choices=["simple", "full"], default="full")
+    query_batch.add_argument("--k", type=int, default=5)
+    query_batch.add_argument("--theta", type=int, default=1)
+    query_batch.add_argument("--budget", type=int, default=None, help="work budget")
+    query_batch.add_argument(
+        "--kernel", choices=["object", "bitset", "numpy"], default="object"
+    )
+    query_batch.add_argument(
+        "--query-precision", choices=["td", "swift"], default="td"
+    )
+    query_batch.add_argument("--no-frontier", action="store_true")
+    query_batch.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="solve independent components in N parallel threads",
+    )
+    query_batch.set_defaults(fn=cmd_query_batch)
 
     serve = sub.add_parser(
         "serve", help="run the resident analysis service (daemon)"
@@ -803,7 +985,11 @@ def build_parser() -> argparse.ArgumentParser:
     demand.add_argument(
         "--target",
         required=True,
-        help="procedure name, or proc:index for one program point",
+        action="append",
+        dest="targets",
+        metavar="TARGET",
+        help="procedure name, or proc:index for one program point; "
+        "repeat for a batch (one solve per connected cone component)",
     )
     demand.add_argument(
         "--kind",
@@ -815,6 +1001,13 @@ def build_parser() -> argparse.ArgumentParser:
     demand.add_argument("--domain", choices=["simple", "full"], default="full")
     demand.add_argument("--k", type=int, default=5)
     demand.add_argument("--theta", type=int, default=1)
+    demand.add_argument(
+        "--precision", choices=["td", "swift"], default="td"
+    )
+    demand.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="parallel component solves (batch only)",
+    )
 
     stats = client_sub.add_parser("stats", help="service counters as JSON")
     _client_common(stats, with_file=False)

@@ -219,7 +219,15 @@ class SwiftEngine(TopDownEngine):
         # the stored incoming multisets onto the live ones so a freshly
         # triggered pruner ranks against realistic traffic.
         if preload is not None and preload.bu:
-            self.bu.update(preload.bu)
+            lazy_view = getattr(preload.bu, "lazy_view", None)
+            if lazy_view is not None:
+                # A store-backed lazy mapping (demand queries): adopt a
+                # private view — copying would force-decode every
+                # summary, and local installs must stay off the shared
+                # cached warm start.
+                self.bu = lazy_view()
+            else:
+                self.bu.update(preload.bu)
         if preload is not None and preload.ranks:
             self._rank_counts = _MergedCounts(self._entry_counts, preload.ranks)
         else:
@@ -391,7 +399,9 @@ class SwiftEngine(TopDownEngine):
     # -- driver -----------------------------------------------------------------------
     def run(self, initial_states: Iterable) -> SwiftResult:
         base = super().run(initial_states)
-        return SwiftResult(base, dict(self.bu))
+        lazy_view = getattr(self.bu, "lazy_view", None)
+        bu = lazy_view() if lazy_view is not None else dict(self.bu)
+        return SwiftResult(base, bu)
 
 
 class _MergedCounts:

@@ -25,6 +25,7 @@ from repro.incremental.driver import (
     WarmCache,
     analyze_with_store,
     clear_warm_cache,
+    write_frontier,
 )
 from repro.incremental.fingerprint import (
     ProgramFingerprints,
@@ -37,10 +38,17 @@ from repro.incremental.invalidate import (
     build_warm_start,
     diff_fingerprints,
 )
-from repro.incremental.store import Snapshot, StoredContext, SummaryStore
+from repro.incremental.store import (
+    FrontierSnapshot,
+    Snapshot,
+    StoredContext,
+    SummaryStore,
+    project_frontier,
+)
 
 __all__ = [
     "Codec",
+    "FrontierSnapshot",
     "IncrementalOutcome",
     "InvalidationPlan",
     "ProgramFingerprints",
@@ -55,4 +63,6 @@ __all__ = [
     "build_warm_start",
     "config_fingerprint",
     "diff_fingerprints",
+    "project_frontier",
+    "write_frontier",
 ]

@@ -71,6 +71,11 @@ class Codec:
             raise ValueError(f"unknown domain {domain!r}")
         self.domain = domain
         self.analysis = analysis
+        # Stored encodings repeat heavily (the same abstract state
+        # appears at many rows), so decoding memoizes on the encoded
+        # tuple — bounded by the number of distinct states in the
+        # snapshot, and the dominant cost of a warm-start decode.
+        self._state_memo: dict = {}
 
     # -- states ---------------------------------------------------------------------
     @staticmethod
@@ -123,11 +128,24 @@ class Codec:
                 for ts, env in rows
             )
         if self.domain == "simple":
-            return self._decode_simple_state(enc)
+            site, state, must = enc
+            key = (site, state, tuple(must))
+            hit = self._state_memo.get(key)
+            if hit is None:
+                hit = intern_state(AbstractState(site, state, frozenset(must)))
+                self._state_memo[key] = hit
+            return hit
         site, state, must, mustnot = enc
-        return intern_full_state(
-            FullAbstractState(site, state, frozenset(must), frozenset(mustnot))
-        )
+        key = (site, state, tuple(must), tuple(mustnot))
+        hit = self._state_memo.get(key)
+        if hit is None:
+            hit = intern_full_state(
+                FullAbstractState(
+                    site, state, frozenset(must), frozenset(mustnot)
+                )
+            )
+            self._state_memo[key] = hit
+        return hit
 
     def state_key(self, sigma) -> str:
         """Canonical string key for dict/sort use."""

@@ -50,7 +50,8 @@ from repro.incremental.invalidate import (
     build_warm_start,
     diff_fingerprints,
 )
-from repro.incremental.store import SummaryStore
+from repro.incremental.store import Snapshot, SummaryStore, project_frontier
+from repro.ir.cfg import ControlFlowGraphs
 from repro.ir.program import Program
 from repro.typestate.client import TypestateReport, make_analyses
 from repro.typestate.dfa import TypestateProperty
@@ -164,6 +165,29 @@ def _snapshot_signature(store: SummaryStore, config_fp: str):
     except OSError:
         return None
     return (stat.st_mtime_ns, stat.st_size)
+
+
+def _frontier_signature(store: SummaryStore, config_fp: str):
+    """File identity of the stored frontier projection, or None."""
+    try:
+        stat = store.frontier_path_for(config_fp).stat()
+    except OSError:
+        return None
+    return (stat.st_mtime_ns, stat.st_size)
+
+
+def write_frontier(
+    store: SummaryStore, snapshot: Snapshot, program: Program
+):
+    """Persist ``snapshot``'s entry/exit-only frontier projection.
+
+    Called right after every snapshot save (and to backfill a missing
+    projection next to a pre-existing snapshot), so demand queries can
+    decode O(frontier) instead of O(program) — DESIGN §13.
+    """
+    cfgs = ControlFlowGraphs(program)
+    exits = {proc: cfgs.exit(proc).index for proc in program.names()}
+    return store.save_frontier(project_frontier(snapshot, exits))
 
 
 def _load_warm(
@@ -348,6 +372,11 @@ def analyze_with_store(
         )
         if unchanged:
             outcome.snapshot_path = str(store.path_for(config_fp))
+            # Backfill the frontier projection for snapshots written
+            # before the projection existed (or whose projection was
+            # swept), without disturbing the parent file's identity.
+            if not store.frontier_path_for(config_fp).is_file():
+                write_frontier(store, snapshot, program)
         else:
             new_snapshot = build_snapshot(
                 config_desc,
@@ -360,5 +389,6 @@ def analyze_with_store(
             )
             cache.invalidate((str(store.root.resolve()), config_fp))
             outcome.snapshot_path = str(store.save(new_snapshot))
+            write_frontier(store, new_snapshot, program)
         outcome.saved = True
     return outcome

@@ -18,6 +18,20 @@ Everything is in the canonical encoded form of
 text, so ``load`` followed by ``save`` reproduces the file byte for
 byte (property-tested).
 
+Since store version 2, every full snapshot has a companion **frontier
+snapshot** — ``frontier-<config fp prefix>.jsonl`` — the entry/exit-only
+projection the demand-query path (DESIGN §13) decodes instead of the
+full file.  Its line format is *per procedure* and content-addressed by
+procedure name: after the JSON header, each line is
+``<proc>\\t<canonical JSON of that proc's entry/exit contexts + BU
+summary>``, so a reader wanting only a cone's frontier procedures can
+select lines by the name prefix without JSON-parsing the rest — decode
+cost scales with the frontier, not the program.  Frontier files are a
+pure projection of their parent snapshot: they are written right after
+it, swept with it by :meth:`SummaryStore.gc`, and a missing or corrupt
+frontier degrades to decoding the full snapshot, never to a wrong
+answer.
+
 Robustness: ``save`` writes to a temp file in the same directory and
 ``os.replace``s it into place, so concurrent readers only ever see a
 complete snapshot.  ``load`` returns ``None`` — the cold-start signal —
@@ -33,12 +47,15 @@ import os
 import threading
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple, Union
 
 #: Bump on incompatible layout changes; mismatching snapshots load cold.
-STORE_VERSION = 1
+#: v2: snapshots gained companion entry/exit-only frontier projections
+#: (``frontier-*.jsonl``); v1 stores load cold — never wrong.
+STORE_VERSION = 2
 
 _PREFIX = "snapshot-"
+_FRONTIER_PREFIX = "frontier-"
 _SUFFIX = ".jsonl"
 
 #: Monotonic token distinguishing temp files written by concurrent
@@ -153,6 +170,178 @@ class Snapshot:
         return snap
 
 
+@dataclass
+class FrontierSnapshot:
+    """The entry/exit-only projection of one full snapshot.
+
+    Holds, per procedure, the encoded entry/exit path-edge rows of every
+    stored context (call records dropped) and the encoded BU summary.
+    That is exactly what a demand-query warm start consumes for its
+    frontier procedures (DESIGN §13): the trimmed contexts cannot
+    cascade (no records), so interior rows would be dead weight.
+
+    ``procs`` may be *partial*: :meth:`SummaryStore.load_frontier` with
+    a ``procs=`` filter materializes only the requested procedures
+    (the rest of the file is skipped without JSON parsing), while
+    ``fingerprints`` always covers the whole program so invalidation
+    diffs stay exact.
+
+    With ``lazy=True`` even the requested procedures stay as raw JSON
+    text until :meth:`payload` is asked for them — a warm start then
+    parses exactly the procedures the solve demands.  The header's
+    ``bu_procs`` manifest records which procedures carry a bottom-up
+    summary, so membership and counting never force a parse.
+    """
+
+    config_fp: str
+    config: dict
+    fingerprints: Dict[str, Dict[str, str]]  # proc -> {"body","cone"}
+    procs: Dict[str, dict] = field(default_factory=dict)  # proc -> payload
+    meta: dict = field(default_factory=dict)
+    #: From the header when loaded; ``None`` means "derive from procs"
+    #: (freshly projected snapshots that never hit disk).
+    bu_procs: Optional[List[str]] = None
+    #: Unparsed payload text, filled by a ``lazy=True`` load.
+    _raw: Dict[str, str] = field(default_factory=dict, repr=False)
+
+    def available(self) -> FrozenSet[str]:
+        """Every procedure this (possibly partial) projection holds."""
+        return frozenset(self.procs) | frozenset(self._raw)
+
+    def bu_manifest(self) -> List[str]:
+        """Procedures with a stored bottom-up summary, parse-free."""
+        if self.bu_procs is not None:
+            return self.bu_procs
+        return sorted(
+            p for p, pl in self.procs.items() if pl.get("bu") is not None
+        )
+
+    def payload(self, proc: str) -> Optional[dict]:
+        """The payload for ``proc``, parsing (and memoizing) lazily.
+
+        Raises ``ValueError`` on a corrupt payload line — a lazy load
+        defers JSON validation to here, so corruption discovered this
+        late is a loud failure, never a silently wrong answer.
+        """
+        got = self.procs.get(proc)
+        if got is not None:
+            return got
+        raw = self._raw.pop(proc, None)
+        if raw is None:
+            return None
+        try:
+            parsed = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ValueError(
+                f"corrupt frontier payload for {proc!r}: {exc}"
+            ) from exc
+        self.procs[proc] = parsed
+        return parsed
+
+    def canonicalize(self) -> None:
+        key = _canon
+        for payload in self.procs.values():
+            for ctx in payload.get("contexts", []):
+                ctx[1].sort(key=key)
+            payload.get("contexts", []).sort(key=lambda c: key(c[0]))
+
+    def to_lines(self) -> List[str]:
+        self.canonicalize()
+        lines = [
+            _canon(
+                {
+                    "kind": "frontier-header",
+                    "version": STORE_VERSION,
+                    "config_fp": self.config_fp,
+                    "config": self.config,
+                    "fingerprints": self.fingerprints,
+                    "meta": self.meta,
+                    "bu_procs": self.bu_manifest(),
+                }
+            )
+        ]
+        for proc in sorted(self.procs):
+            lines.append(f"{proc}\t{_canon(self.procs[proc])}")
+        return lines
+
+    def to_bytes(self) -> bytes:
+        return ("\n".join(self.to_lines()) + "\n").encode("utf-8")
+
+    @staticmethod
+    def from_bytes(
+        data: bytes,
+        procs: Optional[Iterable[str]] = None,
+        lazy: bool = False,
+    ) -> "FrontierSnapshot":
+        """Parse a frontier file; raises ``ValueError`` on malformation.
+
+        With ``procs`` given, only those procedures' payload lines are
+        JSON-parsed — every other line costs one ``str.partition``.
+        With ``lazy=True`` even the selected lines are kept as raw
+        text (structure-checked only) and parsed by :meth:`payload`
+        on first demand.
+        """
+        lines = data.decode("utf-8").splitlines()
+        if not lines:
+            raise ValueError("empty frontier snapshot")
+        header = json.loads(lines[0])
+        if not isinstance(header, dict) or header.get("kind") != "frontier-header":
+            raise ValueError("first line is not a frontier header")
+        if header.get("version") != STORE_VERSION:
+            raise ValueError(f"unsupported store version {header.get('version')!r}")
+        wanted = None if procs is None else frozenset(procs)
+        snap = FrontierSnapshot(
+            config_fp=header["config_fp"],
+            config=header["config"],
+            fingerprints=header["fingerprints"],
+            meta=header.get("meta", {}),
+            bu_procs=header.get("bu_procs", []),
+        )
+        for line in lines[1:]:
+            name, sep, payload = line.partition("\t")
+            if not sep:
+                raise ValueError("frontier record without proc prefix")
+            if wanted is not None and name not in wanted:
+                continue
+            if lazy:
+                snap._raw[name] = payload
+            else:
+                snap.procs[name] = json.loads(payload)
+        return snap
+
+
+def project_frontier(
+    snapshot: Snapshot, exit_indices: Mapping[str, int]
+) -> FrontierSnapshot:
+    """Project a full snapshot down to its frontier form.
+
+    ``exit_indices`` maps each procedure to its exit point index (from
+    the program's CFGs); contexts keep only their entry (index 0) and
+    exit rows.  Procedures absent from ``exit_indices`` — stored data
+    for procedures no longer in the program — are dropped; their
+    fingerprints won't match anyway.
+    """
+    frontier = FrontierSnapshot(
+        config_fp=snapshot.config_fp,
+        config=snapshot.config,
+        fingerprints=snapshot.fingerprints,
+        meta=snapshot.meta,
+    )
+    for ctx in snapshot.contexts:
+        if ctx.proc not in exit_indices:
+            continue
+        keep = {0, exit_indices[ctx.proc]}
+        rows = [row for row in ctx.rows if row[0] in keep]
+        payload = frontier.procs.setdefault(ctx.proc, {"contexts": []})
+        payload["contexts"].append([ctx.entry, rows])
+    for proc, summary in snapshot.bu.items():
+        if proc not in exit_indices:
+            continue
+        payload = frontier.procs.setdefault(proc, {"contexts": []})
+        payload["bu"] = summary
+    return frontier
+
+
 def _canon(obj) -> str:
     return json.dumps(obj, sort_keys=True, separators=(",", ":"))
 
@@ -166,10 +355,18 @@ class SummaryStore:
     def path_for(self, config_fp: str) -> Path:
         return self.root / f"{_PREFIX}{config_fp[:32]}{_SUFFIX}"
 
+    def frontier_path_for(self, config_fp: str) -> Path:
+        return self.root / f"{_FRONTIER_PREFIX}{config_fp[:32]}{_SUFFIX}"
+
     def snapshot_paths(self) -> List[Path]:
         if not self.root.is_dir():
             return []
         return sorted(self.root.glob(f"{_PREFIX}*{_SUFFIX}"))
+
+    def frontier_paths(self) -> List[Path]:
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob(f"{_FRONTIER_PREFIX}*{_SUFFIX}"))
 
     # -- load/save ----------------------------------------------------------------------
     def load(self, config_fp: str) -> Optional[Snapshot]:
@@ -210,12 +407,69 @@ class SummaryStore:
         os.replace(tmp, path)
         return path
 
+    def load_frontier(
+        self,
+        config_fp: str,
+        procs: Optional[Iterable[str]] = None,
+        lazy: bool = False,
+    ) -> Optional[FrontierSnapshot]:
+        """The frontier projection for a configuration, or ``None``.
+
+        Same degradation contract as :meth:`load` — any problem costs
+        the caller a full-snapshot decode (or a cold start), never a
+        wrong answer.  With ``procs`` given, only those procedures are
+        materialized; ``lazy=True`` additionally defers their JSON
+        parse to :meth:`FrontierSnapshot.payload`.
+        """
+        path = self.frontier_path_for(config_fp)
+        try:
+            data = path.read_bytes()
+        except OSError:
+            return None
+        try:
+            snap = FrontierSnapshot.from_bytes(data, procs=procs, lazy=lazy)
+        except (ValueError, KeyError, TypeError, json.JSONDecodeError):
+            return None
+        if snap.config_fp != config_fp:
+            return None
+        return snap
+
+    def save_frontier(self, frontier: FrontierSnapshot) -> Path:
+        """Atomically write a frontier projection (same contract as
+        :meth:`save`)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.frontier_path_for(frontier.config_fp)
+        token = f"{os.getpid()}-{threading.get_ident()}-{next(_TMP_TOKENS)}"
+        tmp = path.with_name(f"{path.name}.tmp.{token}")
+        tmp.write_bytes(frontier.to_bytes())
+        os.replace(tmp, path)
+        return path
+
     # -- maintenance --------------------------------------------------------------------
     def stats(self) -> List[dict]:
-        """One row per readable snapshot (unreadable ones are flagged)."""
+        """One row per readable snapshot (unreadable ones are flagged).
+
+        Snapshot rows carry their companion frontier projection's size
+        under ``frontier``; a frontier file whose parent snapshot is
+        gone gets its own row flagged ``orphan_frontier`` (gc removes
+        those).
+        """
         rows = []
+        claimed_frontiers = set()
         for path in self.snapshot_paths():
             row: dict = {"file": path.name, "bytes": path.stat().st_size}
+            frontier_path = self.root / (
+                _FRONTIER_PREFIX + path.name[len(_PREFIX):]
+            )
+            if frontier_path.is_file():
+                claimed_frontiers.add(frontier_path.name)
+                row["frontier"] = {
+                    "file": frontier_path.name,
+                    "bytes": frontier_path.stat().st_size,
+                    "procs": max(
+                        0, len(frontier_path.read_bytes().splitlines()) - 1
+                    ),
+                }
             try:
                 snap = Snapshot.from_bytes(path.read_bytes())
             except (ValueError, KeyError, TypeError, json.JSONDecodeError, OSError):
@@ -237,27 +491,49 @@ class SummaryStore:
                 }
             )
             rows.append(row)
+        for path in self.frontier_paths():
+            if path.name not in claimed_frontiers:
+                rows.append(
+                    {
+                        "file": path.name,
+                        "bytes": path.stat().st_size,
+                        "orphan_frontier": True,
+                    }
+                )
         return rows
 
     def gc(self, keep: int = 8) -> List[Path]:
         """Drop all but the ``keep`` most recently written snapshots.
 
-        Also removes stranded temp files from interrupted saves.
-        Returns the deleted paths.
+        Frontier projections are swept with their parent snapshot:
+        ranking counts full snapshots only, each dropped parent takes
+        its frontier file along, and a frontier whose parent is gone is
+        removed as an orphan.  Also removes stranded temp files from
+        interrupted saves.  Returns the deleted paths.
         """
         removed: List[Path] = []
         if self.root.is_dir():
-            for tmp in self.root.glob(f"{_PREFIX}*{_SUFFIX}.tmp.*"):
-                tmp.unlink(missing_ok=True)
-                removed.append(tmp)
+            for prefix in (_PREFIX, _FRONTIER_PREFIX):
+                for tmp in self.root.glob(f"{prefix}*{_SUFFIX}.tmp.*"):
+                    tmp.unlink(missing_ok=True)
+                    removed.append(tmp)
         ranked: List[Tuple[float, Path]] = sorted(
             ((p.stat().st_mtime, p) for p in self.snapshot_paths()), reverse=True
         )
         for _, path in ranked[max(keep, 0):]:
             path.unlink(missing_ok=True)
             removed.append(path)
+            frontier = self.root / (_FRONTIER_PREFIX + path.name[len(_PREFIX):])
+            if frontier.is_file():
+                frontier.unlink(missing_ok=True)
+                removed.append(frontier)
+        surviving = {p.name[len(_PREFIX):] for p in self.snapshot_paths()}
+        for path in self.frontier_paths():
+            if path.name[len(_FRONTIER_PREFIX):] not in surviving:
+                path.unlink(missing_ok=True)
+                removed.append(path)
         return removed
 
     def clear(self) -> int:
-        """Remove every snapshot (and stranded temp file)."""
+        """Remove every snapshot, frontier file, and stranded temp file."""
         return len(self.gc(keep=0))

@@ -8,7 +8,9 @@ store.  :mod:`repro.query.slice` computes cones over the call graph's
 SCC condensation; :mod:`repro.query.engine` runs cone-restricted
 solves through the existing engines' ``preload=`` hook and extracts
 typed answers ("can an error state reach point p?", "summaries of f",
-"entry states observed at f").
+"entry states observed at f"); :mod:`repro.query.batch` plans N
+targets into one warm-start solve per connected cone-union component,
+each target's verdict byte-identical to its single-query answer.
 """
 
 from repro.query.slice import (
@@ -21,13 +23,27 @@ from repro.query.slice import (
 )
 from repro.query.engine import (
     QUERY_KINDS,
+    QUERY_PRECISIONS,
     QueryOutcome,
     clear_query_cache,
     run_query,
 )
+from repro.query.batch import (
+    BatchComponent,
+    BatchOutcome,
+    BatchPlan,
+    ComponentOutcome,
+    plan_batch,
+    run_query_batch,
+)
 
 __all__ = [
     "QUERY_KINDS",
+    "QUERY_PRECISIONS",
+    "BatchComponent",
+    "BatchOutcome",
+    "BatchPlan",
+    "ComponentOutcome",
     "QueryCone",
     "QueryError",
     "QueryOutcome",
@@ -35,6 +51,8 @@ __all__ = [
     "UnknownTargetError",
     "clear_query_cache",
     "compute_cone",
+    "plan_batch",
     "resolve_target",
     "run_query",
+    "run_query_batch",
 ]

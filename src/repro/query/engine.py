@@ -15,7 +15,9 @@ a **trimmed** warm start:
   frontier call only needs the callee's exit summaries;
 * new bottom-up triggers are disabled (``bu_triggers=False``), so the
   cone itself is solved at full top-down precision whatever hybrid
-  engine runs it.
+  engine runs it.  ``query_precision="swift"`` lifts that pin: BU
+  triggers stay live inside the cone, trading the reference-precision
+  guarantee for SWIFT's own (sound) hybrid verdict.
 
 Together (DESIGN §13) this makes the query verdict at the target equal
 to the whole-program *reference* (top-down) verdict restricted to the
@@ -24,18 +26,28 @@ the work counters stay proportional to the cone: the solve never
 tabulates an out-of-cone interior point (``QueryOutcome.
 out_of_cone_interior_rows`` proves it per run).
 
+Warm starts are loaded frontier-first: the store's per-procedure
+*frontier snapshot* (``frontier-*.jsonl``, written alongside every
+full snapshot) is decoded for just the cone's frontier procedures, so
+first-query store-load cost scales with the frontier instead of the
+program.  A missing or stale projection falls back to trimming the
+full snapshot — ``QueryOutcome.frontier_snapshot`` records which path
+ran (``"hit"`` / ``"fallback"`` / ``"cold"``).
+
 Queries never write the store: a cone solve is a partial fixpoint of
 the whole program, and stored snapshots must be complete.  Decoded
-trimmed warm starts are cached per ``(store, config, target proc)`` in
-a :class:`~repro.incremental.driver.WarmCache`, so a resident host
+trimmed warm starts are cached per ``(store, config, trim)`` in a
+:class:`~repro.incremental.driver.WarmCache`, so a resident host
 answering repeated queries skips the JSON decode too.
 """
 
 from __future__ import annotations
 
+import hashlib
 import time
+from collections.abc import MutableMapping
 from dataclasses import dataclass, field
-from typing import FrozenSet, Optional
+from typing import FrozenSet, Iterable, Optional, Tuple
 
 from repro.framework.config import AnalysisConfig
 from repro.framework.metrics import Budget
@@ -44,6 +56,7 @@ from repro.incremental.codec import Codec
 from repro.incremental.driver import (
     _SHORT_DOMAINS,
     WarmCache,
+    _frontier_signature,
     _snapshot_signature,
 )
 from repro.incremental.fingerprint import (
@@ -57,7 +70,7 @@ from repro.incremental.invalidate import (
     WarmStart,
     diff_fingerprints,
 )
-from repro.incremental.store import Snapshot, SummaryStore
+from repro.incremental.store import FrontierSnapshot, Snapshot, SummaryStore
 from repro.ir.cfg import ControlFlowGraphs, ProgramPoint
 from repro.ir.program import Program
 from repro.query.slice import (
@@ -74,9 +87,14 @@ from repro.typestate.dfa import TypestateProperty
 #: The typed questions a demand query can ask.
 QUERY_KINDS = ("errors", "summaries", "entries")
 
+#: The precision modes a query can run at: ``"td"`` pins the cone to
+#: reference (top-down) precision; ``"swift"`` leaves BU triggers live
+#: inside the cone (the engine's own hybrid verdict).
+QUERY_PRECISIONS = ("td", "swift")
+
 #: Process-level decode cache for trimmed query warm starts.  Distinct
-#: from the analyze-path cache: keys carry the target procedure, and
-#: the cached ``WarmStart`` objects are cone-trimmed.
+#: from the analyze-path cache: keys carry the trim (cone + loaded
+#: procs), and the cached ``WarmStart`` objects are cone-trimmed.
 _QUERY_CACHE = WarmCache(capacity=64)
 
 
@@ -105,6 +123,11 @@ class QueryOutcome:
     out_of_cone_interior_rows: int = 0
     timed_out: bool = False
     store_load_seconds: float = 0.0
+    #: how the warm start was loaded: ``"hit"`` — decoded from the
+    #: frontier projection; ``"fallback"`` — trimmed from the full
+    #: snapshot; ``"cold"`` — no usable store data.
+    frontier_snapshot: str = "cold"
+    query_precision: str = "td"
     result: object = field(repr=False, default=None)  # raw engine result
 
     @property
@@ -116,6 +139,76 @@ class QueryOutcome:
         return len(self.cone.frontier) if self.cone is not None else 0
 
 
+def normalize_query_config(
+    *,
+    engine: str = "swift",
+    k: int = 5,
+    theta: int = 1,
+    domain: str = "simple",
+    budget: Optional[Budget] = None,
+    tracked_sites: Optional[FrozenSet[str]] = None,
+    enable_caches: bool = True,
+    indexed_summaries: bool = True,
+    scheduler: Optional[str] = None,
+    sink=None,
+    kernel: str = "object",
+    config: Optional[AnalysisConfig] = None,
+) -> AnalysisConfig:
+    """Fold the query keyword ladder into one validated config."""
+    if config is None:
+        config = AnalysisConfig(
+            engine=engine,
+            domain=domain,
+            k=k,
+            theta=theta,
+            tracked_sites=tracked_sites,
+            enable_caches=enable_caches,
+            indexed_summaries=indexed_summaries,
+            scheduler=scheduler if scheduler is not None else "lifo",
+            kernel=kernel,
+        )
+    if budget is not None and config.budget is not budget:
+        config = config.replace(budget=budget)
+    if sink is not None and config.sink is not sink:
+        config = config.replace(sink=sink)
+    if config.engine not in ("td", "swift"):
+        raise ValueError(
+            f"demand queries support td and swift, not {config.engine!r}"
+        )
+    if config.domain not in _SHORT_DOMAINS:
+        raise ValueError(
+            f"demand queries are type-state only, not {config.domain!r}"
+        )
+    return config
+
+
+def prepare_query_analysis(
+    program: Program, prop: TypestateProperty, config: AnalysisConfig
+):
+    """The shared per-(program, prop, config) query machinery.
+
+    Returns ``(oracle, fingerprints, config_fp, codec)``.  The store
+    fingerprint is computed from the *user's* config — the same one a
+    whole-program ``analyze --store`` run writes under — before any
+    query-specific ``bu_triggers`` override.
+    """
+    domain_short = _SHORT_DOMAINS[config.domain]
+    oracle = None
+    facts = None
+    if domain_short == "full":
+        from repro.alias import points_to_oracle
+
+        oracle = points_to_oracle(program)
+        facts = alias_facts(program, oracle)
+    fingerprints = ProgramFingerprints(program, facts)
+    _, config_fp = config_fingerprint(prop, config=config)
+    _, bu_analysis, _ = make_analyses(
+        program, prop, domain_short, config.tracked_sites, oracle
+    )
+    codec = Codec(domain_short, bu_analysis)
+    return oracle, fingerprints, config_fp, codec
+
+
 def build_query_warm(
     snapshot: Snapshot,
     plan: InvalidationPlan,
@@ -123,7 +216,7 @@ def build_query_warm(
     cone: FrozenSet[str],
     cfgs: ControlFlowGraphs,
 ) -> WarmStart:
-    """Decode a snapshot into a cone-trimmed :class:`WarmStart`.
+    """Decode a full snapshot into a cone-trimmed :class:`WarmStart`.
 
     Three trims on top of the incremental path's
     :func:`~repro.incremental.invalidate.build_warm_start`:
@@ -137,7 +230,8 @@ def build_query_warm(
       two rows and stops — no transitive child activation.
 
     Ranking multisets are not loaded at all: new bottom-up triggers
-    are disabled during a query, so the data would never be read.
+    are disabled during a (reference-precision) query, so the data
+    would never be read.
     """
     warm = WarmStart(invalidated=dict(plan.invalidated))
     for ctx in snapshot.contexts:
@@ -159,41 +253,241 @@ def build_query_warm(
     return warm
 
 
+class LazyWarmContext:
+    """A :class:`WarmContext` whose rows decode on first activation.
+
+    Engines consume contexts through duck typing (``proc`` / ``entry``
+    / ``rows`` / ``records``), so a property suffices; the decoded rows
+    are cached on the instance, which the :class:`WarmCache` shares
+    across queries — steady state decodes each context at most once.
+    """
+
+    __slots__ = ("proc", "entry", "_codec", "_enc_rows", "_rows")
+
+    #: Frontier contexts never carry call records (they cannot cascade).
+    records: Tuple = ()
+
+    def __init__(self, proc, entry, enc_rows, codec) -> None:
+        self.proc = proc
+        self.entry = entry
+        self._codec = codec
+        self._enc_rows = enc_rows
+        self._rows = None
+
+    @property
+    def rows(self):
+        rows = self._rows
+        if rows is None:
+            codec, proc = self._codec, self.proc
+            rows = self._rows = [
+                (ProgramPoint(proc, idx), codec.decode_state(enc))
+                for idx, enc in self._enc_rows
+            ]
+        return rows
+
+
+class LazyConeContexts:
+    """``(proc, entry) -> context`` mapping parsing per procedure on demand.
+
+    The top-down engine probes this only via ``.get`` (activation);
+    a probe for a procedure the frontier holds parses that one payload
+    line and decodes its context *keys* — the rows stay lazy inside
+    each :class:`LazyWarmContext`.  Procedures nobody calls cost
+    nothing.  Memoized per procedure and shared through the warm
+    cache; concurrent probes may duplicate a parse, never corrupt one.
+    """
+
+    def __init__(self, frontier, codec, offered: FrozenSet[str]) -> None:
+        self._frontier = frontier
+        self._codec = codec
+        self._offered = offered
+        self._by_proc: dict = {}
+
+    def get(self, key, default=None):
+        proc, entry = key
+        if proc not in self._offered:
+            return default
+        by_entry = self._by_proc.get(proc)
+        if by_entry is None:
+            by_entry = self._by_proc[proc] = self._materialize(proc)
+        return by_entry.get(entry, default)
+
+    def _materialize(self, proc: str) -> dict:
+        payload = self._frontier.payload(proc) or {}
+        decode = self._codec.decode_state
+        return {
+            entry: LazyWarmContext(proc, entry, enc_rows, self._codec)
+            for entry, enc_rows in (
+                (decode(entry_enc), enc_rows)
+                for entry_enc, enc_rows in payload.get("contexts", [])
+            )
+        }
+
+    def __getitem__(self, key):
+        got = self.get(key)
+        if got is None:
+            raise KeyError(key)
+        return got
+
+    def __contains__(self, key) -> bool:
+        return self.get(key) is not None
+
+    def __bool__(self) -> bool:
+        return bool(self._offered)
+
+    def __len__(self) -> int:
+        # Forces a full parse; nothing on the query path calls this.
+        for proc in self._offered:
+            if proc not in self._by_proc:
+                self._by_proc[proc] = self._materialize(proc)
+        return sum(len(by) for by in self._by_proc.values())
+
+
+class LazySummaries(MutableMapping):
+    """``proc -> ProcedureSummary`` decoding each summary on demand.
+
+    Backed by the frontier's ``bu_procs`` manifest, so membership,
+    ``len``, and iteration are parse-free; only ``[]`` (and therefore
+    ``.get``) decodes.  Engines adopt a :meth:`lazy_view` instead of
+    copying: views share the encoded payloads and the decoded-value
+    cache (decode once per warm start) but keep engine writes in a
+    per-view overlay, so a run never leaks fresh summaries into the
+    cached warm start or a concurrently running sibling.
+    """
+
+    def __init__(self, codec, frontier, offered, decoded=None, local=None):
+        self._codec = codec
+        self._frontier = frontier
+        self._offered = offered
+        self._decoded = {} if decoded is None else decoded
+        self._local = {} if local is None else dict(local)
+
+    def lazy_view(self) -> "LazySummaries":
+        return LazySummaries(
+            self._codec, self._frontier, self._offered,
+            self._decoded, self._local,
+        )
+
+    def __getitem__(self, proc):
+        if proc in self._local:
+            return self._local[proc]
+        got = self._decoded.get(proc)
+        if got is not None:
+            return got
+        if proc not in self._offered:
+            raise KeyError(proc)
+        payload = self._frontier.payload(proc) or {}
+        enc = payload.get("bu")
+        if enc is None:
+            raise KeyError(proc)
+        value = self._decoded[proc] = self._codec.decode_summary(enc)
+        return value
+
+    def __setitem__(self, proc, value) -> None:
+        self._local[proc] = value
+
+    def __delitem__(self, proc) -> None:
+        raise NotImplementedError("warm summaries are never deleted")
+
+    def __contains__(self, proc) -> bool:
+        return proc in self._local or proc in self._offered
+
+    def __iter__(self):
+        yield from sorted(set(self._local) | self._offered)
+
+    def __len__(self) -> int:
+        return len(set(self._local) | self._offered)
+
+
+def build_query_warm_from_frontier(
+    frontier: FrontierSnapshot,
+    plan: InvalidationPlan,
+    codec: Codec,
+    cone: FrozenSet[str],
+) -> WarmStart:
+    """Wrap a lazily loaded frontier projection as a warm start.
+
+    The projection already holds entry/exit-only, record-free context
+    rows per procedure; nothing is parsed or decoded here.  The solve
+    pulls exactly the payloads it demands through
+    :class:`LazyConeContexts` / :class:`LazySummaries` — on shapes
+    where stored BU summaries answer every frontier call, the context
+    rows never materialize at all, so first-query ``store_load_s`` is
+    the file read plus the invalidation diff.
+    """
+    warm = WarmStart(invalidated=dict(plan.invalidated))
+    offered = frozenset(
+        proc for proc in frontier.available()
+        if proc in plan.valid and proc not in cone
+    )
+    warm.contexts = LazyConeContexts(frontier, codec, offered)
+    warm.bu = LazySummaries(
+        codec, frontier,
+        frozenset(p for p in frontier.bu_manifest() if p in offered),
+    )
+    return warm
+
+
+def _trim_digest(cone: Iterable[str], wanted: Iterable[str]) -> str:
+    parts = "\x1f".join(sorted(cone)) + "\x00" + "\x1f".join(sorted(wanted))
+    return hashlib.sha256(parts.encode("utf-8")).hexdigest()[:16]
+
+
 def _load_query_warm(
     store: SummaryStore,
     config_fp: str,
     fingerprints: ProgramFingerprints,
     codec: Codec,
-    cone: QueryCone,
+    cone: FrozenSet[str],
+    wanted: FrozenSet[str],
     cfgs: ControlFlowGraphs,
     cache: WarmCache,
-):
-    """Load + diff + trim, through the query decode cache.
+    use_frontier: bool = True,
+) -> Tuple[Optional[InvalidationPlan], Optional[WarmStart], str]:
+    """Load + diff + trim, frontier-first, through the decode cache.
 
-    The cache key extends the analyze-path key with the target
-    procedure (two targets trim the same snapshot differently); the
-    snapshot file signature and program fingerprints validate hits
-    exactly as on the analyze path.
+    ``cone`` is the set of procedures the solve will tabulate fresh
+    (excluded from the preload); ``wanted`` is the set whose stored
+    rows the solve can consume — the cone's frontier.  Returns
+    ``(plan, warm, source)`` with ``source`` one of ``"hit"`` (frontier
+    projection decoded), ``"fallback"`` (full snapshot trimmed), or
+    ``"cold"`` (nothing usable; plan and warm are ``None``).
+
+    The cache key extends the analyze-path key with a digest of the
+    trim (two different cones trim the same store differently); the
+    snapshot *and* frontier file signatures plus the program
+    fingerprints validate hits, so a store rewrite or program edit
+    misses naturally.
     """
-    signature = _snapshot_signature(store, config_fp)
+    signature = (
+        _snapshot_signature(store, config_fp),
+        _frontier_signature(store, config_fp),
+    )
+    mode = "frontier" if use_frontier else "full"
     key = (
         str(store.root.resolve()),
-        f"{config_fp}#demand:{cone.target.proc}",
+        f"{config_fp}#demand:{mode}:{_trim_digest(cone, wanted)}",
     )
     fp_key = fingerprints.as_dict()
-    if signature is not None:
+    if signature != (None, None):
         hit = cache.lookup(key, signature, fp_key)
         if hit is not None:
             return hit
+    if use_frontier:
+        frontier = store.load_frontier(config_fp, procs=wanted, lazy=True)
+        if frontier is not None:
+            plan = diff_fingerprints(frontier.fingerprints, fingerprints)
+            warm = build_query_warm_from_frontier(frontier, plan, codec, cone)
+            cache.insert(key, signature, fp_key, plan, warm, "hit")
+            return plan, warm, "hit"
     snapshot = store.load(config_fp)
     if snapshot is None:
         cache.invalidate(key)
-        return None, None, None
+        return None, None, "cold"
     plan = diff_fingerprints(snapshot.fingerprints, fingerprints)
-    warm = build_query_warm(snapshot, plan, codec, cone.cone, cfgs)
-    if signature is not None:
-        cache.insert(key, signature, fp_key, snapshot, plan, warm)
-    return snapshot, plan, warm
+    warm = build_query_warm(snapshot, plan, codec, cone, cfgs)
+    cache.insert(key, signature, fp_key, plan, warm, "fallback")
+    return plan, warm, "fallback"
 
 
 def _extract_answer(kind: str, target: QueryTarget, session_out) -> FrozenSet:
@@ -208,6 +502,74 @@ def _extract_answer(kind: str, target: QueryTarget, session_out) -> FrozenSet:
     if kind == "summaries":
         return frozenset(result.summaries(target.proc))
     return frozenset(result.incoming_states(target.proc))
+
+
+@dataclass
+class ConeSolve:
+    """One finished cone-restricted engine run (shared by the single-
+    target path and the batch planner's per-component solves)."""
+
+    session_out: object = field(repr=False, default=None)
+    result: object = field(repr=False, default=None)
+    cold: bool = True
+    frontier_snapshot: str = "cold"
+    store_load_seconds: float = 0.0
+    out_of_cone_interior_rows: int = 0
+
+
+def solve_cone(
+    program: Program,
+    prop: TypestateProperty,
+    store: SummaryStore,
+    config: AnalysisConfig,
+    config_fp: str,
+    codec: Codec,
+    fingerprints: ProgramFingerprints,
+    oracle,
+    cfgs: ControlFlowGraphs,
+    cone: FrozenSet[str],
+    frontier: FrozenSet[str],
+    cache: WarmCache,
+    query_precision: str = "td",
+    use_frontier: bool = True,
+) -> ConeSolve:
+    """Run one cone-restricted solve and account for its cost.
+
+    ``cone`` is tabulated fresh; ``frontier`` is preloaded from the
+    store (frontier projection first, full snapshot as fallback).
+    """
+    load_started = time.perf_counter()
+    plan, warm, source = _load_query_warm(
+        store, config_fp, fingerprints, codec, cone, frontier, cfgs, cache,
+        use_frontier=use_frontier,
+    )
+    store_load_seconds = time.perf_counter() - load_started
+
+    session_out = analysis_session().run(
+        program,
+        config.replace(preload=warm, bu_triggers=(query_precision == "swift")),
+        prop=prop,
+        oracle=oracle,
+    )
+    result = session_out.result
+    result.metrics.store_load_seconds += store_load_seconds
+
+    out_rows = 0
+    for point, pairs in result.td.items():
+        if point.proc in cone:
+            continue
+        if point.index == 0 or point == cfgs.exit(point.proc):
+            continue
+        out_rows += len(pairs)
+
+    return ConeSolve(
+        session_out=session_out,
+        result=result,
+        cold=source == "cold",
+        frontier_snapshot=source,
+        store_load_seconds=store_load_seconds,
+        out_of_cone_interior_rows=out_rows,
+    )
 
 
 def run_query(
@@ -229,6 +591,8 @@ def run_query(
     kernel: str = "object",
     config: Optional[AnalysisConfig] = None,
     warm_cache: Optional[WarmCache] = None,
+    query_precision: str = "td",
+    use_frontier: bool = True,
 ) -> QueryOutcome:
     """Answer one demand query against ``program`` and ``store``.
 
@@ -237,59 +601,49 @@ def run_query(
     ``kind`` selects the question: ``"errors"`` ("can an error state
     reach the target?"), ``"summaries"`` (the target procedure's
     entry/exit summary pairs), ``"entries"`` (the entry states
-    observed at the target procedure).  The verdict is always at
-    reference (top-down) precision regardless of ``engine`` — see the
-    module docstring.
+    observed at the target procedure).  With the default
+    ``query_precision="td"`` the verdict is at reference (top-down)
+    precision regardless of ``engine``; ``"swift"`` leaves BU triggers
+    live inside the cone — see the module docstring.
 
     The store is read with the fingerprint of the *user's* config, so
     snapshots populated by ``analyze --store`` (or the service) are
     what queries consume; an empty or fully-invalidated store degrades
     to solving the cone cold, never to an error.  Queries never save.
+    ``use_frontier=False`` forces the full-snapshot decode (benchmark
+    ablation).
     """
     if kind not in QUERY_KINDS:
         raise QueryError(
             f"unknown query kind {kind!r}; expected one of {QUERY_KINDS}"
         )
-    if config is None:
-        config = AnalysisConfig(
-            engine=engine,
-            domain=domain,
-            k=k,
-            theta=theta,
-            tracked_sites=tracked_sites,
-            enable_caches=enable_caches,
-            indexed_summaries=indexed_summaries,
-            scheduler=scheduler if scheduler is not None else "lifo",
-            kernel=kernel,
+    if query_precision not in QUERY_PRECISIONS:
+        raise QueryError(
+            f"unknown query precision {query_precision!r}; "
+            f"expected one of {QUERY_PRECISIONS}"
         )
-    if budget is not None and config.budget is not budget:
-        config = config.replace(budget=budget)
-    if sink is not None and config.sink is not sink:
-        config = config.replace(sink=sink)
-    if config.engine not in ("td", "swift"):
-        raise ValueError(
-            f"run_query supports td and swift, not {config.engine!r}"
-        )
-    domain_short = _SHORT_DOMAINS.get(config.domain)
-    if domain_short is None:
-        raise ValueError(
-            f"run_query is type-state only, not {config.domain!r}"
-        )
+    config = normalize_query_config(
+        engine=engine,
+        k=k,
+        theta=theta,
+        domain=domain,
+        budget=budget,
+        tracked_sites=tracked_sites,
+        enable_caches=enable_caches,
+        indexed_summaries=indexed_summaries,
+        scheduler=scheduler,
+        sink=sink,
+        kernel=kernel,
+        config=config,
+    )
     cache = warm_cache if warm_cache is not None else _QUERY_CACHE
 
     cfgs = ControlFlowGraphs(program)
     resolved = resolve_target(program, target, cfgs)
     cone = compute_cone(program, resolved)
-
-    oracle = None
-    facts = None
-    if domain_short == "full":
-        from repro.alias import points_to_oracle
-
-        oracle = points_to_oracle(program)
-        facts = alias_facts(program, oracle)
-    fingerprints = ProgramFingerprints(program, facts)
-    _, config_fp = config_fingerprint(prop, config=config)
+    oracle, fingerprints, config_fp, codec = prepare_query_analysis(
+        program, prop, config
+    )
 
     if not cone.cone:
         # Unreachable from main: the whole-program analysis has no rows
@@ -300,51 +654,42 @@ def run_query(
             answer=frozenset(),
             cone=cone,
             config_fp=config_fp,
+            query_precision=query_precision,
         )
 
-    _, bu_analysis, _ = make_analyses(
-        program, prop, domain_short, config.tracked_sites, oracle
-    )
-    codec = Codec(domain_short, bu_analysis)
-
-    load_started = time.perf_counter()
-    snapshot, plan, warm = _load_query_warm(
-        store, config_fp, fingerprints, codec, cone, cfgs, cache
-    )
-    store_load_seconds = time.perf_counter() - load_started
-
-    session_out = analysis_session().run(
+    solve = solve_cone(
         program,
-        config.replace(preload=warm, bu_triggers=False),
-        prop=prop,
-        oracle=oracle,
+        prop,
+        store,
+        config,
+        config_fp,
+        codec,
+        fingerprints,
+        oracle,
+        cfgs,
+        cone.cone,
+        cone.frontier,
+        cache,
+        query_precision=query_precision,
+        use_frontier=use_frontier,
     )
-    result = session_out.result
-    metrics = result.metrics
-    metrics.store_load_seconds += store_load_seconds
-
-    out_rows = 0
-    in_cone = cone.cone
-    for point, pairs in result.td.items():
-        if point.proc in in_cone:
-            continue
-        if point.index == 0 or point == cfgs.exit(point.proc):
-            continue
-        out_rows += len(pairs)
+    metrics = solve.result.metrics
 
     return QueryOutcome(
         kind=kind,
         target=resolved,
-        answer=_extract_answer(kind, resolved, session_out),
+        answer=_extract_answer(kind, resolved, solve.session_out),
         cone=cone,
         config_fp=config_fp,
-        cold=snapshot is None,
+        cold=solve.cold,
         store_hits=metrics.store_hits,
         store_misses=metrics.store_misses,
         store_invalidated=metrics.store_invalidated,
         total_work=metrics.total_work,
-        out_of_cone_interior_rows=out_rows,
-        timed_out=session_out.timed_out,
-        store_load_seconds=store_load_seconds,
-        result=result,
+        out_of_cone_interior_rows=solve.out_of_cone_interior_rows,
+        timed_out=solve.session_out.timed_out,
+        store_load_seconds=solve.store_load_seconds,
+        frontier_snapshot=solve.frontier_snapshot,
+        query_precision=query_precision,
+        result=solve.result,
     )

@@ -14,7 +14,7 @@ import json
 import time
 import urllib.error
 import urllib.request
-from typing import Callable, Optional
+from typing import Callable, Optional, Sequence
 
 
 class ServiceError(RuntimeError):
@@ -126,25 +126,41 @@ class ServiceClient:
     def demand(
         self,
         program: str,
-        target: str,
+        target=None,
         kind: str = "errors",
         fmt: Optional[str] = None,
         prop: str = "File",
         config: Optional[dict] = None,
+        targets: Optional[Sequence[str]] = None,
+        precision: str = "td",
+        workers: int = 1,
     ) -> dict:
-        """Run a demand query: analyze only ``target``'s cone.
+        """Run a demand query: analyze only the target cone(s).
 
         ``target`` is a procedure name or ``"proc:index"`` point;
-        ``kind`` is ``errors`` | ``summaries`` | ``entries``.  Distinct
-        from :meth:`query`, which never analyzes anything.
+        ``targets`` (a list of such strings) runs the batch planner
+        instead — one solve per connected cone-union component, the
+        response keyed per target.  ``kind`` is ``errors`` |
+        ``summaries`` | ``entries``; ``precision`` is ``td`` |
+        ``swift``.  Distinct from :meth:`query`, which never analyzes
+        anything.
         """
+        if (target is None) == (targets is None):
+            raise ValueError("demand needs exactly one of target/targets")
         payload = {
             "op": "demand",
             "program": program,
             "property": prop,
-            "target": target,
             "kind": kind,
         }
+        if target is not None:
+            payload["target"] = target
+        else:
+            payload["targets"] = list(targets)
+            if workers != 1:
+                payload["workers"] = workers
+        if precision != "td":
+            payload["precision"] = precision
         if fmt is not None:
             payload["format"] = fmt
         if config is not None:

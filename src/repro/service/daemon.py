@@ -154,6 +154,10 @@ class AnalysisService:
         self._active = 0
         self._closing = False
         self._inflight: Dict[Tuple[str, str], _InFlight] = {}
+        # In-flight demand batches, keyed by (digest, config_fp, kind,
+        # precision); each entry is the batch's target-string set plus
+        # its flight, so an overlapping (subset) batch can coalesce.
+        self._demand_inflight: Dict[tuple, list] = {}
         self._programs: "OrderedDict[str, Program]" = OrderedDict()
         self._program_cache_size = program_cache_size
         self._results: "OrderedDict[Tuple[str, str], dict]" = OrderedDict()
@@ -163,6 +167,9 @@ class AnalysisService:
         self.coalesced = 0
         self.solves = 0
         self.demands = 0
+        self.batch_demands = 0
+        self.demand_coalesced = 0
+        self.frontier_snapshot_hits = 0
         self.errors = 0
 
     # -- lifecycle ----------------------------------------------------------------------
@@ -403,15 +410,31 @@ class AnalysisService:
             **store_fields,
         )
 
-    # -- demand (run a point query) -----------------------------------------------------
+    # -- demand (run a point query or a batch of them) ----------------------------------
+    @staticmethod
+    def _encode_answer(kind: str, answer) -> list:
+        if kind == "errors":
+            return [
+                [str(point), site] for point, site in sorted(answer, key=str)
+            ]
+        if kind == "summaries":
+            return [
+                [str(entry), str(exit_state)]
+                for entry, exit_state in sorted(answer, key=str)
+            ]
+        return sorted(str(state) for state in answer)
+
     def _demand(self, request) -> dict:
         """Answer a demand query from the shard store and warm LRU.
 
         Unlike ``analyze``, this never solves the whole program: only
         the target's backward-slice cone is tabulated, with
         out-of-cone calls satisfied from the shard's snapshot (see
-        :mod:`repro.query`).  Malformed targets (no such procedure /
-        point, unknown kind) are client errors, not daemon faults.
+        :mod:`repro.query`).  A request carrying ``"targets"`` (a list)
+        runs the batch planner — one warm-start solve per connected
+        cone-union component — instead of N independent queries.
+        Malformed targets (no such procedure / point, unknown kind)
+        are client errors, not daemon faults.
         """
         from repro.query import QueryError, run_query
 
@@ -421,10 +444,18 @@ class AnalysisService:
             raise ProtocolError(
                 f"demand queries run on td or swift, not {config.engine!r}"
             )
+        kind = request.get("kind", "errors")
+        precision = request.get("precision", "td")
+        targets = request.get("targets")
+        if targets is not None:
+            return self._demand_batch(
+                request, program, digest, prop, config, kind, precision, targets
+            )
         target = request.get("target")
         if not isinstance(target, str) or not target.strip():
-            raise ProtocolError('demand needs a non-empty "target" string')
-        kind = request.get("kind", "errors")
+            raise ProtocolError(
+                'demand needs a non-empty "target" string or a "targets" list'
+            )
         store = self.shard_store(digest)
         started = time.perf_counter()
         try:
@@ -436,24 +467,15 @@ class AnalysisService:
                 kind=kind,
                 config=config,
                 warm_cache=self.warm_cache,
+                query_precision=precision,
             )
         except QueryError as exc:
             raise ProtocolError(str(exc)) from None
         elapsed = time.perf_counter() - started
         with self._lock:
             self.demands += 1
-        if kind == "errors":
-            answer = [
-                [str(point), site]
-                for point, site in sorted(outcome.answer, key=str)
-            ]
-        elif kind == "summaries":
-            answer = [
-                [str(entry), str(exit_state)]
-                for entry, exit_state in sorted(outcome.answer, key=str)
-            ]
-        else:
-            answer = sorted(str(state) for state in outcome.answer)
+            if outcome.frontier_snapshot == "hit":
+                self.frontier_snapshot_hits += 1
         return ok_response(
             "demand",
             request.get("id"),
@@ -465,7 +487,8 @@ class AnalysisService:
             shard=digest[:_SHARD_CHARS],
             target=str(outcome.target),
             kind=kind,
-            answer=answer,
+            precision=precision,
+            answer=self._encode_answer(kind, outcome.answer),
             cone_size=outcome.cone_size,
             frontier_size=outcome.frontier_size,
             program_procs=len(program),
@@ -475,9 +498,156 @@ class AnalysisService:
             store_invalidated=outcome.store_invalidated,
             work=outcome.total_work,
             out_of_cone_interior_rows=outcome.out_of_cone_interior_rows,
+            frontier_snapshot=outcome.frontier_snapshot,
             timed_out=outcome.timed_out,
             elapsed_ms=round(elapsed * 1000.0, 3),
         )
+
+    def _demand_batch(
+        self, request, program, digest, prop, config, kind, precision, targets
+    ) -> dict:
+        """One planned batch solve, with overlapping-batch coalescing.
+
+        A batch whose target set is a subset of an in-flight batch for
+        the same (program, config, kind, precision) waits for that
+        leader and projects its own targets out of the leader's
+        response — the shared cone work is solved exactly once.
+        """
+        from repro.query import QueryError, run_query_batch
+
+        if (
+            not isinstance(targets, (list, tuple))
+            or not targets
+            or not all(isinstance(t, str) and t.strip() for t in targets)
+        ):
+            raise ProtocolError(
+                'demand "targets" must be a non-empty list of strings'
+            )
+        targets = [t.strip() for t in targets]
+        target_set = frozenset(targets)
+        _, config_fp = config_fingerprint(prop, config=config)
+        key = (digest, config_fp, kind, precision)
+        request_id = request.get("id")
+
+        flight: Optional[_InFlight] = None
+        leader = False
+        with self._lock:
+            for other_set, other_flight in self._demand_inflight.get(key, ()):
+                if target_set <= other_set:
+                    flight = other_flight
+                    break
+            if flight is None:
+                flight = _InFlight()
+                self._demand_inflight.setdefault(key, []).append(
+                    (target_set, flight)
+                )
+                leader = True
+            else:
+                self.demand_coalesced += 1
+        if not leader:
+            flight.done.wait()
+            leader_response = flight.response
+            if not leader_response.get("ok"):
+                out = dict(leader_response)
+            else:
+                out = dict(leader_response)
+                out["targets"] = targets
+                out["answers"] = {
+                    t: leader_response["answers"][t] for t in targets
+                }
+                out["attribution"] = [
+                    row
+                    for row in leader_response["attribution"]
+                    if row["target"] in target_set
+                ]
+            out["coalesced"] = True
+            if request_id is not None:
+                out["id"] = request_id
+            else:
+                out.pop("id", None)
+            return out
+
+        response = error_response("batch solve did not complete", op="demand")
+        try:
+            store = self.shard_store(digest)
+            started = time.perf_counter()
+            try:
+                outcome = run_query_batch(
+                    program,
+                    prop,
+                    store,
+                    targets,
+                    kind=kind,
+                    config=config,
+                    warm_cache=self.warm_cache,
+                    query_precision=precision,
+                    max_workers=int(request.get("workers", 1)),
+                )
+            except QueryError as exc:
+                raise ProtocolError(str(exc)) from None
+            elapsed = time.perf_counter() - started
+            with self._lock:
+                self.demands += 1
+                self.batch_demands += 1
+                self.frontier_snapshot_hits += outcome.frontier_snapshot_hits
+            components = [
+                {
+                    "index": c.index,
+                    "targets": [str(t) for t in c.targets],
+                    "cone_size": c.cone_size,
+                    "frontier_size": c.frontier_size,
+                    "solved": c.solved,
+                    "cold": c.cold,
+                    "frontier_snapshot": c.frontier_snapshot,
+                    "store_load_s": round(c.store_load_seconds, 6),
+                    "work": c.total_work,
+                    "out_of_cone_interior_rows": c.out_of_cone_interior_rows,
+                    "timed_out": c.timed_out,
+                }
+                for c in outcome.components
+            ]
+            response = ok_response(
+                "demand",
+                None,
+                property=prop.name,
+                engine=config.engine,
+                config=config_to_json(config),
+                config_fp=outcome.config_fp,
+                program_fp=digest[:_SHARD_CHARS],
+                shard=digest[:_SHARD_CHARS],
+                kind=kind,
+                precision=precision,
+                batch=True,
+                targets=targets,
+                answers={
+                    str(t): self._encode_answer(kind, a)
+                    for t, a in outcome.answers.items()
+                },
+                attribution=outcome.attribution(),
+                components=components,
+                batch_components=outcome.batch_components,
+                solves=outcome.solves,
+                frontier_snapshot_hits=outcome.frontier_snapshot_hits,
+                program_procs=len(program),
+                cold=outcome.cold,
+                work=outcome.total_work,
+                out_of_cone_interior_rows=outcome.out_of_cone_interior_rows,
+                timed_out=outcome.timed_out,
+                elapsed_ms=round(elapsed * 1000.0, 3),
+                coalesced=False,
+            )
+        finally:
+            with self._lock:
+                entries = self._demand_inflight.get(key, [])
+                entries[:] = [e for e in entries if e[1] is not flight]
+                if not entries:
+                    self._demand_inflight.pop(key, None)
+            flight.response = response
+            flight.done.set()
+        if request_id is not None:
+            response = dict(response)
+            response["id"] = request_id
+        return response
 
     # -- query / stats ------------------------------------------------------------------
     def _query(self, request) -> dict:
@@ -510,11 +680,13 @@ class AnalysisService:
         if self.root.is_dir():
             for shard in sorted(self.root.iterdir()):
                 if shard.is_dir():
+                    shard_store = SummaryStore(shard)
                     shards.append(
                         {
                             "shard": shard.name,
-                            "snapshots": len(
-                                SummaryStore(shard).snapshot_paths()
+                            "snapshots": len(shard_store.snapshot_paths()),
+                            "frontier_snapshots": len(
+                                shard_store.frontier_paths()
                             ),
                         }
                     )
@@ -525,6 +697,9 @@ class AnalysisService:
                 "coalesced": self.coalesced,
                 "solves": self.solves,
                 "demands": self.demands,
+                "batch_demands": self.batch_demands,
+                "demand_coalesced": self.demand_coalesced,
+                "frontier_snapshot_hits": self.frontier_snapshot_hits,
                 "request_errors": self.errors,
                 "in_flight": self._active,
                 "closing": self._closing,

@@ -20,8 +20,16 @@ see :mod:`repro.query`), ``stats`` (service counters), and
 ``demand`` are deliberately distinct: the first never analyzes
 anything, the second is the cheap way to *get* an analysis answer.  A
 ``demand`` request adds ``"target"`` (``"proc"`` or ``"proc:index"``)
-and an optional ``"kind"`` (``errors`` | ``summaries`` | ``entries``,
-default ``errors``).  The optional ``id`` is echoed verbatim on every line the
+— or ``"targets"``, a list of such strings, to run the *batch
+planner* (one warm-start solve per connected cone-union component;
+the response then carries per-target ``"answers"``, per-component
+rows, and ``batch_components``/``solves``/``frontier_snapshot_hits``
+counters; overlapping in-flight batches coalesce) — plus an optional
+``"kind"`` (``errors`` | ``summaries`` | ``entries``, default
+``errors``), ``"precision"`` (``td`` — the reference-precision
+default — or ``swift``, which leaves BU triggers live inside the
+cone), and, for batches, ``"workers"`` (parallel component solves).
+The optional ``id`` is echoed verbatim on every line the
 request produces, so clients multiplexing one connection can match
 responses — and streamed trace events — to requests.
 

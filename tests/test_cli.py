@@ -128,8 +128,10 @@ def test_store_stats_gc_clear(mini_file, tmp_path, capsys):
     out = capsys.readouterr().out
     # v2 config fingerprints carry the canonical registry domain name.
     assert "swift/typestate-full" in out and "property=File" in out
+    assert "frontier=" in out  # the projection rides along with its parent
+    # gc removes the snapshot AND its frontier projection.
     assert main(["store", "gc", store, "--keep", "0"]) == 0
-    assert "removed 1" in capsys.readouterr().out
+    assert "removed 2" in capsys.readouterr().out
     assert main(["store", "clear", store]) == 0
     assert "removed 0" in capsys.readouterr().out
 

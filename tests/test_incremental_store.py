@@ -231,3 +231,139 @@ def test_stats_gc_clear(tmp_path):
     assert len(store.snapshot_paths()) == 1
     assert store.clear() == 1
     assert store.snapshot_paths() == []
+
+
+# -- frontier projections -----------------------------------------------------------
+def _frontier_setup(tmp_path, program=None):
+    from repro.incremental import analyze_with_store
+
+    if program is None:
+        program = parse_program(
+            """
+            proc main { v = new h1; v.open(); call mid; v.close(); }
+            proc mid { call leaf; }
+            proc leaf { f = new h2; f.open(); f.close(); }
+            """
+        )
+    store = SummaryStore(tmp_path / "store")
+    result = analyze_with_store(
+        program, FILE_PROPERTY, store, engine="swift", domain="simple"
+    )
+    return program, store, result
+
+
+def test_analyze_writes_frontier_alongside_snapshot(tmp_path):
+    from repro.incremental import analyze_with_store
+    from repro.ir.cfg import ControlFlowGraphs
+
+    program, store, result = _frontier_setup(tmp_path)
+    config_fp = result.config_fp
+    assert store.path_for(config_fp).is_file()
+    assert store.frontier_path_for(config_fp).is_file()
+    frontier = store.load_frontier(config_fp)
+    assert frontier is not None
+    assert frontier.config_fp == config_fp
+    assert set(frontier.procs) == set(program.names())
+    # Only entry (0) and exit rows survive the projection.
+    cfgs = ControlFlowGraphs(program)
+    for proc, payload in frontier.procs.items():
+        keep = {0, cfgs.exit(proc).index}
+        for _, rows in payload["contexts"]:
+            assert {idx for idx, _ in rows} <= keep, proc
+    # Unchanged re-analysis backfills a deleted frontier file.
+    store.frontier_path_for(config_fp).unlink()
+    again = analyze_with_store(
+        program, FILE_PROPERTY, store, engine="swift", domain="simple"
+    )
+    assert again.store_hits > 0
+    assert store.frontier_path_for(config_fp).is_file()
+
+
+def test_frontier_partial_load_materializes_only_wanted_procs(tmp_path):
+    _, store, result = _frontier_setup(tmp_path)
+    config_fp = result.config_fp
+    partial = store.load_frontier(config_fp, procs={"mid", "leaf"})
+    assert partial is not None
+    assert set(partial.procs) == {"mid", "leaf"}
+    full = store.load_frontier(config_fp)
+    for proc in ("mid", "leaf"):
+        assert partial.procs[proc] == full.procs[proc]
+
+
+def test_frontier_degrades_to_none_never_wrong(tmp_path):
+    _, store, result = _frontier_setup(tmp_path)
+    config_fp = result.config_fp
+    assert store.load_frontier("ab" * 32) is None  # missing
+    path = store.frontier_path_for(config_fp)
+    data = path.read_bytes()
+    other_fp = "f" * 64
+    store.frontier_path_for(other_fp).write_bytes(data)
+    assert store.load_frontier(other_fp) is None  # header/name mismatch
+    path.write_bytes(data[: len(data) // 2])
+    assert store.load_frontier(config_fp) is None  # truncated
+    path.write_text("not a frontier\n")
+    assert store.load_frontier(config_fp) is None  # garbage
+    # A frontier header from a future store version is cold too.
+    lines = data.decode("utf-8").splitlines()
+    header = json.loads(lines[0])
+    header["version"] = STORE_VERSION + 1
+    path.write_text("\n".join([json.dumps(header)] + lines[1:]) + "\n")
+    assert store.load_frontier(config_fp) is None
+
+
+def test_stats_and_gc_account_for_frontier_files(tmp_path):
+    from repro.incremental import analyze_with_store
+
+    program, store, result = _frontier_setup(tmp_path)
+    config_fp = result.config_fp
+    td = analyze_with_store(
+        program, FILE_PROPERTY, store, engine="td", domain="simple"
+    )
+    orphan = store.root / "frontier-deadbeefdeadbeefdeadbeefdeadbeef.jsonl"
+    orphan.write_text("stray\n")
+    rows = store.stats()
+    by_file = {row["file"]: row for row in rows}
+    parent = by_file[store.path_for(config_fp).name]
+    assert parent["frontier"]["file"] == store.frontier_path_for(config_fp).name
+    assert parent["frontier"]["procs"] == len(set(program.names()))
+    assert parent["frontier"]["bytes"] > 0
+    assert by_file[orphan.name]["orphan_frontier"] is True
+    # gc: dropped parents take their frontier along; orphans go too.
+    removed = store.gc(keep=1)
+    removed_names = {p.name for p in removed}
+    assert orphan.name in removed_names
+    survivors = {p.name for p in store.snapshot_paths()}
+    assert len(survivors) == 1
+    for frontier_path in store.frontier_paths():
+        assert ("snapshot-" + frontier_path.name[len("frontier-"):]) in survivors
+    # clear() drops every remaining snapshot + frontier pair.
+    assert store.clear() == 2
+    assert store.frontier_paths() == []
+    assert td is not None  # silence the unused-result lint
+
+
+def test_version_bump_sends_old_stores_cold_then_rewrites(tmp_path):
+    """The PR-10 fingerprint story: a store written by an older layout
+    version loads cold (never wrong), and the next analyze rewrites
+    both files at the current version."""
+    from repro.incremental import analyze_with_store
+
+    program, store, result = _frontier_setup(tmp_path)
+    config_fp = result.config_fp
+    for path in (store.path_for(config_fp), store.frontier_path_for(config_fp)):
+        lines = path.read_text().splitlines()
+        header = json.loads(lines[0])
+        header["version"] = STORE_VERSION - 1
+        path.write_text("\n".join([json.dumps(header)] + lines[1:]) + "\n")
+    assert store.load(config_fp) is None
+    assert store.load_frontier(config_fp) is None
+    again = analyze_with_store(
+        program, FILE_PROPERTY, store, engine="swift", domain="simple"
+    )
+    assert again.cold  # old layout is a cold start, not a wrong answer
+    assert json.loads(
+        store.path_for(config_fp).read_text().splitlines()[0]
+    )["version"] == STORE_VERSION
+    assert json.loads(
+        store.frontier_path_for(config_fp).read_text().splitlines()[0]
+    )["version"] == STORE_VERSION
